@@ -1,0 +1,88 @@
+"""Figure 10: sensitivity to the early-stopping error threshold.
+
+Sweeps the convergence threshold for correlation and logistic regression,
+comparing ``+MM+ES`` (materialized) with full DeepBase (streaming).  The
+paper's shape: relaxing the threshold shrinks DeepBase's extraction cost
+dramatically (it stops reading data), while +MM+ES only saves inspector
+time; logistic regression is far less sensitive because its optimizer
+converges slowly.
+
+Also ablates the block size ``nb`` (Section 5.2.2's convergence-check
+overhead vs. over-processing trade-off; paper default 512).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import InspectConfig, inspect
+from repro.measures import CorrelationScore, LogRegressionScore
+from benchmarks.conftest import print_table
+
+THRESHOLDS = (0.005, 0.01, 0.025, 0.05, 0.1)
+
+
+def _run(kind: str, mode: str, threshold: float, block_size: int,
+         model, dataset, hyps) -> tuple[float, int]:
+    measure = (CorrelationScore() if kind == "corr"
+               else LogRegressionScore(regul="L1", epochs=1, cv_folds=2))
+    config = InspectConfig(mode=mode, early_stop=True,
+                           error_threshold=threshold, block_size=block_size)
+    t0 = time.perf_counter()
+    out = inspect([model], dataset, [measure], hyps, config=config,
+                  as_frame=False)
+    return time.perf_counter() - t0, out[0].records_processed
+
+
+@pytest.mark.parametrize("threshold", [0.01, 0.1])
+def test_fig10_corr_threshold(benchmark, threshold, bench_model,
+                              bench_workload, bench_hypotheses):
+    benchmark.pedantic(
+        lambda: _run("corr", "streaming", threshold, 128, bench_model,
+                     bench_workload.dataset, bench_hypotheses),
+        rounds=1, iterations=1)
+
+
+def test_fig10_threshold_report(benchmark, bench_model, bench_workload,
+                                bench_hypotheses):
+    def _report():
+        rows = []
+        for kind in ("corr", "logreg"):
+            for threshold in THRESHOLDS:
+                for mode, label in (("materialized", "mm_es"),
+                                    ("streaming", "deepbase")):
+                    secs, records = _run(kind, mode, threshold, 128,
+                                         bench_model, bench_workload.dataset,
+                                         bench_hypotheses)
+                    rows.append({"measure": kind, "threshold": threshold,
+                                 "variant": label, "seconds": secs,
+                                 "records_read": records})
+        print_table("Figure 10: error-threshold sensitivity", rows)
+
+        # relaxing the threshold must not increase the records DeepBase reads
+        for kind in ("corr", "logreg"):
+            reads = [r["records_read"] for r in rows
+                     if r["measure"] == kind and r["variant"] == "deepbase"]
+            assert all(a >= b for a, b in zip(reads, reads[1:])), (kind, reads)
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+
+
+def test_fig10_block_size_ablation(benchmark, bench_model, bench_workload,
+                                   bench_hypotheses):
+    """DESIGN.md ablation: convergence-check overhead vs over-processing."""
+    def _report():
+        rows = []
+        for block_size in (32, 128, 512):
+            secs, records = _run("corr", "streaming", 0.025, block_size,
+                                 bench_model, bench_workload.dataset,
+                                 bench_hypotheses)
+            rows.append({"block_size": block_size, "seconds": secs,
+                         "records_read": records})
+        print_table("block-size (nb) ablation, correlation @ e=0.025", rows)
+        # smaller blocks stop closer to the convergence point
+        assert rows[0]["records_read"] <= rows[-1]["records_read"]
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

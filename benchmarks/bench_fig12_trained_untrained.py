@@ -1,0 +1,117 @@
+"""Figure 12: trained vs. untrained NMT model inspection.
+
+12a: histogram of per-unit best |correlation| against open-class POS tags --
+high correlations appear only in the trained model.
+
+12b: L2 logistic-regression F1 for the paper's five hypotheses (Cardinal,
+Adjective, Adverb, Period, Verb past tense) -- both models score on the
+low-level period feature ("architecture as a strong prior"), only the
+trained model scores on the higher-level ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InspectConfig, UnitGroup, inspect
+from repro.data.datasets import Dataset, Vocab
+from repro.extract import EncoderActivationExtractor
+from repro.hypotheses.annotations import tag_indicator_hypotheses
+from repro.measures import CorrelationScore, LogRegressionScore
+from repro.nmt import generate_nmt_corpus, train_nmt_model
+from repro.nmt.model import untrained_nmt_model
+from benchmarks.conftest import print_table
+
+OPEN_CLASS = {"NN", "NNS", "JJ", "VBZ", "VBD", "RB", "NNP", "CD"}
+FIG12B_TAGS = ("CD", "JJ", "RB", ".", "VBD")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = generate_nmt_corpus(n_sentences=500, seed=0)
+    trained = train_nmt_model(corpus, n_units=48, epochs=15, seed=0, lr=5e-3)
+    control = untrained_nmt_model(corpus, n_units=48)
+    dataset = Dataset(corpus.src, Vocab(["x"]),
+                      meta=[{} for _ in range(corpus.n_sentences)])
+    return corpus, trained, control, dataset
+
+
+def _group(model):
+    extractor = EncoderActivationExtractor(layer=None)
+    return UnitGroup(model=model,
+                     unit_ids=np.arange(model.n_units * model.n_layers),
+                     name="encoder", extractor=extractor)
+
+
+def _best_corr_per_unit(model, dataset, hyps):
+    frame = inspect(None, dataset, [CorrelationScore()], hyps,
+                    unit_groups=[_group(model)],
+                    config=InspectConfig(mode="full"))
+    best: dict[int, float] = {}
+    for row in frame.rows():
+        key = row["h_unit_id"]
+        best[key] = max(best.get(key, 0.0), abs(row["val"]))
+    return np.array(list(best.values()))
+
+
+def test_fig12a_histogram(benchmark, setup):
+    corpus, trained, control, dataset = setup
+    hyps = [h for h in tag_indicator_hypotheses(corpus.tags,
+                                                corpus.tag_names)
+            if h.name.split(":")[1] in OPEN_CLASS]
+
+    trained_best = benchmark.pedantic(
+        lambda: _best_corr_per_unit(trained, dataset, hyps),
+        rounds=1, iterations=1)
+    control_best = _best_corr_per_unit(control, dataset, hyps)
+
+    rows = []
+    for name, values in (("trained", trained_best),
+                         ("untrained", control_best)):
+        hist, edges = np.histogram(values, bins=5, range=(0, 1))
+        row = {"model": name, "max": float(values.max()),
+               "mean": float(values.mean())}
+        for i in range(5):
+            row[f"[{edges[i]:.1f},{edges[i+1]:.1f})"] = int(hist[i])
+        rows.append(row)
+    print_table("Figure 12a: best |corr| per encoder unit "
+                "(open-class tags)", rows)
+
+    # the paper's claim: high correlations only in the trained model
+    assert trained_best.max() > control_best.max()
+    assert trained_best.mean() > control_best.mean()
+
+
+def test_fig12b_logreg_f1(benchmark, setup):
+    def _report():
+        corpus, trained, control, dataset = setup
+        hyps = [h for h in tag_indicator_hypotheses(corpus.tags,
+                                                    corpus.tag_names)
+                if h.name.split(":")[1] in FIG12B_TAGS]
+        measure = LogRegressionScore(regul="L2", epochs=3, cv_folds=3)
+
+        scores = {}
+        for name, model in (("trained", trained), ("untrained", control)):
+            frame = inspect(None, dataset, [measure], hyps,
+                            unit_groups=[_group(model)],
+                            config=InspectConfig(mode="full"))
+            scores[name] = {r["hyp_id"]: r["val"]
+                            for r in frame.where(kind="group").rows()}
+
+        rows = [{"hypothesis": h.name,
+                 "trained_f1": scores["trained"][h.name],
+                 "untrained_f1": scores["untrained"][h.name]} for h in hyps]
+        print_table("Figure 12b: L2 logreg F1 per hypothesis", rows)
+
+        # both models learn the low-level period feature ...
+        period = next(r for r in rows if r["hypothesis"].endswith(":."))
+        assert period["untrained_f1"] > 0.5
+        # ... and averaged over the higher-level tags the trained model wins
+        high = [r for r in rows if not r["hypothesis"].endswith(":.")]
+        trained_mean = np.mean([r["trained_f1"] for r in high])
+        untrained_mean = np.mean([r["untrained_f1"] for r in high])
+        assert trained_mean > untrained_mean
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+

@@ -1,0 +1,65 @@
+"""Figure 6: DeepBase optimization variants for the correlation measure.
+
+Compared variants (cumulative):
+* ``PyBase``       -- full materialization, per-pair loops
+* ``+ES``          -- materialized behaviors + early stopping
+* ``DeepBase``     -- early stopping + lazy (streaming) extraction
+
+The paper finds the primary gains come from early stopping, with lazy
+extraction adding a considerable but smaller benefit that grows with the
+number of records.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import InspectConfig, inspect
+from repro.baselines import PyBaseRunner
+from repro.measures import CorrelationScore
+from benchmarks.conftest import print_table
+
+
+def _run_variant(variant: str, model, dataset, hyps) -> None:
+    if variant == "pybase":
+        PyBaseRunner().run_correlation(model, dataset, hyps)
+        return
+    mode = "materialized" if variant == "es" else "streaming"
+    config = InspectConfig(mode=mode, early_stop=True, block_size=128)
+    inspect([model], dataset, [CorrelationScore()], hyps, config=config)
+
+
+@pytest.mark.parametrize("variant", ["pybase", "es", "deepbase"])
+def test_fig6_variant(benchmark, variant, bench_model, bench_workload,
+                      bench_hypotheses):
+    dataset = bench_workload.dataset
+    benchmark.pedantic(
+        lambda: _run_variant(variant, bench_model, dataset, bench_hypotheses),
+        rounds=1, iterations=1)
+
+
+def test_fig6_record_sweep_report(benchmark, bench_model, bench_workload,
+                                  bench_hypotheses):
+    """Lazy extraction's advantage grows with the dataset (middle plot)."""
+    def _report():
+        rows = []
+        n = bench_workload.dataset.n_records
+        for n_records in (n // 4, n // 2, n):
+            dataset = bench_workload.dataset.head(n_records)
+            timings = {}
+            for variant in ("pybase", "es", "deepbase"):
+                t0 = time.perf_counter()
+                _run_variant(variant, bench_model, dataset, bench_hypotheses)
+                timings[variant + "_s"] = time.perf_counter() - t0
+            rows.append({"records": n_records, **timings})
+        print_table("Figure 6: correlation optimization variants (seconds)",
+                    rows)
+
+        # DeepBase must beat PyBase, and the gap must grow with records
+        gaps = [r["pybase_s"] / max(r["deepbase_s"], 1e-9) for r in rows]
+        assert all(g > 1.0 for g in gaps)
+        assert rows[-1]["deepbase_s"] <= rows[-1]["es_s"] * 1.25
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

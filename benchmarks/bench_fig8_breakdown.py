@@ -1,0 +1,65 @@
+"""Figure 8: runtime breakdown by system component.
+
+Splits wall-clock into hypothesis-extraction, unit-extraction and inspector
+costs for the ``+MM+ES`` and full-DeepBase configurations, for both
+measures.  The paper's takeaway: correlation is inspector-bound, logistic
+regression is extraction-bound, and DeepBase's savings come from lower
+extraction costs via online extraction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InspectConfig, inspect
+from repro.measures import CorrelationScore, LogRegressionScore
+from benchmarks.conftest import print_table
+
+
+def _run(variant: str, measure, model, dataset, hyps) -> dict[str, float]:
+    mode = "materialized" if variant == "mm_es" else "streaming"
+    config = InspectConfig(mode=mode, early_stop=True, block_size=128)
+    inspect([model], dataset, [measure], hyps, config=config)
+    return config.stopwatch.breakdown()
+
+
+@pytest.mark.parametrize("kind", ["corr", "logreg"])
+def test_fig8_deepbase(benchmark, kind, bench_model, bench_workload,
+                       bench_hypotheses):
+    measure = (CorrelationScore() if kind == "corr"
+               else LogRegressionScore(regul="L1", epochs=1, cv_folds=2))
+    benchmark.pedantic(
+        lambda: _run("deepbase", measure, bench_model,
+                     bench_workload.dataset, bench_hypotheses),
+        rounds=1, iterations=1)
+
+
+def test_fig8_breakdown_report(benchmark, bench_model, bench_workload,
+                               bench_hypotheses):
+    def _report():
+        rows = []
+        buckets = ("hypothesis_extraction", "unit_extraction", "inspection")
+        breakdowns = {}
+        for kind in ("corr", "logreg"):
+            measure = (CorrelationScore() if kind == "corr"
+                       else LogRegressionScore(regul="L1", epochs=1,
+                                               cv_folds=2))
+            for variant in ("mm_es", "deepbase"):
+                split = _run(variant, measure, bench_model,
+                             bench_workload.dataset, bench_hypotheses)
+                breakdowns[(kind, variant)] = split
+                rows.append({"measure": kind, "variant": variant,
+                             **{b: split.get(b, 0.0) for b in buckets}})
+        print_table("Figure 8: runtime breakdown (seconds)", rows)
+
+        # DeepBase's extraction cost must not exceed the materialized one's
+        for kind in ("corr", "logreg"):
+            mm = breakdowns[(kind, "mm_es")]
+            db = breakdowns[(kind, "deepbase")]
+            mm_extract = mm.get("unit_extraction", 0) + mm.get(
+                "hypothesis_extraction", 0)
+            db_extract = db.get("unit_extraction", 0) + db.get(
+                "hypothesis_extraction", 0)
+            assert db_extract <= mm_extract * 1.25, kind
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

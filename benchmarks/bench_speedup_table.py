@@ -1,0 +1,69 @@
+"""Headline takeaway table (Section 6.2): DeepBase vs PyBase vs MADLib.
+
+The paper reports DeepBase beating PyBase by 72x on average (up to 96x) and
+MADLib by 200x on average (up to 419x) at its scale.  Absolute ratios here
+depend on the scaled-down workload; the assertion is the *ordering* and
+that both ratios exceed 1 with MADLib's being larger.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import InspectConfig, inspect
+from repro.baselines import MadlibRunner, PyBaseRunner
+from repro.measures import CorrelationScore, LogRegressionScore
+from benchmarks.conftest import print_table
+
+N_RECORDS = 120
+N_HYPS = 6
+
+
+def test_speedup_table(benchmark, bench_model, bench_workload, bench_hypotheses):
+    def _report():
+        dataset = bench_workload.dataset.head(N_RECORDS)
+        hyps = bench_hypotheses[:N_HYPS]
+        rows = []
+        speedups = {}
+        for kind in ("corr", "logreg"):
+            measure = (CorrelationScore() if kind == "corr"
+                       else LogRegressionScore(regul="L1", epochs=2, cv_folds=2))
+
+            t0 = time.perf_counter()
+            config = InspectConfig(mode="streaming", block_size=64)
+            inspect([bench_model], dataset, [measure], hyps, config=config)
+            deepbase = time.perf_counter() - t0
+
+            runner = PyBaseRunner(logreg_epochs=2, cv_folds=2)
+            t0 = time.perf_counter()
+            if kind == "corr":
+                runner.run_correlation(bench_model, dataset, hyps)
+            else:
+                runner.run_logreg(bench_model, dataset, hyps)
+            pybase = time.perf_counter() - t0
+
+            madlib_runner = MadlibRunner(logreg_iters=2)
+            t0 = time.perf_counter()
+            if kind == "corr":
+                madlib_runner.run_correlation(bench_model, dataset, hyps)
+            else:
+                madlib_runner.run_logreg(bench_model, dataset, hyps)
+            madlib = time.perf_counter() - t0
+
+            speedups[kind] = (pybase / deepbase, madlib / deepbase)
+            rows.append({"measure": kind, "deepbase_s": deepbase,
+                         "pybase_s": pybase, "madlib_s": madlib,
+                         "pybase_speedup": pybase / deepbase,
+                         "madlib_speedup": madlib / deepbase})
+
+        print_table(
+            "Takeaway: DeepBase speedups (paper: 72x vs PyBase, 100-419x vs "
+            "MADLib at full scale)", rows)
+
+        for kind, (vs_pybase, vs_madlib) in speedups.items():
+            assert vs_madlib > 1.0, f"{kind}: MADLib should be slower"
+            assert vs_madlib > vs_pybase, \
+                f"{kind}: MADLib should lose by more than PyBase"
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)
+

@@ -1,0 +1,93 @@
+"""Shared benchmark fixtures.
+
+One trained SQL model + workload + hypothesis library is built per session
+and reused by the figure benches.  Scales are controlled by
+``REPRO_BENCH_SCALE`` (1 = default laptop scale; larger values approach the
+paper's setting: 29,696 records, 512 units, 190 hypotheses).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.data import generate_sql_workload
+from repro.data.sql_gen import SqlWorkload
+from repro.hypotheses import grammar_hypotheses
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.nn import CharLSTMModel, TrainConfig, train_model
+from repro.util.rng import new_rng
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@dataclass
+class BenchSetting:
+    """The Section 6.2 default setting, scaled down."""
+
+    n_queries: int = max(10, int(40 * SCALE))
+    n_units: int = max(8, int(32 * SCALE))
+    n_hypotheses: int = max(4, int(24 * SCALE))
+    window: int = 30
+    stride: int = 5
+    train_epochs: int = 3
+
+
+SETTING = BenchSetting()
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Render a paper-style series as an aligned text table."""
+    print(f"\n--- {title} ---")
+    if not rows:
+        print("(no rows)")
+        return
+    cols = list(rows[0])
+    widths = {c: max(len(c), *(len(_fmt(r[c])) for r in rows)) for c in cols}
+    print("  ".join(c.ljust(widths[c]) for c in cols))
+    for row in rows:
+        print("  ".join(_fmt(row[c]).ljust(widths[c]) for c in cols))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def bench_workload() -> SqlWorkload:
+    return generate_sql_workload("default", n_queries=SETTING.n_queries,
+                                 window=SETTING.window,
+                                 stride=SETTING.stride, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_model(bench_workload):
+    model = CharLSTMModel(len(bench_workload.vocab), SETTING.n_units,
+                          rng=new_rng(1), model_id="sql_bench_model")
+    train_model(model, bench_workload.dataset.symbols,
+                bench_workload.targets,
+                TrainConfig(epochs=SETTING.train_epochs, batch_size=128,
+                            lr=3e-3, patience=99))
+    return model
+
+
+@pytest.fixture(scope="session")
+def bench_hypotheses(bench_workload):
+    """Grammar hypotheses (derivation mode: parse cost paid at sampling)."""
+    hyps = grammar_hypotheses(bench_workload.grammar, bench_workload.queries,
+                              bench_workload.trees, mode="derivation")
+    hyps += sql_keyword_hypotheses()
+    return hyps[:SETTING.n_hypotheses]
+
+
+@pytest.fixture(scope="session")
+def bench_hypotheses_reparse(bench_workload):
+    """Same hypotheses, slow path: Earley re-parse per source string."""
+    hyps = grammar_hypotheses(bench_workload.grammar, bench_workload.queries,
+                              mode="reparse")
+    return hyps[:SETTING.n_hypotheses]

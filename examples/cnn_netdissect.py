@@ -1,0 +1,91 @@
+"""CNN inspection and NetDissect comparison (Appendix E, Figure 15).
+
+Trains a small CNN on synthetic annotated images, runs NetDissect's IoU
+dissection and DeepBase's Jaccard measure over the same channels, and
+reports the agreement between the two systems.
+
+Run:  python examples/cnn_netdissect.py
+"""
+
+import numpy as np
+
+from repro import InspectConfig, UnitGroup, inspect
+from repro.hypotheses.annotations import mask_hypotheses
+from repro.measures import JaccardScore
+from repro.vision import (generate_shape_dataset, netdissect_scores,
+                          train_shape_cnn)
+from repro.vision.netdissect import CnnPixelExtractor
+from repro.vision.shapes import CONCEPTS
+
+
+def image_dataset(dataset):
+    """Images as records: symbol = pixel, record carries the image index.
+
+    Symbol values are opaque to the pipeline (behaviors come from the CNN
+    extractor and the precomputed mask hypotheses); the record's first
+    column carries the image index the extractor resolves.
+    """
+    from repro.data.datasets import Dataset, Vocab
+    n_pixels = dataset.image_size ** 2
+    symbols = np.repeat(np.arange(dataset.n_images)[:, None], n_pixels,
+                        axis=1)
+    return Dataset(symbols, Vocab(["x"]),
+                   meta=[{"image": i} for i in range(dataset.n_images)])
+
+
+def main() -> None:
+    shapes = generate_shape_dataset(n_images=300, image_size=20, seed=0)
+    model = train_shape_cnn(shapes, epochs=10, lr=4e-3, seed=0, verbose=True)
+    _, acc = model.evaluate(shapes.images, shapes.labels)
+    print(f"classifier accuracy: {acc:.3f} (4 classes)")
+
+    quantile = 0.97
+
+    print("\n== NetDissect ==")
+    nd = netdissect_scores(model, shapes, quantile=quantile, seed=1)
+    for concept in CONCEPTS:
+        best = int(np.argmax(nd[concept]))
+        print(f"{concept:9s} best channel {best:2d} "
+              f"IoU={nd[concept][best]:.3f}")
+
+    print("\n== DeepBase (Jaccard measure over the same channels) ==")
+    ds = image_dataset(shapes)
+    # records carry image indices; the extractor resolves them to pixels
+    records_ds = ds
+    extractor = CnnPixelExtractor(shapes.images)
+    hyps = mask_hypotheses(shapes.flat_masks())
+    # calibrate the activation threshold over most of the pixel stream so
+    # it matches NetDissect's full-sample quantile estimate
+    measure = JaccardScore(quantile=quantile,
+                           calibration_rows=shapes.n_images * 300)
+    frame = inspect(None, records_ds, [measure], hyps,
+                    unit_groups=[UnitGroup(model=model,
+                                           unit_ids=np.arange(model.n_units),
+                                           name="conv2",
+                                           extractor=extractor)],
+                    config=InspectConfig(mode="full"))
+
+    deepbase = {}
+    for concept in CONCEPTS:
+        sub = frame.where(hyp_id=f"mask:{concept}")
+        scores = np.zeros(model.n_units)
+        for row in sub.rows():
+            scores[row["h_unit_id"]] = row["val"]
+        deepbase[concept] = scores
+        best = int(np.argmax(scores))
+        print(f"{concept:9s} best channel {best:2d} "
+              f"IoU={scores[best]:.3f}")
+
+    print("\n== Figure 15: score agreement ==")
+    nd_all = np.concatenate([nd[c] for c in CONCEPTS])
+    db_all = np.concatenate([deepbase[c] for c in CONCEPTS])
+    r = np.corrcoef(nd_all, db_all)[0, 1]
+    print(f"Pearson correlation across all (channel, concept) pairs: "
+          f"r={r:.3f}")
+    print("The paper reports strong but imperfect agreement, attributing "
+          "differences to non-deterministic pipeline components (here: the "
+          "sampled quantile threshold).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The INSPECT SQL extension (Appendix B).
+
+Registers models, units, hypotheses and a dataset as catalog relations,
+then runs the paper's example query: correlate layer-0 units with keyword
+hypotheses, grouped by training epoch, keeping only high-affinity units.
+
+Run:  python examples/inspect_sql_clause.py
+"""
+
+from repro.core.pipeline import InspectConfig
+from repro.data import generate_sql_workload
+from repro.db import Database, run_inspect_sql
+from repro.db.inspect_clause import InspectQuery
+from repro.extract import RnnActivationExtractor
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.nn import CharLSTMModel, TrainConfig, train_model
+from repro.nn.serialize import clone_model
+from repro.util.rng import new_rng
+
+
+def main() -> None:
+    workload = generate_sql_workload("default", n_queries=40, seed=1)
+    model = CharLSTMModel(len(workload.vocab), n_units=24, rng=new_rng(0),
+                          model_id="sqlparser")
+
+    snapshots = {}
+
+    def capture(epoch, trained):
+        if epoch in (0, 3):
+            snapshots[epoch] = clone_model(trained)
+
+    train_model(model, workload.dataset.symbols, workload.targets,
+                TrainConfig(epochs=4, lr=3e-3, patience=99),
+                snapshot_hook=capture)
+
+    hyps = sql_keyword_hypotheses(("SELECT", "FROM", "WHERE"))
+
+    # --- register everything as catalog relations -----------------------
+    db = Database()
+    db.create_table("models", ["mid", "epoch"],
+                    [[f"sqlparser_e{e}", e] for e in snapshots])
+    db.create_table("units", ["mid", "uid", "layer"],
+                    [[f"sqlparser_e{e}", u, 0]
+                     for e in snapshots for u in range(24)])
+    db.create_table("hypotheses", ["h", "name"],
+                    [[h.name, "keywords"] for h in hyps])
+    db.create_table("inputs", ["did", "seq"], [["d0", "seq"]])
+
+    context = InspectQuery(
+        db=db,
+        models={f"sqlparser_e{e}": m for e, m in snapshots.items()},
+        hypotheses={h.name: h for h in hyps},
+        datasets={"d0": workload.dataset},
+        extractor=RnnActivationExtractor(),
+        config=InspectConfig(mode="full", max_records=300))
+
+    sql = """
+        SELECT M.epoch, S.uid, S.hid, S.unit_score
+        INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+        FROM models M, units U, hypotheses H, inputs D
+        WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
+        GROUP BY M.epoch
+        HAVING S.unit_score > 0.25
+    """
+    print("running:\n" + sql)
+    frame = run_inspect_sql(context, sql)
+    print(f"\n{len(frame)} high-affinity (epoch, unit, hypothesis) rows:")
+    print(frame.sort("S.unit_score", reverse=True).to_string(max_rows=15))
+    print("\nEpoch 3 should expose more high-scoring keyword detectors than "
+          "epoch 0, since the model learns clause structure during training.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""What does the model learn across training epochs? (Appendix D, Fig 14).
+
+Captures model snapshots after chosen epochs and inspects each with the
+logistic-regression measure, showing that fundamental SQL clauses are
+learned early in training.
+
+Run:  python examples/sql_epoch_analysis.py
+"""
+
+from repro import InspectConfig, inspect
+from repro.data import generate_sql_workload
+from repro.hypotheses import grammar_hypotheses
+from repro.measures import LogRegressionScore
+from repro.nn import CharLSTMModel, TrainConfig, train_model
+from repro.nn.serialize import clone_model
+from repro.util.frame import Frame
+from repro.util.rng import new_rng
+
+SNAPSHOT_EPOCHS = (0, 1, 4)
+TRACKED = ("time:select_clause", "time:where_clause", "time:order_clause",
+           "time:table_name", "time:column_ref")
+
+
+def main() -> None:
+    workload = generate_sql_workload("default", n_queries=60, window=30,
+                                     stride=5, seed=2)
+    model = CharLSTMModel(len(workload.vocab), n_units=48, rng=new_rng(3),
+                          model_id="sql_epochs")
+
+    snapshots: dict[int, object] = {}
+
+    def capture(epoch: int, trained) -> None:
+        if epoch in SNAPSHOT_EPOCHS:
+            snap = clone_model(trained)
+            snap.model_id = f"epoch_{epoch}"
+            snapshots[epoch] = snap
+
+    # epoch "0" in the paper is the randomly initialized model
+    untrained = clone_model(model)
+    untrained.model_id = "epoch_init"
+    snapshots[-1] = untrained
+
+    train_model(model, workload.dataset.symbols, workload.targets,
+                TrainConfig(epochs=max(SNAPSHOT_EPOCHS) + 1, lr=3e-3,
+                            patience=99, verbose=True),
+                snapshot_hook=capture)
+
+    hypotheses = [h for h in grammar_hypotheses(
+        workload.grammar, workload.queries, workload.trees,
+        mode="derivation") if h.name in TRACKED]
+
+    measure = LogRegressionScore(regul="L1", epochs=2, cv_folds=3)
+    rows = []
+    for epoch in sorted(snapshots):
+        snap = snapshots[epoch]
+        frame = inspect([snap], workload.dataset, [measure], hypotheses,
+                        config=InspectConfig(mode="full", max_records=400))
+        for row in frame.where(kind="group").rows():
+            rows.append({"epoch": "init" if epoch == -1 else epoch,
+                         "hypothesis": row["hyp_id"],
+                         "F1": round(row["val"], 3)})
+
+    table = Frame.from_records(rows)
+    print("\nF1 of grammar-rule hypotheses across training epochs "
+          "(Figure 14):")
+    print(table.to_string(max_rows=50))
+
+    print("\nExpected shape: F1 rises sharply after the first epoch for "
+          "clause-level hypotheses, mirroring the paper's finding that the "
+          "model learns fundamental SQL clauses early.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Perturbation-based verification (Section 4.4 / Appendix C).
+
+Trains the Appendix C specialized model (a 16-unit RNN whose first units
+are forced, via an auxiliary loss, to track a parentheses-detector
+hypothesis), selects high-affinity units with DeepBase, and verifies them
+with baseline/treatment perturbations -- including the paper's negative
+results: hypotheses too close to the model task fail verification.
+
+Run:  python examples/verification.py
+"""
+
+import numpy as np
+
+from repro.data import generate_parens_workload
+from repro.extract import RnnActivationExtractor
+from repro.extract.base import HypothesisExtractor
+from repro.hypotheses import (CharSetHypothesis, NestingDepthHypothesis)
+from repro.hypotheses.library import CurrentCharHypothesis
+from repro.measures import LogRegressionScore
+from repro.nn import SpecializedLSTMModel, TrainConfig, train_model
+from repro.util.rng import new_rng
+from repro.verify import verify_units
+
+
+def main() -> None:
+    workload = generate_parens_workload(n_strings=150, window=16, stride=2,
+                                        seed=0)
+    hypothesis = CharSetHypothesis("parens", "()")
+    aux = hypothesis.extract(workload.dataset)
+
+    model = SpecializedLSTMModel(len(workload.vocab), 16, new_rng(1),
+                                 specialized_units=[0, 1, 2, 3], weight=0.6)
+    train_model(model, workload.dataset.symbols, workload.targets,
+                TrainConfig(epochs=20, lr=5e-3, patience=25),
+                aux_behavior=aux)
+
+    # --- select high-affinity units with an L1 probe --------------------
+    units = RnnActivationExtractor().extract(model, workload.dataset.symbols)
+    hyp_m = HypothesisExtractor([hypothesis]).extract(workload.dataset)
+    probe = LogRegressionScore(regul="L1", strength=5e-3, epochs=3,
+                               cv_folds=3)
+    result = probe.compute(units, hyp_m)
+    coefs = np.abs(result.unit_scores[:, 0])
+    selected = np.argsort(-coefs)[:4]
+    rng = new_rng(2)
+    random_units = rng.choice(16, size=4, replace=False)
+    print(f"L1 probe F1={result.group_scores[0]:.3f}; "
+          f"selected units {selected.tolist()} "
+          f"(specialized were [0, 1, 2, 3])")
+
+    # --- verification: selected vs random units -------------------------
+    print("\n== verification: parentheses-detector hypothesis ==")
+    spec = verify_units(model, workload.dataset, hypothesis, selected,
+                        n_sites=60, rng=new_rng(3))
+    rand = verify_units(model, workload.dataset, hypothesis, random_units,
+                        n_sites=60, rng=new_rng(3))
+    print(f"silhouette selected={spec.silhouette:.3f}  "
+          f"random={rand.silhouette:.3f}")
+    print("selected units separate baseline/treatment perturbations; "
+          "random units do so far less (Figure 13).")
+
+    # --- negative control: hypothesis ~ model task ----------------------
+    print("\n== negative control: nesting-depth hypothesis ==")
+    depth_hyp = NestingDepthHypothesis()
+    try:
+        depth = verify_units(model, workload.dataset, depth_hyp, selected,
+                             n_sites=60, positions="any", rng=new_rng(4))
+        print(f"silhouette={depth.silhouette:.3f} -- near the random level: "
+              "the hypothesis is nearly the model task itself, so "
+              "verification cannot distinguish the selected units "
+              "(the paper's Appendix C negative result)")
+    except ValueError as exc:
+        print(f"verification not applicable: {exc}")
+
+    # --- ambiguous hypothesis: current char is '4' ----------------------
+    print("\n== ambiguous hypothesis: detects the character '4' ==")
+    char4 = CurrentCharHypothesis("4")
+    try:
+        amb = verify_units(model, workload.dataset, char4, selected,
+                           n_sites=60, rng=new_rng(5))
+        print(f"silhouette={amb.silhouette:.3f} -- low separation suggests "
+              "the units track parentheses rather than the literal '4', "
+              "matching the paper's ambiguity discussion")
+    except ValueError as exc:
+        print(f"verification not applicable: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: a reproduction of DeepBase (Sellam et al., SIGMOD 2019).
+
+DeepBase performs Deep Neural Inspection: measuring the statistical affinity
+between hidden-unit behaviors of trained neural networks and user-provided
+hypothesis functions, through the declarative :func:`inspect` API.
+
+Quick start::
+
+    from repro import inspect, InspectConfig
+    from repro.data import generate_sql_workload
+    from repro.hypotheses import grammar_hypotheses
+    from repro.measures import CorrelationScore, LogRegressionScore
+    from repro.nn import CharLSTMModel, train_model
+    from repro.util.rng import new_rng
+
+    wl = generate_sql_workload("default", n_queries=100)
+    model = CharLSTMModel(len(wl.vocab), n_units=128, rng=new_rng(0))
+    train_model(model, wl.dataset.symbols, wl.targets)
+    hyps = grammar_hypotheses(wl.grammar, wl.queries, wl.trees,
+                              mode="derivation")
+    frame = inspect([model], wl.dataset,
+                    [CorrelationScore("pearson"),
+                     LogRegressionScore(regul="L1")], hyps)
+"""
+
+from repro.core.cache import HypothesisCache
+from repro.core.groups import UnitGroup, all_units_group, layer_groups
+from repro.core.inspect import InspectConfig, inspect, top_units
+from repro.core.saliency import saliency_frame, top_symbols
+from repro.util.frame import Frame
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Frame",
+    "HypothesisCache",
+    "InspectConfig",
+    "UnitGroup",
+    "all_units_group",
+    "inspect",
+    "layer_groups",
+    "saliency_frame",
+    "top_symbols",
+    "top_units",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline DNI system designs the paper compares against (Section 5.1).
+
+* :class:`PyBaseRunner` -- the "standard Python implementation": fully
+  materialize behavior matrices, then score every (unit, hypothesis) pair
+  with per-pair loops and per-hypothesis probe training.  No merging, no
+  early stopping, no streaming.
+* :class:`MadlibRunner` -- the DB-oriented design: behaviors are loaded into
+  relational tables and affinities are computed with SQL aggregates and
+  MADLib-style training UDAs, batched under the engine's expression limit.
+"""
+
+from repro.baselines.madlib import MadlibRunner
+from repro.baselines.pybase import PyBaseRunner
+
+__all__ = ["MadlibRunner", "PyBaseRunner"]

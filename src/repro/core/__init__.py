@@ -1,0 +1,22 @@
+"""DeepBase core: the declarative inspection engine.
+
+:func:`inspect` implements DNI-General (Definition 2): given models (or unit
+groups), a dataset, affinity measures and hypothesis functions, it returns a
+result frame with one affinity value per (model, score, hypothesis, unit)
+plus group-level rows.  :class:`InspectConfig` toggles each optimization of
+Section 5.2 -- model merging happens inside the measures, while streaming
+extraction, early stopping and hypothesis caching live in the pipeline.
+"""
+
+from repro.core.cache import HypothesisCache
+from repro.core.groups import UnitGroup, all_units_group, layer_groups
+from repro.core.inspect import InspectConfig, inspect
+
+__all__ = [
+    "HypothesisCache",
+    "InspectConfig",
+    "UnitGroup",
+    "all_units_group",
+    "inspect",
+    "layer_groups",
+]

@@ -1,0 +1,79 @@
+"""LRU cache for hypothesis behavior matrices (Section 5.1.2 / Figure 9).
+
+During model development the hypothesis library is fixed while models change,
+so hypothesis behaviors can be extracted once and reused across inspection
+runs.  Entries are keyed by (dataset content hash, hypothesis name) and
+filled at record granularity, so streaming runs that stopped early still
+contribute partial cache contents.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.hypotheses.base import HypothesisFunction
+
+
+class _Entry:
+    """Per-record behavior rows plus a fill mask."""
+
+    def __init__(self, n_records: int, n_symbols: int):
+        self.matrix = np.zeros((n_records, n_symbols))
+        self.filled = np.zeros(n_records, dtype=bool)
+
+    @property
+    def nbytes(self) -> int:
+        return self.matrix.nbytes + self.filled.nbytes
+
+
+class HypothesisCache:
+    """Byte-bounded LRU over (dataset, hypothesis) behavior matrices."""
+
+    def __init__(self, max_bytes: int = 512 * 1024 * 1024):
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _entry(self, dataset: Dataset, hyp_name: str) -> _Entry:
+        key = (dataset.cache_key(), hyp_name)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry(dataset.n_records, dataset.n_symbols)
+            self._entries[key] = entry
+            self._evict()
+        self._entries.move_to_end(key)
+        return entry
+
+    def _evict(self) -> None:
+        while (sum(e.nbytes for e in self._entries.values()) > self.max_bytes
+               and len(self._entries) > 1):
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
+                indices: np.ndarray) -> np.ndarray:
+        """Behavior rows for ``indices``, computing only the missing ones."""
+        indices = np.asarray(indices, dtype=int)
+        entry = self._entry(dataset, hypothesis.name)
+        missing = indices[~entry.filled[indices]]
+        self.hits += int(indices.shape[0] - missing.shape[0])
+        self.misses += int(missing.shape[0])
+        if missing.shape[0]:
+            entry.matrix[missing] = hypothesis.extract(dataset, missing)
+            entry.filled[missing] = True
+        return entry.matrix[indices]
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries),
+                "bytes": sum(e.nbytes for e in self._entries.values())}
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

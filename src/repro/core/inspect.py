@@ -1,0 +1,146 @@
+"""The public declarative API: ``deepbase.inspect(...)`` (Section 4.1).
+
+Example from the paper, adapted to this package::
+
+    from repro import inspect
+    from repro.measures import CorrelationScore, LogRegressionScore
+    from repro.hypotheses import grammar_hypotheses
+
+    scores = [CorrelationScore('pearson'),
+              LogRegressionScore(regul='L1', score='F1')]
+    hypotheses = grammar_hypotheses(grammar, queries, trees)
+    frame = inspect([model], dataset, scores, hypotheses)
+
+The returned :class:`repro.util.frame.Frame` has the paper's schema
+``(model_id, score_id, hyp_id, h_unit_id, val)`` plus ``group_id``, ``kind``
+(``unit`` or ``group`` affinity), ``n_rows_seen`` and ``converged``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.groups import UnitGroup, all_units_group
+from repro.core.pipeline import (GroupMeasureOutcome, InspectConfig,
+                                 run_inspection)
+from repro.data.datasets import Dataset
+from repro.extract.base import Extractor
+from repro.extract.rnn import RnnActivationExtractor
+from repro.hypotheses.base import HypothesisFunction
+from repro.measures.base import Measure
+from repro.util.frame import Frame
+
+#: sentinel unit id for group-level affinity rows
+GROUP_ROW = -1
+
+
+def inspect(models, dataset: Dataset, scores, hypotheses,
+            unit_groups: list[UnitGroup] | None = None,
+            extractor: Extractor | None = None,
+            config: InspectConfig | None = None,
+            as_frame: bool = True):
+    """Run Deep Neural Inspection (DNI-General, Definition 2).
+
+    Parameters
+    ----------
+    models:
+        One model or a list of models; ignored when ``unit_groups`` is given
+        explicitly (groups carry their models).
+    dataset:
+        The test set ``D`` to evaluate over.
+    scores:
+        One or a list of :class:`repro.measures.Measure`.
+    hypotheses:
+        One or a list of :class:`repro.hypotheses.HypothesisFunction`.
+    unit_groups:
+        Optional explicit unit groups; defaults to one all-units group per
+        model.
+    extractor:
+        Default unit-behavior extractor (groups may override); defaults to
+        :class:`RnnActivationExtractor`.
+    config:
+        Execution configuration (mode, early stopping, caching, block size).
+    as_frame:
+        When False, return the raw list of
+        :class:`GroupMeasureOutcome` instead of a result frame (cheaper for
+        large unit counts).
+    """
+    if isinstance(scores, Measure):
+        scores = [scores]
+    if isinstance(hypotheses, HypothesisFunction):
+        hypotheses = [hypotheses]
+    if unit_groups is None:
+        if models is None:
+            raise ValueError("provide models or explicit unit_groups")
+        if not isinstance(models, (list, tuple)):
+            models = [models]
+        default_ext = extractor or RnnActivationExtractor()
+        unit_groups = [all_units_group(m, default_ext) for m in models]
+    extractor = extractor or RnnActivationExtractor()
+    config = config or InspectConfig()
+
+    outcomes = run_inspection(unit_groups, dataset, list(scores),
+                              list(hypotheses), extractor, config)
+    if not as_frame:
+        return outcomes
+    return outcomes_to_frame(outcomes)
+
+
+def outcomes_to_frame(outcomes: list[GroupMeasureOutcome]) -> Frame:
+    """Flatten outcomes into the paper's result schema."""
+    model_ids: list[str] = []
+    group_ids: list[str] = []
+    score_ids: list[str] = []
+    hyp_ids: list[str] = []
+    unit_ids: list[int] = []
+    vals: list[float] = []
+    kinds: list[str] = []
+    rows_seen: list[int] = []
+    converged: list[bool] = []
+
+    for outcome in outcomes:
+        group = outcome.group
+        result = outcome.result
+        names = outcome.hypothesis_names
+        n_units, n_hyps = result.unit_scores.shape
+        unit_idx = group.unit_ids
+
+        def push(hyp: str, unit: int, val: float, kind: str) -> None:
+            model_ids.append(group.model_id)
+            group_ids.append(group.name)
+            score_ids.append(outcome.measure.score_id)
+            hyp_ids.append(hyp)
+            unit_ids.append(unit)
+            vals.append(float(val))
+            kinds.append(kind)
+            rows_seen.append(result.n_rows_seen)
+            converged.append(result.converged)
+
+        for j in range(n_hyps):
+            for i in range(n_units):
+                push(names[j], int(unit_idx[i]),
+                     result.unit_scores[i, j], "unit")
+            if result.group_scores is not None:
+                push(names[j], GROUP_ROW, result.group_scores[j], "group")
+
+    return Frame({
+        "model_id": model_ids,
+        "group_id": group_ids,
+        "score_id": score_ids,
+        "hyp_id": hyp_ids,
+        "h_unit_id": unit_ids,
+        "val": vals,
+        "kind": kinds,
+        "n_rows_seen": rows_seen,
+        "converged": converged,
+    })
+
+
+def top_units(frame: Frame, score_id: str, hyp_id: str,
+              k: int = 10, by_abs: bool = True) -> Frame:
+    """Post-processing helper: the k highest-affinity units for a hypothesis."""
+    sub = frame.where(score_id=score_id, hyp_id=hyp_id, kind="unit")
+    if by_abs:
+        sub = sub.with_column("abs_val", [abs(v) for v in sub["val"]])
+        return sub.sort("abs_val", reverse=True).head(k)
+    return sub.sort("val", reverse=True).head(k)

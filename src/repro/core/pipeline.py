@@ -1,0 +1,239 @@
+"""The inspection pipeline: extraction + measures, with all optimizations.
+
+Three execution modes mirror the designs of Section 5:
+
+* ``full``          -- materialize all behaviors, then run each measure's
+  exact full-data computation (the naive DeepBase design, Section 5.1.2;
+  also the quality-experiment path).
+* ``materialized``  -- materialize all behaviors, then feed them to the
+  incremental measure states block-by-block with optional early stopping
+  (the paper's ``+MM+ES`` configuration).
+* ``streaming``     -- extract unit and hypothesis behaviors lazily per
+  block and stop extracting the moment every score has converged
+  (full DeepBase, Section 5.2.3).
+
+Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
+``inspection`` buckets, reproducing Figure 8's runtime breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cache import HypothesisCache
+from repro.core.groups import UnitGroup
+from repro.data.datasets import Dataset
+from repro.extract.base import Extractor, HypothesisExtractor
+from repro.hypotheses.base import HypothesisFunction
+from repro.measures.base import Measure, MeasureResult
+from repro.util.blocks import iter_blocks
+from repro.util.rng import new_rng
+from repro.util.timing import Stopwatch
+
+MODES = ("streaming", "materialized", "full")
+
+#: default convergence thresholds (Section 6.2: e=0.025 for correlation,
+#: 0.01 for logistic regression; 0.01 elsewhere).
+DEFAULT_THRESHOLDS = {"corr": 0.025, "logreg": 0.01}
+FALLBACK_THRESHOLD = 0.01
+
+
+@dataclass
+class InspectConfig:
+    """Execution knobs for one inspection run."""
+
+    mode: str = "streaming"
+    early_stop: bool = True
+    block_size: int = 512                    # records per block (paper: 512)
+    error_threshold: float | dict | None = None
+    shuffle: bool = True
+    seed: int = 0
+    cache: HypothesisCache | None = None
+    stopwatch: Stopwatch | None = None
+    max_records: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.stopwatch is None:
+            self.stopwatch = Stopwatch()
+
+    def threshold_for(self, score_id: str) -> float:
+        if isinstance(self.error_threshold, (int, float)):
+            return float(self.error_threshold)
+        table = dict(DEFAULT_THRESHOLDS)
+        if isinstance(self.error_threshold, dict):
+            table.update(self.error_threshold)
+        prefix = score_id.split(":")[0]
+        return table.get(prefix, FALLBACK_THRESHOLD)
+
+
+@dataclass
+class GroupMeasureOutcome:
+    """Result of one (unit group, measure) pair over all hypotheses."""
+
+    group: UnitGroup
+    measure: Measure
+    result: MeasureResult
+    hypothesis_names: list[str]
+    records_processed: int = 0
+
+
+def _extract_units(group: UnitGroup, default_extractor: Extractor,
+                   records: np.ndarray) -> np.ndarray:
+    extractor = group.extractor or default_extractor
+    return extractor.extract(group.model, records, hid_units=group.unit_ids)
+
+
+def _extract_hypotheses(hypotheses: list[HypothesisFunction],
+                        dataset: Dataset, indices: np.ndarray,
+                        cache: HypothesisCache | None) -> np.ndarray:
+    if cache is not None:
+        columns = [cache.extract(h, dataset, indices).reshape(-1)
+                   for h in hypotheses]
+        return np.stack(columns, axis=1)
+    return HypothesisExtractor(hypotheses).extract(dataset, indices)
+
+
+def run_inspection(groups: list[UnitGroup], dataset: Dataset,
+                   measures: list[Measure],
+                   hypotheses: list[HypothesisFunction],
+                   extractor: Extractor,
+                   config: InspectConfig) -> list[GroupMeasureOutcome]:
+    """Execute DNI-General and return one outcome per (group, measure)."""
+    if not groups:
+        raise ValueError("need at least one unit group")
+    if not measures:
+        raise ValueError("need at least one measure")
+    if not hypotheses:
+        raise ValueError("need at least one hypothesis function")
+
+    rng = new_rng(config.seed)
+    n_records = dataset.n_records
+    if config.max_records is not None:
+        n_records = min(n_records, config.max_records)
+    order = np.arange(n_records)
+    if config.shuffle:
+        rng.shuffle(order)
+
+    if config.mode == "streaming":
+        return _run_streaming(groups, dataset, measures, hypotheses,
+                              extractor, config, order)
+    return _run_materialized(groups, dataset, measures, hypotheses,
+                             extractor, config, order)
+
+
+# ----------------------------------------------------------------------
+def _run_streaming(groups, dataset, measures, hypotheses, extractor,
+                   config, order) -> list[GroupMeasureOutcome]:
+    watch = config.stopwatch
+    names = [h.name for h in hypotheses]
+    n_hyps = len(hypotheses)
+    states = {(gi, mi): m.new_state(g.n_units, n_hyps)
+              for gi, g in enumerate(groups) for mi, m in enumerate(measures)}
+    active = set(states)
+    records_done = {key: 0 for key in states}
+    last: dict[tuple[int, int], MeasureResult] = {}
+
+    for block in iter_blocks(order.shape[0], config.block_size):
+        indices = order[block]
+        with watch.charge("hypothesis_extraction"):
+            h_block = _extract_hypotheses(hypotheses, dataset, indices,
+                                          config.cache)
+        # extract each distinct (model, extractor) pair once per block
+        unit_cache: dict[tuple[int, int], np.ndarray] = {}
+        for gi, group in enumerate(groups):
+            if not any((gi, mi) in active for mi in range(len(measures))):
+                continue
+            ext = group.extractor or extractor
+            key = (id(group.model), id(ext))
+            if key not in unit_cache:
+                with watch.charge("unit_extraction"):
+                    unit_cache[key] = ext.extract(
+                        group.model, dataset.symbols[indices], hid_units=None)
+            u_block = unit_cache[key][:, group.unit_ids]
+            for mi, measure in enumerate(measures):
+                skey = (gi, mi)
+                if skey not in active:
+                    continue
+                with watch.charge("inspection"):
+                    result, err = measure.process_block(
+                        states[skey], u_block, h_block)
+                last[skey] = result
+                records_done[skey] += indices.shape[0]
+                if (config.early_stop and measure.supports_early_stop
+                        and err <= config.threshold_for(measure.score_id)):
+                    result.converged = True
+                    active.discard(skey)
+        if not active:
+            break
+
+    return _collect(groups, measures, states, last, records_done, names)
+
+
+def _run_materialized(groups, dataset, measures, hypotheses, extractor,
+                      config, order) -> list[GroupMeasureOutcome]:
+    watch = config.stopwatch
+    names = [h.name for h in hypotheses]
+    n_hyps = len(hypotheses)
+
+    with watch.charge("hypothesis_extraction"):
+        h_all = _extract_hypotheses(hypotheses, dataset, order, config.cache)
+    unit_all: dict[tuple[int, int], np.ndarray] = {}
+    for group in groups:
+        ext = group.extractor or extractor
+        key = (id(group.model), id(ext))
+        if key not in unit_all:
+            with watch.charge("unit_extraction"):
+                unit_all[key] = ext.extract(
+                    group.model, dataset.symbols[order], hid_units=None)
+
+    outcomes: list[GroupMeasureOutcome] = []
+    ns = dataset.n_symbols
+    for gi, group in enumerate(groups):
+        ext = group.extractor or extractor
+        u_full = unit_all[(id(group.model), id(ext))][:, group.unit_ids]
+        for measure in measures:
+            if config.mode == "full":
+                with watch.charge("inspection"):
+                    result = measure.compute(u_full, h_all)
+                outcomes.append(GroupMeasureOutcome(
+                    group=group, measure=measure, result=result,
+                    hypothesis_names=names,
+                    records_processed=order.shape[0]))
+                continue
+            state = measure.new_state(group.n_units, n_hyps)
+            result = None
+            records = 0
+            rows_per_block = config.block_size * ns
+            for block in iter_blocks(u_full.shape[0], rows_per_block):
+                with watch.charge("inspection"):
+                    result, err = measure.process_block(
+                        state, u_full[block], h_all[block])
+                records += (block.stop - block.start) // ns
+                if (config.early_stop and measure.supports_early_stop
+                        and err <= config.threshold_for(measure.score_id)):
+                    result.converged = True
+                    break
+            assert result is not None
+            outcomes.append(GroupMeasureOutcome(
+                group=group, measure=measure, result=result,
+                hypothesis_names=names, records_processed=records))
+    return outcomes
+
+
+def _collect(groups, measures, states, last, records_done, names):
+    outcomes = []
+    for gi, group in enumerate(groups):
+        for mi, measure in enumerate(measures):
+            key = (gi, mi)
+            result = last.get(key)
+            if result is None:  # zero blocks processed (empty dataset guard)
+                result = states[key].result()
+            outcomes.append(GroupMeasureOutcome(
+                group=group, measure=measure, result=result,
+                hypothesis_names=names,
+                records_processed=records_done[key]))
+    return outcomes

@@ -1,0 +1,107 @@
+"""Progressive inspection (Section 5.2.3).
+
+Streaming execution means affinity scores can be computed and updated
+progressively, like online aggregation queries, so the user can stop
+DeepBase after any block.  :func:`inspect_progressive` exposes exactly that:
+a generator yielding a :class:`ProgressiveUpdate` after every processed
+block, carrying the current scores, error estimates and convergence state.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.groups import UnitGroup, all_units_group
+from repro.core.pipeline import InspectConfig, _extract_hypotheses
+from repro.data.datasets import Dataset
+from repro.extract.base import Extractor
+from repro.extract.rnn import RnnActivationExtractor
+from repro.measures.base import Measure, MeasureResult
+from repro.util.blocks import iter_blocks
+from repro.util.rng import new_rng
+
+
+@dataclass
+class ProgressiveUpdate:
+    """State of one (group, measure) pair after a processed block."""
+
+    group: UnitGroup
+    measure: Measure
+    result: MeasureResult
+    error: float
+    records_processed: int
+    converged: bool
+
+
+def inspect_progressive(models, dataset: Dataset, scores, hypotheses,
+                        unit_groups: list[UnitGroup] | None = None,
+                        extractor: Extractor | None = None,
+                        config: InspectConfig | None = None
+                        ) -> Iterator[list[ProgressiveUpdate]]:
+    """Yield per-block score updates; stops when all scores converge.
+
+    Consume lazily and ``break`` at any point to stop the analysis early --
+    no further extraction happens after the generator is abandoned.
+    """
+    if isinstance(scores, Measure):
+        scores = [scores]
+    if not isinstance(hypotheses, (list, tuple)):
+        hypotheses = [hypotheses]
+    extractor = extractor or RnnActivationExtractor()
+    if unit_groups is None:
+        if not isinstance(models, (list, tuple)):
+            models = [models]
+        unit_groups = [all_units_group(m, extractor) for m in models]
+    config = config or InspectConfig(mode="streaming")
+
+    rng = new_rng(config.seed)
+    n_records = dataset.n_records
+    if config.max_records is not None:
+        n_records = min(n_records, config.max_records)
+    order = np.arange(n_records)
+    if config.shuffle:
+        rng.shuffle(order)
+
+    n_hyps = len(hypotheses)
+    states = {(gi, mi): m.new_state(g.n_units, n_hyps)
+              for gi, g in enumerate(unit_groups)
+              for mi, m in enumerate(scores)}
+    done: set[tuple[int, int]] = set()
+    records_done = {key: 0 for key in states}
+
+    for block in iter_blocks(order.shape[0], config.block_size):
+        indices = order[block]
+        h_block = _extract_hypotheses(hypotheses, dataset, indices,
+                                      config.cache)
+        unit_cache: dict[tuple[int, int], np.ndarray] = {}
+        updates: list[ProgressiveUpdate] = []
+        for gi, group in enumerate(unit_groups):
+            ext = group.extractor or extractor
+            key = (id(group.model), id(ext))
+            if key not in unit_cache:
+                unit_cache[key] = ext.extract(
+                    group.model, dataset.symbols[indices], hid_units=None)
+            u_block = unit_cache[key][:, group.unit_ids]
+            for mi, measure in enumerate(scores):
+                skey = (gi, mi)
+                if skey in done:
+                    continue
+                result, err = measure.process_block(states[skey], u_block,
+                                                    h_block)
+                records_done[skey] += indices.shape[0]
+                converged = (measure.supports_early_stop
+                             and err <= config.threshold_for(
+                                 measure.score_id))
+                if converged and config.early_stop:
+                    result.converged = True
+                    done.add(skey)
+                updates.append(ProgressiveUpdate(
+                    group=group, measure=measure, result=result, error=err,
+                    records_processed=records_done[skey],
+                    converged=converged))
+        yield updates
+        if config.early_stop and len(done) == len(states):
+            return

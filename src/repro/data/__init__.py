@@ -1,0 +1,13 @@
+"""Dataset containers and workload generators."""
+
+from repro.data.datasets import Dataset, Vocab
+from repro.data.sql_gen import (SqlWorkload, generate_parens_workload,
+                                generate_sql_workload)
+
+__all__ = [
+    "Dataset",
+    "SqlWorkload",
+    "Vocab",
+    "generate_parens_workload",
+    "generate_sql_workload",
+]

@@ -1,0 +1,115 @@
+"""Workload generation for the scalability and accuracy benchmarks.
+
+Reproduces the paper's construction: sample strings from a PCFG, left-pad
+them with ``~``, and cut sliding windows of ``ns`` symbols with stride 5.
+Each window record's prediction target is the character that follows it
+(the auto-completion task of Section 2.1).  The default benchmark setting in
+the paper uses ns=30, stride=5 and 29,696 records; sizes here are explicit
+parameters so both scaled-down and paper-scale runs use the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import PAD_CHAR, Dataset, Vocab
+from repro.grammar.cfg import Grammar
+from repro.grammar.parens import parens_grammar
+from repro.grammar.sampling import GrammarSampler
+from repro.grammar.sql import sql_grammar
+from repro.grammar.tree import ParseNode
+
+
+@dataclass
+class SqlWorkload:
+    """Everything a benchmark needs: windows, targets and provenance."""
+
+    dataset: Dataset
+    targets: np.ndarray          # next-char id for every window record
+    queries: list[str]           # underlying source strings
+    trees: list[ParseNode]       # derivation trees (cached-parse mode)
+    grammar: Grammar
+
+    @property
+    def vocab(self) -> Vocab:
+        return self.dataset.vocab
+
+
+def _windows_from_strings(strings: list[str], trees: list[ParseNode],
+                          vocab: Vocab, window: int, stride: int,
+                          max_records: int | None) -> tuple[Dataset, np.ndarray]:
+    records: list[np.ndarray] = []
+    targets: list[int] = []
+    meta: list[dict] = []
+    for sid, text in enumerate(strings):
+        padded = PAD_CHAR * window + text
+        ids = vocab.encode(padded)
+        # window [start, start+window) predicts padded[start+window]
+        for start in range(0, len(text), stride):
+            target_pos = start + window
+            if target_pos >= len(padded):
+                break
+            records.append(ids[start:target_pos])
+            targets.append(int(ids[target_pos]))
+            meta.append({
+                "source_id": sid,
+                "offset": start - window,  # offset of window[0] in raw text
+                "text": padded[start:target_pos],
+            })
+            if max_records is not None and len(records) >= max_records:
+                symbols = np.stack(records)
+                return (Dataset(symbols, vocab, meta),
+                        np.asarray(targets, dtype=np.int64))
+    if not records:
+        raise ValueError("no windows produced; strings too short?")
+    symbols = np.stack(records)
+    return Dataset(symbols, vocab, meta), np.asarray(targets, dtype=np.int64)
+
+
+def generate_sql_workload(grammar: Grammar | str = "default",
+                          n_queries: int = 100,
+                          window: int = 30, stride: int = 5,
+                          max_records: int | None = None,
+                          rng: np.random.Generator | None = None,
+                          seed: int = 0) -> SqlWorkload:
+    """Sample SQL queries and window them into an inspection dataset."""
+    if isinstance(grammar, str):
+        grammar = sql_grammar(grammar)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    sampler = GrammarSampler(grammar, rng)
+    pairs = sampler.sample_corpus(n_queries)
+    strings = [text for text, _ in pairs]
+    trees = [tree for _, tree in pairs]
+    vocab = Vocab(grammar.alphabet())
+    dataset, targets = _windows_from_strings(
+        strings, trees, vocab, window, stride, max_records)
+    return SqlWorkload(dataset=dataset, targets=targets, queries=strings,
+                       trees=trees, grammar=grammar)
+
+
+def generate_parens_workload(n_strings: int = 200,
+                             window: int = 20, stride: int = 2,
+                             max_records: int | None = None,
+                             min_length: int = 6,
+                             rng: np.random.Generator | None = None,
+                             seed: int = 0) -> SqlWorkload:
+    """Appendix C workload: windows over nested-parentheses strings."""
+    grammar = parens_grammar()
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    sampler = GrammarSampler(grammar, rng)
+    strings: list[str] = []
+    trees: list[ParseNode] = []
+    while len(strings) < n_strings:
+        text, tree = sampler.sample()
+        if len(text) >= min_length:
+            strings.append(text)
+            trees.append(tree)
+    vocab = Vocab(grammar.alphabet())
+    dataset, targets = _windows_from_strings(
+        strings, trees, vocab, window, stride, max_records)
+    return SqlWorkload(dataset=dataset, targets=targets, queries=strings,
+                       trees=trees, grammar=grammar)

@@ -1,0 +1,30 @@
+"""A miniature relational engine (PostgreSQL/MADLib substitute).
+
+Implements just enough of an RDBMS to host the paper's DB-oriented DNI
+baseline (Section 5.1.1) and the ``INSPECT`` SQL extension (Appendix B):
+tables, row-at-a-time expression evaluation, filters, hash joins, hash
+group-by with aggregates (including ``corr``), an expression-count limit per
+SELECT clause (PostgreSQL's 1,600 default, which forces the baseline to
+batch), and MADLib-style training UDAs that perform one full table scan per
+optimization pass.
+"""
+
+from repro.db.aggregates import AGGREGATES
+from repro.db.engine import Database, Table
+from repro.db.executor import SelectQuery, execute_select
+from repro.db.inspect_clause import InspectQuery, run_inspect_sql
+from repro.db.madlib import logregr_predict, logregr_train
+from repro.db.sqlparser import parse_sql
+
+__all__ = [
+    "AGGREGATES",
+    "Database",
+    "InspectQuery",
+    "SelectQuery",
+    "Table",
+    "execute_select",
+    "logregr_predict",
+    "logregr_train",
+    "parse_sql",
+    "run_inspect_sql",
+]

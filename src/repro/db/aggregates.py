@@ -1,0 +1,97 @@
+"""User-defined aggregates, including the ``corr`` UDA the baseline uses.
+
+Aggregates follow the PostgreSQL state-machine contract: ``init`` produces a
+state, ``step(state, *values)`` folds one row, ``final(state)`` emits the
+result.  Row-at-a-time stepping is the point -- it models the execution cost
+the paper measures for the in-RDBMS design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class Aggregate:
+    name: str
+    init: Callable[[], Any]
+    step: Callable[..., Any]
+    final: Callable[[Any], Any]
+    n_args: int = 1
+
+
+# ---- count / sum / avg / min / max -----------------------------------
+def _make_simple() -> dict[str, Aggregate]:
+    aggs: dict[str, Aggregate] = {}
+    aggs["count"] = Aggregate(
+        "count", lambda: 0, lambda s, v=None: s + 1, lambda s: s, n_args=0)
+    aggs["sum"] = Aggregate(
+        "sum", lambda: 0.0, lambda s, v: s + v, lambda s: s)
+    aggs["avg"] = Aggregate(
+        "avg", lambda: [0.0, 0],
+        lambda s, v: [s[0] + v, s[1] + 1],
+        lambda s: s[0] / s[1] if s[1] else None)
+    aggs["min"] = Aggregate(
+        "min", lambda: None,
+        lambda s, v: v if s is None or v < s else s, lambda s: s)
+    aggs["max"] = Aggregate(
+        "max", lambda: None,
+        lambda s, v: v if s is None or v > s else s, lambda s: s)
+    return aggs
+
+
+# ---- corr: PostgreSQL's two-argument correlation aggregate ------------
+def _corr_init() -> list[float]:
+    # n, sum_x, sum_y, sum_xx, sum_yy, sum_xy
+    return [0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+
+
+def _corr_step(state: list[float], x: float, y: float) -> list[float]:
+    state[0] += 1.0
+    state[1] += x
+    state[2] += y
+    state[3] += x * x
+    state[4] += y * y
+    state[5] += x * y
+    return state
+
+
+def _corr_final(state: list[float]) -> float | None:
+    n, sx, sy, sxx, syy, sxy = state
+    if n < 2:
+        return None
+    cov = sxy / n - (sx / n) * (sy / n)
+    vx = sxx / n - (sx / n) ** 2
+    vy = syy / n - (sy / n) ** 2
+    if vx <= 1e-12 or vy <= 1e-12:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def _make_stats() -> dict[str, Aggregate]:
+    aggs: dict[str, Aggregate] = {}
+    aggs["corr"] = Aggregate("corr", _corr_init, _corr_step, _corr_final,
+                             n_args=2)
+    aggs["var_pop"] = Aggregate(
+        "var_pop", lambda: [0.0, 0.0, 0.0],
+        lambda s, v: [s[0] + 1, s[1] + v, s[2] + v * v],
+        lambda s: (s[2] / s[0] - (s[1] / s[0])**2) if s[0] else None)
+    aggs["stddev_pop"] = Aggregate(
+        "stddev_pop", lambda: [0.0, 0.0, 0.0],
+        lambda s, v: [s[0] + 1, s[1] + v, s[2] + v * v],
+        lambda s: math.sqrt(max(s[2] / s[0] - (s[1] / s[0])**2, 0.0))
+        if s[0] else None)
+    return aggs
+
+
+AGGREGATES: dict[str, Aggregate] = {**_make_simple(), **_make_stats()}
+
+
+def get_aggregate(name: str) -> Aggregate:
+    try:
+        return AGGREGATES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown aggregate {name!r}; "
+                       f"available: {sorted(AGGREGATES)}") from None

@@ -1,0 +1,94 @@
+"""Tables and catalog for the mini relational engine.
+
+Rows are stored as Python tuples and scanned one at a time -- deliberately:
+the DB baseline's cost profile (Section 5.1.1) comes from row-at-a-time
+aggregation over large behavior relations, and this engine reproduces it.
+
+PostgreSQL limits the number of columns/expressions per relation and target
+list (1,600 by default); :data:`MAX_EXPRESSIONS` enforces the same limit so
+the MADLib baseline must batch its correlation queries exactly as the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+#: PostgreSQL's default limit on columns / target-list entries.
+MAX_EXPRESSIONS = 1600
+
+
+class Table:
+    """A named relation: column names + list of row tuples."""
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence[Any]] | None = None):
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {name!r}")
+        if len(columns) > MAX_EXPRESSIONS:
+            raise ValueError(
+                f"table {name!r} exceeds the {MAX_EXPRESSIONS}-column limit")
+        self.name = name
+        self.columns = list(columns)
+        self._index = {c: i for i, c in enumerate(self.columns)}
+        self.rows: list[tuple] = [tuple(r) for r in rows] if rows else []
+
+    # ------------------------------------------------------------------
+    def col_index(self, column: str) -> int:
+        try:
+            return self._index[column]
+        except KeyError:
+            raise KeyError(
+                f"no column {column!r} in table {self.name!r} "
+                f"(has {self.columns})") from None
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row arity {len(row)} != table arity {len(self.columns)}")
+        self.rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def scan(self) -> Iterable[tuple]:
+        """Full sequential scan (the only access path -- no indexes)."""
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, {len(self.columns)} cols, {len(self)} rows)"
+
+
+class Database:
+    """A catalog of tables plus simple scan statistics."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.full_scans = 0  # instrumentation for the benchmarks
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     rows: Iterable[Sequence[Any]] | None = None,
+                     replace: bool = False) -> Table:
+        if name in self.tables and not replace:
+            raise ValueError(f"table {name!r} already exists")
+        table = Table(name, columns, rows)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no table named {name!r}") from None
+
+    def scan(self, name: str) -> Iterable[tuple]:
+        self.full_scans += 1
+        return self.table(name).scan()

@@ -1,0 +1,144 @@
+"""SELECT execution: scan -> join -> filter -> group/aggregate -> project.
+
+A deliberately classical Volcano-style pipeline over row tuples.  The target
+list is limited to :data:`repro.db.engine.MAX_EXPRESSIONS` entries, matching
+PostgreSQL -- the constraint that forces the MADLib baseline to batch its
+hundreds of thousands of ``corr`` expressions into many full scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.aggregates import get_aggregate
+from repro.db.engine import MAX_EXPRESSIONS, Database
+from repro.db.expr import AggregateRef, Expr
+
+Row = dict[str, Any]
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: str
+
+
+@dataclass
+class JoinSpec:
+    table: str
+    alias: str
+    left_col: str    # qualified column from tables already in scope
+    right_col: str   # qualified column of the joined table
+
+
+@dataclass
+class SelectQuery:
+    """A logical SELECT over the mini engine."""
+
+    items: list[SelectItem]
+    table: str
+    alias: str | None = None
+    joins: list[JoinSpec] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+
+def _env_from_row(alias: str, columns: list[str], row: tuple) -> Row:
+    env: Row = {}
+    for col, val in zip(columns, row):
+        env[f"{alias}.{col}"] = val
+        env.setdefault(col, val)
+    return env
+
+
+def _merge_env(base: Row, extra: Row) -> Row:
+    merged = dict(base)
+    for key, val in extra.items():
+        if "." in key or key not in merged:
+            merged[key] = val
+    return merged
+
+
+def execute_select(db: Database, query: SelectQuery) -> list[Row]:
+    """Run a SELECT and return projected rows as dicts."""
+    if len(query.items) > MAX_EXPRESSIONS:
+        raise ValueError(
+            f"target list has {len(query.items)} expressions; the engine "
+            f"limit is {MAX_EXPRESSIONS} (batch your query)")
+
+    # 1. scan + joins (hash join on single-column equality)
+    base = db.table(query.table)
+    alias = query.alias or query.table
+    envs = [_env_from_row(alias, base.columns, row) for row in db.scan(query.table)]
+    for join in query.joins:
+        right = db.table(join.table)
+        index: dict[Any, list[Row]] = {}
+        right_key = join.right_col.split(".")[-1]
+        for row in db.scan(join.table):
+            env = _env_from_row(join.alias, right.columns, row)
+            index.setdefault(env[f"{join.alias}.{right_key}"], []).append(env)
+        joined: list[Row] = []
+        for env in envs:
+            key = env.get(join.left_col, env.get(join.left_col.split(".")[-1]))
+            for match in index.get(key, []):
+                joined.append(_merge_env(env, match))
+        envs = joined
+
+    # 2. filter
+    if query.where is not None:
+        envs = [env for env in envs if query.where.eval(env)]
+
+    has_aggs = any(isinstance(it.expr, AggregateRef) for it in query.items)
+    if query.group_by or has_aggs:
+        rows = _group_and_aggregate(envs, query)
+    else:
+        rows = [{it.alias: it.expr.eval(env) for it in query.items}
+                for env in envs]
+
+    if query.having is not None:
+        rows = [r for r in rows if query.having.eval(r)]
+    if query.order_by is not None:
+        rows.sort(key=lambda r: r[query.order_by], reverse=query.descending)
+    if query.limit is not None:
+        rows = rows[:query.limit]
+    return rows
+
+
+def _group_and_aggregate(envs: list[Row], query: SelectQuery) -> list[Row]:
+    """Hash group-by with row-at-a-time aggregate stepping."""
+    agg_items = [(i, it) for i, it in enumerate(query.items)
+                 if isinstance(it.expr, AggregateRef)]
+    plain_items = [(i, it) for i, it in enumerate(query.items)
+                   if not isinstance(it.expr, AggregateRef)]
+
+    groups: dict[tuple, dict] = {}
+    for env in envs:
+        key = tuple(expr.eval(env) for expr in query.group_by)
+        slot = groups.get(key)
+        if slot is None:
+            slot = {
+                "env": env,
+                "states": [get_aggregate(it.expr.func).init()
+                           for _, it in agg_items],
+            }
+            groups[key] = slot
+        for pos, (_, item) in enumerate(agg_items):
+            agg = get_aggregate(item.expr.func)
+            args = [a.eval(env) for a in item.expr.args]
+            slot["states"][pos] = agg.step(slot["states"][pos], *args)
+
+    rows: list[Row] = []
+    for slot in groups.values():
+        out: Row = {}
+        for _, item in plain_items:
+            out[item.alias] = item.expr.eval(slot["env"])
+        for pos, (_, item) in enumerate(agg_items):
+            agg = get_aggregate(item.expr.func)
+            out[item.alias] = agg.final(slot["states"][pos])
+        rows.append(out)
+    return rows

@@ -1,0 +1,149 @@
+"""Row expressions for the mini engine.
+
+Expressions evaluate against an environment mapping qualified and unqualified
+column names to values.  The node set covers what the DNI baseline and the
+INSPECT integration need: column refs, literals, comparison/boolean/arithmetic
+operators and function-style aggregate references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+_COMPARATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class Expr:
+    """Base expression node."""
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Referenced column names (for projection pruning / validation)."""
+        return set()
+
+
+@dataclass
+class Column(Expr):
+    name: str
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        if self.name in env:
+            return env[self.name]
+        raise KeyError(f"unbound column {self.name!r}")
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass
+class Compare(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {self.op!r}")
+
+    def eval(self, env: dict[str, Any]) -> bool:
+        return _COMPARATORS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass
+class Arith(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        return _ARITHMETIC[self.op](self.left.eval(env), self.right.eval(env))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass
+class BoolOp(Expr):
+    op: str  # "and" | "or" | "not"
+    operands: list[Expr]
+
+    def eval(self, env: dict[str, Any]) -> bool:
+        if self.op == "and":
+            return all(o.eval(env) for o in self.operands)
+        if self.op == "or":
+            return any(o.eval(env) for o in self.operands)
+        if self.op == "not":
+            return not self.operands[0].eval(env)
+        raise ValueError(f"unknown boolean op {self.op!r}")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for operand in self.operands:
+            out |= operand.columns()
+        return out
+
+
+@dataclass
+class AggregateRef(Expr):
+    """A call like ``corr(U.val, H.val)`` in a target list.
+
+    Evaluated by the group-by executor, not row-wise; ``eval`` raises to
+    catch misuse.
+    """
+
+    func: str
+    args: list[Expr]
+
+    def eval(self, env: dict[str, Any]) -> Any:
+        raise RuntimeError("aggregates are evaluated by the group-by executor")
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for arg in self.args:
+            out |= arg.columns()
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"

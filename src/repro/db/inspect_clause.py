@@ -1,0 +1,184 @@
+"""Execution of the INSPECT SQL extension (Appendix B).
+
+Models, hidden units and hypotheses are modeled as catalog relations::
+
+    models(mid, epoch, ...)          -- one row per trained model snapshot
+    units(mid, uid, layer, ...)      -- one row per hidden unit
+    hypotheses(h, name, ...)         -- one row per hypothesis function
+    inputs(did, seq)                 -- one row per dataset
+
+A query like the paper's::
+
+    SELECT M.epoch, S.uid
+    INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+    FROM models M, units U, hypotheses H, inputs D
+    WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
+    GROUP BY M.epoch
+    HAVING S.unit_score > 0.8
+
+is evaluated by (1) joining/filtering the catalog, (2) grouping the surviving
+(model, unit) rows per GROUP BY key, (3) running one DNI inspection per
+group, and (4) flattening the temporary relation
+``S(uid, hid, mid, group_score, unit_score)`` through HAVING and the SELECT
+projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any
+
+import numpy as np
+
+from repro.core.groups import UnitGroup
+from repro.core.pipeline import InspectConfig, run_inspection
+from repro.data.datasets import Dataset
+from repro.db.engine import Database
+from repro.db.sqlparser import InspectSpec, parse_sql
+from repro.extract.base import Extractor
+from repro.hypotheses.base import HypothesisFunction
+from repro.measures.registry import get_measure
+from repro.util.frame import Frame
+
+
+@dataclass
+class InspectQuery:
+    """Binding context: catalog database + live Python objects."""
+
+    db: Database
+    models: dict[str, Any]                       # mid -> model object
+    hypotheses: dict[str, HypothesisFunction]    # h -> hypothesis object
+    datasets: dict[str, Dataset]                 # did -> dataset object
+    extractor: Extractor
+    config: InspectConfig = field(default_factory=InspectConfig)
+
+    # ------------------------------------------------------------------
+    def register_model(self, mid: str, model, **attrs) -> None:
+        self.models[mid] = model
+        table = self.db.tables.get("models")
+        if table is None:
+            table = self.db.create_table(
+                "models", ["mid"] + sorted(attrs))
+        table.insert([mid] + [attrs[c] for c in table.columns[1:]])
+
+
+def _catalog_rows(db: Database, tables: list[tuple[str, str]],
+                  where) -> list[dict[str, Any]]:
+    """Filtered cross product of the catalog relations (they are small)."""
+    per_table: list[list[dict[str, Any]]] = []
+    for name, alias in tables:
+        table = db.table(name)
+        rows = []
+        for row in db.scan(name):
+            env: dict[str, Any] = {}
+            for col, val in zip(table.columns, row):
+                env[f"{alias}.{col}"] = val
+                env.setdefault(col, val)
+            rows.append(env)
+        per_table.append(rows)
+    out: list[dict[str, Any]] = []
+    for combo in product(*per_table):
+        env: dict[str, Any] = {}
+        for piece in combo:
+            env.update(piece)
+        if where is None or where.eval(env):
+            out.append(env)
+    return out
+
+
+def run_inspect_sql(context: InspectQuery, sql: str) -> Frame:
+    """Parse and execute a SQL statement with an INSPECT clause."""
+    spec = parse_sql(sql)
+    if not isinstance(spec, InspectSpec):
+        raise ValueError("query has no INSPECT clause; use execute_select")
+    return run_inspect_spec(context, spec)
+
+
+def run_inspect_spec(context: InspectQuery, spec: InspectSpec) -> Frame:
+    envs = _catalog_rows(context.db, spec.tables, spec.where)
+    if not envs:
+        return Frame.from_records([], columns=[i.alias
+                                               for i in spec.select_items])
+
+    measures = [get_measure(name) for name in spec.measures]
+    alias = spec.inspect_alias
+
+    # group catalog rows by the GROUP BY key
+    grouped: dict[tuple, list[dict[str, Any]]] = {}
+    for env in envs:
+        key = tuple(expr.eval(env) for expr in spec.group_by)
+        grouped.setdefault(key, []).append(env)
+
+    out_rows: list[dict[str, Any]] = []
+    for key, group_envs in grouped.items():
+        frame_rows = _inspect_one_group(context, spec, measures, group_envs)
+        for row in frame_rows:
+            env = dict(row.pop("_env"))
+            env.update({f"{alias}.{k}": v for k, v in row.items()})
+            env.update(row)
+            if spec.having is not None and not spec.having.eval(env):
+                continue
+            projected = {item.alias: item.expr.eval(env)
+                         for item in spec.select_items}
+            out_rows.append(projected)
+
+    return Frame.from_records(
+        out_rows, columns=[i.alias for i in spec.select_items])
+
+
+def _inspect_one_group(context: InspectQuery, spec: InspectSpec, measures,
+                       group_envs) -> list[dict[str, Any]]:
+    unit_col = spec.unit_ref.split(".")[-1]
+    hyp_col = spec.hyp_ref.split(".")[-1]
+
+    # distinct unit rows per model, distinct hypotheses, one dataset
+    units_by_model: dict[str, list[int]] = {}
+    env_by_unit: dict[tuple[str, int], dict] = {}
+    hyp_names: list[str] = []
+    dataset_ids: set[str] = set()
+    for env in group_envs:
+        mid = env["mid"]
+        uid = env[unit_col] if unit_col in env else env[spec.unit_ref]
+        hname = env[hyp_col] if hyp_col in env else env[spec.hyp_ref]
+        if uid not in units_by_model.setdefault(mid, []):
+            units_by_model[mid].append(uid)
+        if hname not in hyp_names:
+            hyp_names.append(hname)
+        env_by_unit.setdefault((mid, uid), env)
+        dataset_ids.add(env.get("did", next(iter(context.datasets))))
+    if len(dataset_ids) != 1:
+        raise ValueError(f"INSPECT must target one dataset, got {dataset_ids}")
+    dataset = context.datasets[dataset_ids.pop()]
+    hyp_objs = [context.hypotheses[h] for h in hyp_names]
+
+    groups = [UnitGroup(model=context.models[mid],
+                        unit_ids=np.asarray(sorted(uids), dtype=int),
+                        name=f"mid={mid}")
+              for mid, uids in units_by_model.items()]
+
+    outcomes = run_inspection(groups, dataset, measures, hyp_objs,
+                              context.extractor, context.config)
+
+    rows: list[dict[str, Any]] = []
+    for outcome in outcomes:
+        mid = next(m for m, g in zip(units_by_model, groups)
+                   if g is outcome.group)
+        sorted_units = sorted(units_by_model[mid])
+        for j, hname in enumerate(outcome.hypothesis_names):
+            group_score = (float(outcome.result.group_scores[j])
+                           if outcome.result.group_scores is not None
+                           else None)
+            for i, uid in enumerate(sorted_units):
+                unit_score = float(outcome.result.unit_scores[i, j])
+                if group_score is None:
+                    group_score_val = unit_score  # independent measures
+                else:
+                    group_score_val = group_score
+                rows.append({
+                    "uid": uid, "hid": hname, "mid": mid,
+                    "group_score": group_score_val,
+                    "unit_score": unit_score,
+                    "_env": env_by_unit[(mid, uid)],
+                })
+    return rows

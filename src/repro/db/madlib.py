@@ -1,0 +1,95 @@
+"""MADLib-style training UDAs: logistic regression inside the database.
+
+``logregr_train`` mimics MADLib's iterated gradient-descent UDA: every
+optimization pass is a full scan of the source relation with per-row state
+stepping, and the fitted coefficients land in an output table.  This is the
+cost profile Section 5.1.1 measures ("a full scan of the behavior tables and
+a full execution of the UDF for every hypothesis").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.db.engine import Database
+
+
+def _sigmoid(z: float) -> float:
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    e = math.exp(z)
+    return e / (1.0 + e)
+
+
+def logregr_train(db: Database, source_table: str, out_table: str,
+                  dep_col: str, indep_cols: list[str],
+                  max_iter: int = 8, lr: float = 0.1,
+                  l2: float = 1e-3) -> list[float]:
+    """Train binary logistic regression with full-scan gradient passes.
+
+    Returns the coefficient vector (bias last) and materializes it into
+    ``out_table`` with schema (coef_name, value).
+    """
+    table = db.table(source_table)
+    dep_idx = table.col_index(dep_col)
+    indep_idx = [table.col_index(c) for c in indep_cols]
+    d = len(indep_cols)
+    weights = [0.0] * (d + 1)  # bias last
+
+    n_rows = len(table)
+    if n_rows == 0:
+        raise ValueError(f"{source_table} is empty")
+
+    for _ in range(max_iter):
+        grad = [0.0] * (d + 1)
+        for row in db.scan(source_table):  # one full scan per pass
+            z = weights[d]
+            for k, idx in enumerate(indep_idx):
+                z += weights[k] * row[idx]
+            err = _sigmoid(z) - (1.0 if row[dep_idx] > 0 else 0.0)
+            for k, idx in enumerate(indep_idx):
+                grad[k] += err * row[idx]
+            grad[d] += err
+        for k in range(d):
+            weights[k] -= lr * (grad[k] / n_rows + l2 * weights[k])
+        weights[d] -= lr * grad[d] / n_rows
+
+    rows = [(name, w) for name, w in zip(indep_cols + ["__bias__"], weights)]
+    db.create_table(out_table, ["coef_name", "value"], rows, replace=True)
+    return weights
+
+
+def logregr_predict(db: Database, source_table: str, coef_table: str,
+                    indep_cols: list[str]) -> list[float]:
+    """Predicted probabilities, one full scan."""
+    coefs = {name: val for name, val in db.table(coef_table).rows}
+    table = db.table(source_table)
+    indep_idx = [table.col_index(c) for c in indep_cols]
+    bias = coefs["__bias__"]
+    out = []
+    for row in db.scan(source_table):
+        z = bias
+        for col, idx in zip(indep_cols, indep_idx):
+            z += coefs[col] * row[idx]
+        out.append(_sigmoid(z))
+    return out
+
+
+def logregr_f1(db: Database, source_table: str, coef_table: str,
+               dep_col: str, indep_cols: list[str]) -> float:
+    """F1 of the trained model over the source relation (one more scan)."""
+    probs = logregr_predict(db, source_table, coef_table, indep_cols)
+    table = db.table(source_table)
+    dep_idx = table.col_index(dep_col)
+    tp = fp = fn = 0
+    for prob, row in zip(probs, table.rows):
+        pred = prob > 0.5
+        truth = row[dep_idx] > 0
+        if pred and truth:
+            tp += 1
+        elif pred:
+            fp += 1
+        elif truth:
+            fn += 1
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom else 0.0

@@ -1,0 +1,22 @@
+"""Behavior extractors: turn models + records into behavior matrices.
+
+The minimal extractor API from Section 5.1.2::
+
+    extract(model, records, hid_units) -> behaviors
+
+where ``behaviors`` is a numpy array with one row per symbol and one column
+per hidden unit.  Extractors batch model evaluation (the paper's Keras batch
+size) and support behavior transforms (activation magnitude vs. temporal
+gradient), plus the block-streaming interface the online pipeline drives.
+"""
+
+from repro.extract.base import Extractor, HypothesisExtractor
+from repro.extract.rnn import RnnActivationExtractor
+from repro.extract.seq2seq import EncoderActivationExtractor
+
+__all__ = [
+    "EncoderActivationExtractor",
+    "Extractor",
+    "HypothesisExtractor",
+    "RnnActivationExtractor",
+]

@@ -1,0 +1,67 @@
+"""Extractor protocol and the hypothesis-side extractor.
+
+Unit extractors run the model; the hypothesis extractor runs hypothesis
+functions.  Both emit "skinny and tall" matrices with ``n_records * ns``
+rows, aligned row-for-row so measures can consume them directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.hypotheses.base import HypothesisFunction
+
+#: behavior transforms (Section 3: DeepBase is agnostic to the behavior
+#: definition -- magnitude or temporal gradient of the activation).
+_TRANSFORMS = ("activation", "gradient", "abs")
+
+
+def apply_transform(states: np.ndarray, transform: str) -> np.ndarray:
+    """Apply a behavior transform to (batch, time, units) activations."""
+    if transform == "activation":
+        return states
+    if transform == "abs":
+        return np.abs(states)
+    if transform == "gradient":
+        grad = np.diff(states, axis=1, prepend=states[:, :1])
+        return grad
+    raise ValueError(
+        f"unknown behavior transform {transform!r}; expected {_TRANSFORMS}")
+
+
+class Extractor:
+    """Base class for unit-behavior extractors."""
+
+    def extract(self, model, records: np.ndarray,
+                hid_units: np.ndarray | list[int] | None = None) -> np.ndarray:
+        """Behaviors for ``records``: (n_records * ns, n_selected_units)."""
+        raise NotImplementedError
+
+    def n_units(self, model) -> int:
+        """Total number of inspectable units in the model."""
+        raise NotImplementedError
+
+
+class HypothesisExtractor:
+    """Evaluates hypothesis functions over dataset records.
+
+    Output rows are symbol-major and aligned with unit extractors:
+    row ``r * ns + t`` is record ``r``, symbol ``t``.
+    """
+
+    def __init__(self, hypotheses: list[HypothesisFunction]):
+        self.hypotheses = hypotheses
+
+    def extract(self, dataset: Dataset,
+                indices: np.ndarray | list[int] | None = None) -> np.ndarray:
+        if indices is None:
+            indices = np.arange(dataset.n_records)
+        columns = [h.extract(dataset, indices).reshape(-1)
+                   for h in self.hypotheses]
+        return np.stack(columns, axis=1) if columns else np.empty(
+            (len(indices) * dataset.n_symbols, 0))
+
+    @property
+    def names(self) -> list[str]:
+        return [h.name for h in self.hypotheses]

@@ -1,0 +1,53 @@
+"""Encoder activation extraction for seq2seq models (PyTorch-extractor
+analogue of Section 6.3: a custom extractor for the OpenNMT model).
+
+``layer`` selects which encoder LSTM layer to read (the paper inspects
+layer 0 and layer 1 separately, and both concatenated for the
+"all 1000 units" analysis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extract.base import Extractor, apply_transform
+
+
+class EncoderActivationExtractor(Extractor):
+    """Reads hidden states from a :class:`repro.nn.seq2seq.Seq2SeqModel`.
+
+    ``layer=None`` concatenates every encoder layer's units (layer-major
+    column order); an integer selects a single layer.
+    """
+
+    def __init__(self, layer: int | None = None, batch_size: int = 256,
+                 transform: str = "activation"):
+        self.layer = layer
+        self.batch_size = batch_size
+        self.transform = transform
+
+    def n_units(self, model) -> int:
+        if self.layer is None:
+            return model.n_units * model.n_layers
+        return model.n_units
+
+    def extract(self, model, records: np.ndarray,
+                hid_units: np.ndarray | list[int] | None = None) -> np.ndarray:
+        if hid_units is not None:
+            hid_units = np.asarray(hid_units, dtype=int)
+        chunks: list[np.ndarray] = []
+        for start in range(0, records.shape[0], self.batch_size):
+            batch = records[start:start + self.batch_size]
+            layer_states = model.encoder_states(batch)   # list of (b, t, u)
+            if self.layer is None:
+                states = np.concatenate(layer_states, axis=2)
+            else:
+                states = layer_states[self.layer]
+            states = apply_transform(states, self.transform)
+            if hid_units is not None:
+                states = states[:, :, hid_units]
+            chunks.append(states.reshape(-1, states.shape[-1]))
+        if not chunks:
+            width = self.n_units(model) if hid_units is None else len(hid_units)
+            return np.empty((0, width))
+        return np.concatenate(chunks, axis=0)

@@ -1,0 +1,25 @@
+"""Context-free grammar toolkit (NLTK substitute).
+
+Provides PCFG representation, weighted sampling that records derivation
+trees, an Earley chart parser, and the two grammars used in the paper's
+evaluation: a parameterized SQL subset (95-171 production rules) and the
+nested-parentheses grammar of Appendix C.
+"""
+
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.earley import EarleyParser, ParseError
+from repro.grammar.parens import parens_grammar
+from repro.grammar.sampling import GrammarSampler
+from repro.grammar.sql import sql_grammar
+from repro.grammar.tree import ParseNode
+
+__all__ = [
+    "EarleyParser",
+    "Grammar",
+    "GrammarSampler",
+    "ParseError",
+    "ParseNode",
+    "Production",
+    "parens_grammar",
+    "sql_grammar",
+]

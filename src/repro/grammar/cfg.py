@@ -1,0 +1,136 @@
+"""Probabilistic context-free grammars.
+
+A :class:`Production` rewrites a nonterminal into a sequence of symbols.
+Symbols are plain strings; a symbol is a *nonterminal* iff it appears on the
+left-hand side of some production, otherwise it is a *terminal* whose surface
+form is the symbol string itself (terminals may span several characters, e.g.
+``"SELECT "``).  An empty right-hand side denotes epsilon.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Production:
+    """One rewrite rule ``lhs -> rhs`` with a sampling weight."""
+
+    lhs: str
+    rhs: tuple[str, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.lhs:
+            raise ValueError("production lhs must be a non-empty symbol")
+        if self.weight <= 0:
+            raise ValueError("production weight must be positive")
+
+    def __str__(self) -> str:
+        rhs = " ".join(repr(s) for s in self.rhs) if self.rhs else "ε"
+        return f"{self.lhs} -> {rhs}"
+
+
+@dataclass
+class Grammar:
+    """A PCFG: a start symbol plus weighted productions."""
+
+    start: str
+    productions: list[Production] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_lhs: dict[str, list[Production]] = {}
+        for prod in self.productions:
+            self._by_lhs.setdefault(prod.lhs, []).append(prod)
+        if self.start not in self._by_lhs:
+            raise ValueError(f"start symbol {self.start!r} has no productions")
+
+    # ------------------------------------------------------------------
+    @property
+    def nonterminals(self) -> set[str]:
+        return set(self._by_lhs)
+
+    @property
+    def terminals(self) -> set[str]:
+        terms: set[str] = set()
+        for prod in self.productions:
+            for sym in prod.rhs:
+                if sym not in self._by_lhs:
+                    terms.add(sym)
+        return terms
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self._by_lhs
+
+    def productions_for(self, lhs: str) -> list[Production]:
+        return self._by_lhs.get(lhs, [])
+
+    def __len__(self) -> int:
+        """Number of production rules (the paper's grammar-size knob)."""
+        return len(self.productions)
+
+    # ------------------------------------------------------------------
+    def nullable_symbols(self) -> set[str]:
+        """Nonterminals that can derive the empty string (fixpoint)."""
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.productions:
+                if prod.lhs in nullable:
+                    continue
+                if all(sym in nullable for sym in prod.rhs):
+                    nullable.add(prod.lhs)
+                    changed = True
+        return nullable
+
+    def alphabet(self) -> list[str]:
+        """Sorted set of characters appearing in any terminal."""
+        chars: set[str] = set()
+        for term in self.terminals:
+            chars.update(term)
+        return sorted(chars)
+
+    def validate(self) -> None:
+        """Raise if some nonterminal referenced on a rhs has no productions.
+
+        (Terminals are symbols by definition, so the real check is for
+        *conventionally* nonterminal-looking names; we instead check
+        reachability and productivity which catch genuine authoring bugs.)
+        """
+        reachable = {self.start}
+        frontier = [self.start]
+        while frontier:
+            sym = frontier.pop()
+            for prod in self.productions_for(sym):
+                for s in prod.rhs:
+                    if self.is_nonterminal(s) and s not in reachable:
+                        reachable.add(s)
+                        frontier.append(s)
+        unreachable = self.nonterminals - reachable
+        if unreachable:
+            raise ValueError(f"unreachable nonterminals: {sorted(unreachable)}")
+
+        # productivity: every nonterminal must derive some terminal string
+        productive: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.productions:
+                if prod.lhs in productive:
+                    continue
+                if all((not self.is_nonterminal(s)) or s in productive
+                       for s in prod.rhs):
+                    productive.add(prod.lhs)
+                    changed = True
+        dead = self.nonterminals - productive
+        if dead:
+            raise ValueError(f"unproductive nonterminals: {sorted(dead)}")
+
+
+def grammar_from_rules(start: str,
+                       rules: Iterable[tuple[str, Sequence[str], float]]) -> Grammar:
+    """Convenience constructor from ``(lhs, rhs, weight)`` triples."""
+    prods = [Production(lhs, tuple(rhs), weight) for lhs, rhs, weight in rules]
+    return Grammar(start=start, productions=prods)

@@ -1,0 +1,116 @@
+"""Weighted sampling from a PCFG, recording the derivation tree.
+
+The paper samples synthetic SQL queries from a PCFG to build its scalability
+benchmark.  Because the sampler produces the derivation tree alongside the
+string, hypothesis extraction can either reuse that tree (cached-parse mode)
+or re-parse the string with the Earley parser (the realistic slow path that
+Figure 9 of the paper exercises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grammar.cfg import Grammar, Production
+from repro.grammar.tree import ParseNode
+
+
+class DepthLimitExceeded(RuntimeError):
+    """Raised when a sampled derivation exceeds the depth budget."""
+
+
+class GrammarSampler:
+    """Samples strings (and derivation trees) from a PCFG.
+
+    To guarantee termination on recursive grammars, expansion beyond
+    ``max_depth`` restricts candidate productions to those that minimize the
+    sub-derivation height (pre-computed per nonterminal); if none exists the
+    sample is retried.
+    """
+
+    def __init__(self, grammar: Grammar, rng: np.random.Generator,
+                 max_depth: int = 40, max_retries: int = 50):
+        self.grammar = grammar
+        self.rng = rng
+        self.max_depth = max_depth
+        self.max_retries = max_retries
+        self._min_height = self._compute_min_heights()
+
+    # ------------------------------------------------------------------
+    def _compute_min_heights(self) -> dict[str, int]:
+        """Minimum derivation height for each nonterminal (fixpoint)."""
+        inf = float("inf")
+        height: dict[str, float] = {nt: inf for nt in self.grammar.nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for prod in self.grammar.productions:
+                h = 0.0
+                for sym in prod.rhs:
+                    if self.grammar.is_nonterminal(sym):
+                        h = max(h, height[sym])
+                cand = 1 + h
+                if cand < height[prod.lhs]:
+                    height[prod.lhs] = cand
+                    changed = True
+        bad = [nt for nt, h in height.items() if h == inf]
+        if bad:
+            raise ValueError(f"nonterminals with no finite derivation: {bad}")
+        return {nt: int(h) for nt, h in height.items()}
+
+    def _prod_min_height(self, prod: Production) -> int:
+        h = 0
+        for sym in prod.rhs:
+            if self.grammar.is_nonterminal(sym):
+                h = max(h, self._min_height[sym])
+        return 1 + h
+
+    def _choose(self, lhs: str, depth: int) -> Production:
+        prods = self.grammar.productions_for(lhs)
+        remaining = self.max_depth - depth
+        viable = [p for p in prods if self._prod_min_height(p) <= remaining]
+        if not viable:
+            raise DepthLimitExceeded(lhs)
+        weights = np.array([p.weight for p in viable], dtype=float)
+        weights /= weights.sum()
+        idx = self.rng.choice(len(viable), p=weights)
+        return viable[int(idx)]
+
+    # ------------------------------------------------------------------
+    def sample_tree(self) -> ParseNode:
+        """Sample one derivation tree rooted at the start symbol."""
+        for _ in range(self.max_retries):
+            try:
+                pieces: list[str] = []
+                root = self._expand(self.grammar.start, 0, pieces, offset=0)
+                return root
+            except DepthLimitExceeded:
+                continue
+        raise RuntimeError(
+            f"could not sample a derivation within depth {self.max_depth}")
+
+    def _expand(self, symbol: str, depth: int, pieces: list[str],
+                offset: int) -> ParseNode:
+        prod = self._choose(symbol, depth)
+        node = ParseNode(symbol, start=offset, end=offset)
+        cursor = offset
+        for sym in prod.rhs:
+            if self.grammar.is_nonterminal(sym):
+                child = self._expand(sym, depth + 1, pieces, cursor)
+            else:
+                child = ParseNode(sym, start=cursor, end=cursor + len(sym),
+                                  terminal=True)
+                pieces.append(sym)
+            node.children.append(child)
+            cursor = child.end
+        node.end = cursor
+        return node
+
+    def sample(self) -> tuple[str, ParseNode]:
+        """Sample one (string, derivation tree) pair."""
+        tree = self.sample_tree()
+        return tree.text(), tree
+
+    def sample_corpus(self, n: int) -> list[tuple[str, ParseNode]]:
+        """Sample ``n`` independent (string, tree) pairs."""
+        return [self.sample() for _ in range(n)]

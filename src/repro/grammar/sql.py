@@ -1,0 +1,141 @@
+"""Parameterized SQL grammar for the scalability benchmark (Section 6.2).
+
+The paper samples synthetic SQL from PCFG subsets whose size varies between
+95 and 171 production rules to control language complexity and the number of
+derived hypothesis functions.  :func:`sql_grammar` rebuilds that family: the
+rule count is tuned by the number of table/column name terminals and by
+feature toggles (aggregates, GROUP BY, ORDER BY, LIMIT, string literals).
+
+Recursive alternatives carry lower sampling weights so sampled queries stay
+short enough for windowed language-model training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.grammar.cfg import Grammar, Production
+
+#: SQL keywords used by keyword-detector hypotheses.
+SQL_KEYWORDS = ("SELECT", "FROM", "WHERE", "GROUP BY", "ORDER BY", "LIMIT",
+                "AND", "OR", "ASC", "DESC")
+
+
+@dataclass(frozen=True)
+class SqlGrammarConfig:
+    """Feature toggles and name-pool sizes for the SQL grammar family."""
+
+    n_tables: int = 8
+    n_columns: int = 12
+    n_letters: int = 8
+    with_aggregates: bool = True
+    with_group_by: bool = True
+    with_order_by: bool = True
+    with_limit: bool = True
+    with_strings: bool = True
+    recursion_weight: float = 0.35
+
+
+_PRESETS = {
+    # 95 rules: minimal subset, the paper's smallest grammar size
+    "small": SqlGrammarConfig(n_tables=20, n_columns=26, n_letters=0,
+                              with_aggregates=False, with_group_by=False,
+                              with_order_by=True, with_limit=True,
+                              with_strings=False),
+    # 142 rules: the paper's default setting
+    "default": SqlGrammarConfig(n_tables=20, n_columns=36, n_letters=22),
+    # 171 rules: every feature enabled, larger name pools
+    "large": SqlGrammarConfig(n_tables=32, n_columns=49, n_letters=26),
+}
+
+
+def sql_grammar(size: str | SqlGrammarConfig = "default") -> Grammar:
+    """Build a SQL PCFG; ``size`` is a preset name or an explicit config."""
+    cfg = _PRESETS[size] if isinstance(size, str) else size
+    rules: list[Production] = []
+    rw = cfg.recursion_weight
+
+    def rule(lhs: str, rhs: tuple[str, ...], weight: float = 1.0) -> None:
+        rules.append(Production(lhs, rhs, weight))
+
+    # ---- query skeleton -------------------------------------------------
+    rule("query", ("select_clause", "from_clause", "opt_where",
+                   "opt_group", "opt_order", "opt_limit", ";"))
+    rule("select_clause", ("SELECT ", "select_list"))
+    rule("select_list", ("select_item",))
+    rule("select_list", ("select_item", ", ", "select_list"), rw)
+    rule("select_item", ("column_ref",))
+    if cfg.with_aggregates:
+        rule("select_item", ("agg_expr",), 0.5)
+        rule("agg_expr", ("agg_fn", "(", "column_ref", ")"))
+        for fn in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            rule("agg_fn", (fn,))
+
+    rule("column_ref", ("table_name", ".", "column_name"))
+    rule("column_ref", ("column_name",))
+
+    rule("from_clause", (" FROM ", "table_list"))
+    rule("table_list", ("table_name",))
+    rule("table_list", ("table_name", ", ", "table_list"), rw)
+
+    for i in range(cfg.n_tables):
+        rule("table_name", (f"table_{i}",))
+    for i in range(cfg.n_columns):
+        rule("column_name", (f"col_{i}",))
+
+    # ---- WHERE ----------------------------------------------------------
+    rule("opt_where", ())
+    rule("opt_where", ("where_clause",))
+    rule("where_clause", (" WHERE ", "predicate"))
+    rule("predicate", ("comparison",))
+    rule("predicate", ("comparison", "bool_op", "predicate"), rw)
+    rule("bool_op", (" AND ",))
+    rule("bool_op", (" OR ",), 0.7)
+    rule("comparison", ("column_ref", "comp_op", "value"))
+    for op in (" = ", " < ", " > ", " <= ", " >= ", " <> "):
+        rule("comp_op", (op,))
+    rule("value", ("number",))
+    rule("value", ("column_ref",), 0.5)
+    if cfg.with_strings:
+        rule("value", ("string_lit",), 0.5)
+        rule("string_lit", ("'", "word", "'"))
+        rule("word", ("letter",))
+        rule("word", ("letter", "word"), rw)
+        for c in "abcdefghijklmnopqrstuvwxyz"[:cfg.n_letters]:
+            rule("letter", (c,))
+
+    rule("number", ("digit",))
+    rule("number", ("digit", "number"), rw)
+    for d in "0123456789":
+        rule("digit", (d,))
+
+    # ---- GROUP BY / ORDER BY / LIMIT -------------------------------------
+    rule("opt_group", ())
+    if cfg.with_group_by:
+        rule("opt_group", ("group_clause",), 0.6)
+        rule("group_clause", (" GROUP BY ", "column_list"))
+        rule("column_list", ("column_ref",))
+        rule("column_list", ("column_ref", ", ", "column_list"), rw)
+
+    rule("opt_order", ())
+    if cfg.with_order_by:
+        rule("opt_order", ("order_clause",), 0.6)
+        rule("order_clause", (" ORDER BY ", "ordering_term"))
+        rule("ordering_term", ("column_ref",))
+        rule("ordering_term", ("column_ref", "direction"), 0.8)
+        rule("direction", (" ASC",))
+        rule("direction", (" DESC",))
+
+    rule("opt_limit", ())
+    if cfg.with_limit:
+        rule("opt_limit", ("limit_clause",), 0.6)
+        rule("limit_clause", (" LIMIT ", "number"))
+
+    grammar = Grammar(start="query", productions=rules)
+    grammar.validate()
+    return grammar
+
+
+def grammar_rule_count(size: str | SqlGrammarConfig = "default") -> int:
+    """Number of production rules in the requested grammar subset."""
+    return len(sql_grammar(size))

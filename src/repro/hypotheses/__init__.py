@@ -1,0 +1,43 @@
+"""Hypothesis functions: user-provided logic that labels input symbols.
+
+A hypothesis function maps a record to a behavior vector of length ``ns``
+(one value per input symbol).  This package provides the generators the paper
+describes in Section 4.2: parse trees (time-domain, signal and composite
+depth encodings), finite state machines, annotations, and a library of simple
+detectors, plus the grammar-to-hypotheses helper used by the benchmarks
+(``gram_hyp_functions`` in the paper's API example).
+"""
+
+from repro.hypotheses.base import (FunctionHypothesis, HypothesisFunction,
+                                   PrecomputedHypothesis,
+                                   validate_hypothesis_output)
+from repro.hypotheses.fsm import FSM, FsmHypothesis, keyword_fsm
+from repro.hypotheses.iterators import (IteratorHypothesis,
+                                        bracket_machine_hypotheses)
+from repro.hypotheses.library import (CharSetHypothesis, KeywordHypothesis,
+                                      NestingDepthHypothesis,
+                                      PositionCounterHypothesis,
+                                      PrefixLengthHypothesis)
+from repro.hypotheses.parse_hyps import (ParseProvider,
+                                         grammar_hypotheses)
+from repro.hypotheses.pos import SimplePosTagger
+
+__all__ = [
+    "CharSetHypothesis",
+    "FSM",
+    "FsmHypothesis",
+    "FunctionHypothesis",
+    "HypothesisFunction",
+    "IteratorHypothesis",
+    "KeywordHypothesis",
+    "bracket_machine_hypotheses",
+    "NestingDepthHypothesis",
+    "ParseProvider",
+    "PositionCounterHypothesis",
+    "PrecomputedHypothesis",
+    "PrefixLengthHypothesis",
+    "SimplePosTagger",
+    "grammar_hypotheses",
+    "keyword_fsm",
+    "validate_hypothesis_output",
+]

@@ -1,0 +1,46 @@
+"""Annotation-derived hypotheses (Section 4.2, "Annotations").
+
+Datasets often ship with aligned labels: POS tags per token, bounding boxes
+or pixel masks per image.  Each annotation type becomes a hypothesis that
+emits 1 when the annotation is present and 0 otherwise; categorical
+annotations (e.g. the full POS tag id) are exposed as a single multi-class
+hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hypotheses.base import PrecomputedHypothesis
+
+
+def tag_indicator_hypotheses(tag_matrix: np.ndarray, tag_names: list[str],
+                             prefix: str = "pos"
+                             ) -> list[PrecomputedHypothesis]:
+    """One binary hypothesis per tag from a (records, ns) tag-id matrix."""
+    hyps = []
+    for tag_id, tag in enumerate(tag_names):
+        matrix = (tag_matrix == tag_id).astype(np.float64)
+        hyps.append(PrecomputedHypothesis(f"{prefix}:{tag}", matrix))
+    return hyps
+
+
+def categorical_hypothesis(tag_matrix: np.ndarray,
+                           name: str = "pos_tags") -> PrecomputedHypothesis:
+    """The full tag sequence as one categorical hypothesis.
+
+    This is the Figure 11 setting: "the function is not binary, it returns
+    one of the distinct POS tags at each step".
+    """
+    return PrecomputedHypothesis(name, tag_matrix.astype(np.float64),
+                                 categorical=True)
+
+
+def mask_hypotheses(masks: dict[str, np.ndarray]) -> list[PrecomputedHypothesis]:
+    """Pixel-mask hypotheses for vision models.
+
+    ``masks[concept]`` is (n_images, n_pixels) with 1 where the concept's
+    pixels are annotated -- the Broden-style input of Appendix E.
+    """
+    return [PrecomputedHypothesis(f"mask:{concept}", matrix)
+            for concept, matrix in sorted(masks.items())]

@@ -1,0 +1,101 @@
+"""Hypothesis function protocol and validation.
+
+The only contract (Section 3): evaluated over a record, a hypothesis emits a
+numeric behavior vector whose length equals the record's symbol count ``ns``.
+Output format is checked during execution, as the paper's implementation
+does for arbitrary user Python functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+
+
+def validate_hypothesis_output(name: str, behavior: np.ndarray,
+                               n_symbols: int) -> np.ndarray:
+    """Check the hypothesis-function output spec; returns a float vector."""
+    arr = np.asarray(behavior)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"hypothesis {name!r} must return a 1-D vector, got shape {arr.shape}")
+    if arr.shape[0] != n_symbols:
+        raise ValueError(
+            f"hypothesis {name!r} returned {arr.shape[0]} behaviors for a "
+            f"record of {n_symbols} symbols")
+    if not np.issubdtype(arr.dtype, np.number):
+        raise ValueError(f"hypothesis {name!r} must return numeric values")
+    return arr.astype(np.float64)
+
+
+class HypothesisFunction:
+    """Base class; subclasses implement :meth:`behavior` per record.
+
+    ``categorical`` marks hypotheses whose values are class ids rather than
+    magnitudes (e.g. POS tags); joint measures one-hot them internally.
+    """
+
+    def __init__(self, name: str, categorical: bool = False):
+        self.name = name
+        self.categorical = categorical
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        """Behavior vector (length ``ns``) for record ``index``."""
+        raise NotImplementedError
+
+    def extract(self, dataset: Dataset,
+                indices: np.ndarray | list[int] | None = None) -> np.ndarray:
+        """Behavior matrix (n_records, ns) for the given record indices."""
+        if indices is None:
+            indices = range(dataset.n_records)
+        rows = [validate_hypothesis_output(
+            self.name, self.behavior(dataset, int(i)), dataset.n_symbols)
+            for i in indices]
+        return np.stack(rows) if rows else np.empty((0, dataset.n_symbols))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class FunctionHypothesis(HypothesisFunction):
+    """Wraps an arbitrary Python callable ``f(text) -> vector``.
+
+    The callable sees the raw record text (including padding characters) and
+    must return one value per character -- the paper's "arbitrary hypothesis
+    logic" entry point.
+    """
+
+    def __init__(self, name: str, fn: Callable[[str], np.ndarray],
+                 categorical: bool = False):
+        super().__init__(name, categorical=categorical)
+        self.fn = fn
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        return np.asarray(self.fn(dataset.record_text(index)), dtype=np.float64)
+
+
+class PrecomputedHypothesis(HypothesisFunction):
+    """A hypothesis whose full behavior matrix is already materialized.
+
+    Used for annotation-derived hypotheses (POS tags, pixel masks) where the
+    labels were produced together with the dataset.
+    """
+
+    def __init__(self, name: str, matrix: np.ndarray,
+                 categorical: bool = False):
+        super().__init__(name, categorical=categorical)
+        self.matrix = np.asarray(matrix, dtype=np.float64)
+        if self.matrix.ndim != 2:
+            raise ValueError("precomputed behavior matrix must be 2-D")
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        return self.matrix[index]
+
+    def extract(self, dataset: Dataset,
+                indices: np.ndarray | list[int] | None = None) -> np.ndarray:
+        if indices is None:
+            return self.matrix
+        return self.matrix[np.asarray(list(indices), dtype=int)]

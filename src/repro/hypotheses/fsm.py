@@ -1,0 +1,99 @@
+"""Finite-state-machine hypotheses (Section 4.2).
+
+An FSM reads the record character by character; each symbol triggers a state
+transition and the hypothesis emits the current state label (or, hot-one
+encoded, a separate binary hypothesis per state).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.hypotheses.base import HypothesisFunction
+
+
+class FSM:
+    """Deterministic FSM over characters.
+
+    ``transitions[state]`` maps a character to the next state; characters
+    missing from the mapping fall back to the state's default transition
+    (``transitions[state][None]``), or stay in place when no default exists.
+    """
+
+    def __init__(self, initial: int,
+                 transitions: Mapping[int, Mapping[str | None, int]],
+                 n_states: int | None = None):
+        self.initial = initial
+        self.transitions = {s: dict(t) for s, t in transitions.items()}
+        states = set(self.transitions)
+        for table in self.transitions.values():
+            states.update(table.values())
+        states.add(initial)
+        self.n_states = n_states if n_states is not None else max(states) + 1
+
+    def run(self, text: str) -> np.ndarray:
+        """State id *after* reading each character."""
+        state = self.initial
+        out = np.empty(len(text), dtype=np.int64)
+        for i, ch in enumerate(text):
+            table = self.transitions.get(state, {})
+            state = table.get(ch, table.get(None, state))
+            out[i] = state
+        return out
+
+
+class FsmHypothesis(HypothesisFunction):
+    """Wraps an FSM; emits state labels or the indicator of one state."""
+
+    def __init__(self, name: str, fsm: FSM, state: int | None = None):
+        super().__init__(name, categorical=state is None)
+        self.fsm = fsm
+        self.state = state
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        states = self.fsm.run(dataset.record_text(index))
+        if self.state is None:
+            return states.astype(np.float64)
+        return (states == self.state).astype(np.float64)
+
+
+def keyword_fsm(keyword: str) -> FSM:
+    """Build an FSM whose state equals the matched prefix length of a keyword.
+
+    State ``len(keyword)`` means "just finished reading the keyword" --
+    the hot-one hypothesis for that state detects keyword completions.
+    Uses KMP failure links so overlapping occurrences are tracked correctly.
+    """
+    if not keyword:
+        raise ValueError("keyword must be non-empty")
+    k = len(keyword)
+    # KMP failure function
+    fail = [0] * (k + 1)
+    j = 0
+    for i in range(1, k):
+        while j and keyword[i] != keyword[j]:
+            j = fail[j]
+        if keyword[i] == keyword[j]:
+            j += 1
+        fail[i + 1] = j
+
+    transitions: dict[int, dict[str | None, int]] = {}
+    alphabet = sorted(set(keyword))
+    for state in range(k + 1):
+        table: dict[str | None, int] = {None: 0}
+        for ch in alphabet:
+            s = state if state < k else fail[k]
+            while s and keyword[s] != ch:
+                s = fail[s]
+            table[ch] = s + 1 if keyword[s] == ch else 0
+        transitions[state] = table
+    return FSM(initial=0, transitions=transitions, n_states=k + 1)
+
+
+def fsm_state_hypotheses(name: str, fsm: FSM) -> list[FsmHypothesis]:
+    """Hot-one encode an FSM into one binary hypothesis per state."""
+    return [FsmHypothesis(f"{name}:state{s}", fsm, state=s)
+            for s in range(fsm.n_states)]

@@ -1,0 +1,112 @@
+"""General-iterator hypotheses (Section 4.2, "General Iterators").
+
+Programs modeled as iterative procedures over input symbols can be
+featurized: any expression executed, or the state of any variable, between
+reads of the next character generates a label for that character.  The
+paper's example is a shift-reduce parser whose stack size labels each
+character.
+
+:class:`IteratorHypothesis` wraps an arbitrary stateful procedure;
+:class:`BracketMachine` is a concrete shift-reduce-style recognizer for
+bracket languages whose observable variables (stack depth, reduce events)
+become hypothesis functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.hypotheses.base import HypothesisFunction
+
+
+class IteratorHypothesis(HypothesisFunction):
+    """Featurizes a stateful per-symbol procedure.
+
+    ``make_state()`` builds fresh per-record state; ``step(state, char)``
+    consumes one character and returns the label to emit for it.
+    """
+
+    def __init__(self, name: str, make_state: Callable[[], object],
+                 step: Callable[[object, str], float],
+                 categorical: bool = False):
+        super().__init__(name, categorical=categorical)
+        self.make_state = make_state
+        self.step = step
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        state = self.make_state()
+        out = np.empty(len(text))
+        for i, ch in enumerate(text):
+            out[i] = float(self.step(state, ch))
+        return out
+
+
+class BracketMachine:
+    """A shift-reduce recognizer for bracket languages.
+
+    Shifts every character onto a stack; when a closing bracket arrives it
+    reduces the whole bracketed span to a single nonterminal marker.
+    Observable variables after each step:
+
+    * ``depth``       -- current stack depth
+    * ``max_depth``   -- maximum stack depth so far
+    * ``reduced``     -- whether a reduction fired on this character
+    * ``shifts``      -- total symbols shifted so far
+    """
+
+    def __init__(self, open_char: str = "(", close_char: str = ")"):
+        self.open_char = open_char
+        self.close_char = close_char
+        self.stack: list[str] = []
+        self.max_depth = 0
+        self.shifts = 0
+        self.reduced = False
+
+    def step(self, char: str) -> None:
+        self.reduced = False
+        if char == self.close_char:
+            # reduce: pop items back to the matching open bracket
+            while self.stack and self.stack[-1] != self.open_char:
+                self.stack.pop()
+            if self.stack:
+                self.stack.pop()
+            self.stack.append("<expr>")
+            self.reduced = True
+        else:
+            self.stack.append(char)
+            self.shifts += 1
+        self.max_depth = max(self.max_depth, len(self.stack))
+
+    @property
+    def depth(self) -> int:
+        return len(self.stack)
+
+
+def bracket_machine_hypotheses(open_char: str = "(", close_char: str = ")"
+                               ) -> list[IteratorHypothesis]:
+    """The paper's shift-reduce featurization: one hypothesis per variable."""
+
+    def make() -> BracketMachine:
+        return BracketMachine(open_char, close_char)
+
+    def depth_step(machine: BracketMachine, ch: str) -> float:
+        machine.step(ch)
+        return machine.depth
+
+    def max_depth_step(machine: BracketMachine, ch: str) -> float:
+        machine.step(ch)
+        return machine.max_depth
+
+    def reduce_step(machine: BracketMachine, ch: str) -> float:
+        machine.step(ch)
+        return 1.0 if machine.reduced else 0.0
+
+    return [
+        IteratorHypothesis("sr:stack_depth", make, depth_step),
+        IteratorHypothesis("sr:max_stack_depth", make, max_depth_step),
+        IteratorHypothesis("sr:reduce_event", make, reduce_step),
+    ]

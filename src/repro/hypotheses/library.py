@@ -1,0 +1,129 @@
+"""Built-in hypothesis library: keyword, character-class and counter logic.
+
+These cover the paper's running examples: "detects the SELECT keyword"
+(emit 1 for keyword characters, 0 otherwise), "counts the characters in the
+input" (emit a number between 0 and ns), whitespace/punctuation detectors,
+and the parentheses nesting-level hypotheses of Appendix C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import PAD_CHAR, Dataset
+from repro.hypotheses.base import HypothesisFunction
+
+
+class KeywordHypothesis(HypothesisFunction):
+    """Emits 1 for every character inside an occurrence of ``keyword``."""
+
+    def __init__(self, keyword: str, name: str | None = None):
+        super().__init__(name or f"kw:{keyword.strip()}")
+        if not keyword:
+            raise ValueError("keyword must be non-empty")
+        self.keyword = keyword
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        out = np.zeros(len(text))
+        start = text.find(self.keyword)
+        while start != -1:
+            out[start:start + len(self.keyword)] = 1.0
+            start = text.find(self.keyword, start + 1)
+        return out
+
+
+class CharSetHypothesis(HypothesisFunction):
+    """Emits 1 for characters belonging to a set (whitespace, digits, ...)."""
+
+    def __init__(self, name: str, chars: str):
+        super().__init__(name)
+        self.chars = frozenset(chars)
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        return np.fromiter((1.0 if c in self.chars else 0.0 for c in text),
+                           dtype=np.float64, count=len(text))
+
+
+class PositionCounterHypothesis(HypothesisFunction):
+    """Emits the 0-based position of each symbol ("the model counts")."""
+
+    def __init__(self, name: str = "position"):
+        super().__init__(name)
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        return np.arange(dataset.n_symbols, dtype=np.float64)
+
+
+class PrefixLengthHypothesis(HypothesisFunction):
+    """Emits the number of non-padding characters read so far."""
+
+    def __init__(self, name: str = "prefix_length"):
+        super().__init__(name)
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        count = 0
+        out = np.empty(len(text))
+        for i, ch in enumerate(text):
+            if ch != PAD_CHAR:
+                count += 1
+            out[i] = count
+        return out
+
+
+class NestingDepthHypothesis(HypothesisFunction):
+    """Per-character parenthesis nesting level (Appendix C ground truth).
+
+    ``level=None`` emits the raw depth; an integer emits the indicator of
+    "currently at that nesting level".
+    """
+
+    def __init__(self, level: int | None = None, name: str | None = None):
+        label = "nesting_depth" if level is None else f"nesting_level_{level}"
+        super().__init__(name or label)
+        self.level = level
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        depth = 0
+        out = np.empty(len(text))
+        for i, ch in enumerate(text):
+            if ch == "(":
+                out[i] = depth
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                out[i] = depth
+            else:
+                out[i] = depth
+        if self.level is None:
+            return out
+        return (out == self.level).astype(np.float64)
+
+
+class CurrentCharHypothesis(HypothesisFunction):
+    """Indicator that the current input character equals ``char``.
+
+    Appendix C uses this to show that "specialized" units may simply learn
+    the current symbol rather than higher-level logic.
+    """
+
+    def __init__(self, char: str, name: str | None = None):
+        super().__init__(name or f"char:{char}")
+        if len(char) != 1:
+            raise ValueError("char must be a single character")
+        self.char = char
+
+    def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
+        text = dataset.record_text(index)
+        return np.fromiter((1.0 if c == self.char else 0.0 for c in text),
+                           dtype=np.float64, count=len(text))
+
+
+def sql_keyword_hypotheses(keywords: tuple[str, ...] | None = None
+                           ) -> list[KeywordHypothesis]:
+    """Keyword detectors for the standard SQL keywords."""
+    from repro.grammar.sql import SQL_KEYWORDS
+    return [KeywordHypothesis(kw) for kw in (keywords or SQL_KEYWORDS)]

@@ -1,0 +1,53 @@
+"""Statistical affinity measures between unit behaviors and hypotheses.
+
+DeepBase natively provides 8 measures plus 2 naive baselines (Section 4.3):
+
+==============================  =========  ==================================
+measure                         type       early-stop criterion
+==============================  =========  ==================================
+CorrelationScore                indep.     Fisher-transform confidence bound
+SpearmanCorrelationScore        indep.     Fisher bound on rank statistics
+DiffMeansScore                  indep.     standard error of mean difference
+MutualInfoScore                 indep.     score-delta window
+JaccardScore                    indep.     score-delta window
+LogRegressionScore              joint      validation-score window
+LinearProbeScore                joint      score-delta window
+MultivariateMutualInfoScore     joint      score-delta window
+RandomClassScore (baseline)     indep.     immediate
+MajorityClassScore (baseline)   indep.     immediate
+==============================  =========  ==================================
+
+All measures implement the incremental ``process_block`` API of Section
+5.2.2 so the streaming pipeline can terminate the moment scores converge.
+"""
+
+from repro.measures.base import Measure, MeasureResult, MeasureState
+from repro.measures.baselines import MajorityClassScore, RandomClassScore
+from repro.measures.correlation import (CorrelationScore,
+                                        SpearmanCorrelationScore)
+from repro.measures.jaccard import JaccardScore
+from repro.measures.logreg import LogRegressionScore, MulticlassLogRegScore
+from repro.measures.means import DiffMeansScore
+from repro.measures.mutual_info import (MultivariateMutualInfoScore,
+                                        MutualInfoScore)
+from repro.measures.probes import LinearProbeScore
+from repro.measures.registry import get_measure, list_measures
+
+__all__ = [
+    "CorrelationScore",
+    "DiffMeansScore",
+    "JaccardScore",
+    "LinearProbeScore",
+    "LogRegressionScore",
+    "MajorityClassScore",
+    "Measure",
+    "MeasureResult",
+    "MeasureState",
+    "MulticlassLogRegScore",
+    "MultivariateMutualInfoScore",
+    "MutualInfoScore",
+    "RandomClassScore",
+    "SpearmanCorrelationScore",
+    "get_measure",
+    "list_measures",
+]

@@ -1,0 +1,128 @@
+"""Measure protocol: full-data computation plus the incremental block API.
+
+A measure quantifies the affinity between unit behaviors ``U`` (rows =
+symbols, columns = units) and hypothesis behaviors ``H`` (rows = symbols,
+columns = hypotheses).  Following Definition 1, it returns a per-unit score
+for every (unit, hypothesis) pair and -- for *joint* measures -- a group
+score per hypothesis.
+
+The streaming engine drives measures through :class:`MeasureState`::
+
+    state = measure.new_state(n_units, n_hyps)
+    for U_block, H_block in blocks:
+        scores, err = measure.process_block(state, U_block, H_block)
+        if err <= threshold: break
+
+which is the ``l.process_block(U, h, recs) -> (scores, err)`` API of
+Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class MeasureResult:
+    """Affinity output for one (unit group, measure) over all hypotheses."""
+
+    unit_scores: np.ndarray            # (n_units, n_hyps)
+    group_scores: np.ndarray | None    # (n_hyps,) for joint measures
+    n_rows_seen: int = 0               # symbols consumed before convergence
+    converged: bool = False
+    extras: dict | None = None         # measure-specific outputs (see docs)
+
+
+class MeasureState:
+    """Incremental computation state; subclasses accumulate sufficient stats."""
+
+    def __init__(self, n_units: int, n_hyps: int):
+        self.n_units = n_units
+        self.n_hyps = n_hyps
+        self.n_rows = 0
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def unit_scores(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def group_scores(self) -> np.ndarray | None:
+        return None
+
+    def error(self) -> float:
+        """Upper estimate of the current score error (inf until defined)."""
+        return float("inf")
+
+    def extras(self) -> dict | None:
+        return None
+
+    def result(self, converged: bool = False) -> MeasureResult:
+        return MeasureResult(unit_scores=self.unit_scores(),
+                             group_scores=self.group_scores(),
+                             n_rows_seen=self.n_rows,
+                             converged=converged,
+                             extras=self.extras())
+
+
+class Measure:
+    """Base class for affinity measures."""
+
+    #: identifier used in result frames (e.g. ``corr:pearson``)
+    score_id: str = "measure"
+    #: joint measures score a unit group as a whole (e.g. logistic regression)
+    joint: bool = False
+    #: whether process_block errors are meaningful for early stopping
+    supports_early_stop: bool = True
+
+    # ------------------------------------------------------------------
+    def new_state(self, n_units: int, n_hyps: int) -> MeasureState:
+        raise NotImplementedError
+
+    def process_block(self, state: MeasureState, units: np.ndarray,
+                      hyps: np.ndarray) -> tuple[MeasureResult, float]:
+        """Consume one block; returns (current scores, current error)."""
+        units = np.asarray(units, dtype=np.float64)
+        hyps = np.asarray(hyps, dtype=np.float64)
+        if units.shape[0] != hyps.shape[0]:
+            raise ValueError(
+                f"block row mismatch: units {units.shape[0]} vs "
+                f"hyps {hyps.shape[0]}")
+        state.update(units, hyps)
+        state.n_rows += units.shape[0]
+        return state.result(), state.error()
+
+    def compute(self, units: np.ndarray, hyps: np.ndarray) -> MeasureResult:
+        """Single-shot full-data computation (the non-streaming path)."""
+        state = self.new_state(units.shape[1], hyps.shape[1])
+        result, _ = self.process_block(state, units, hyps)
+        result.converged = True
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.score_id!r})"
+
+
+class DeltaWindowMixin:
+    """Score-delta convergence: error = |score - mean(last N scores)|.
+
+    The paper uses this empirical criterion for measures without closed-form
+    confidence intervals, with a window sized to cover ~2,048 tuples.
+    """
+
+    def __init__(self, window: int = 4):
+        self._history: list[np.ndarray] = []
+        self._window = window
+
+    def push_score(self, scores: np.ndarray) -> None:
+        self._history.append(np.asarray(scores, dtype=np.float64))
+        if len(self._history) > self._window + 1:
+            self._history.pop(0)
+
+    def delta_error(self) -> float:
+        if len(self._history) <= self._window:
+            return float("inf")
+        past = np.mean(self._history[:-1], axis=0)
+        return float(np.max(np.abs(self._history[-1] - past)))

@@ -1,0 +1,98 @@
+"""Pearson / Spearman correlation measures (independent, per-unit).
+
+Correlation is the paper's canonical independent measure (used by Karpathy
+et al. to find interpretable units).  The incremental state keeps running
+first and second moments plus the cross-moment matrix, so each block costs
+one ``U.T @ H`` -- and early stopping uses Normal-based confidence intervals
+from the Fisher transformation (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import Measure, MeasureState
+from repro.measures.stats import fisher_ci_halfwidth
+
+
+class _CorrState(MeasureState):
+    def __init__(self, n_units: int, n_hyps: int, rank_transform: bool):
+        super().__init__(n_units, n_hyps)
+        self.rank_transform = rank_transform
+        self.sum_u = np.zeros(n_units)
+        self.sum_uu = np.zeros(n_units)
+        self.sum_h = np.zeros(n_hyps)
+        self.sum_hh = np.zeros(n_hyps)
+        self.sum_uh = np.zeros((n_units, n_hyps))
+
+    @staticmethod
+    def _rank(x: np.ndarray) -> np.ndarray:
+        """Column-wise average ranks (Spearman operates on in-block ranks)."""
+        order = np.argsort(x, axis=0, kind="stable")
+        ranks = np.empty_like(x)
+        n = x.shape[0]
+        rng_col = np.arange(n, dtype=np.float64)
+        for j in range(x.shape[1]):
+            ranks[order[:, j], j] = rng_col
+        return ranks
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if self.rank_transform:
+            units = self._rank(units)
+            hyps = self._rank(hyps)
+        self.sum_u += units.sum(axis=0)
+        self.sum_uu += (units**2).sum(axis=0)
+        self.sum_h += hyps.sum(axis=0)
+        self.sum_hh += (hyps**2).sum(axis=0)
+        self.sum_uh += units.T @ hyps
+
+    def unit_scores(self) -> np.ndarray:
+        n = max(self.n_rows, 1)
+        cov = self.sum_uh / n - np.outer(self.sum_u / n, self.sum_h / n)
+        var_u = np.maximum(self.sum_uu / n - (self.sum_u / n)**2, 0.0)
+        var_h = np.maximum(self.sum_hh / n - (self.sum_h / n)**2, 0.0)
+        denom = np.sqrt(np.outer(var_u, var_h))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = np.where(denom > 1e-12, cov / denom, 0.0)
+        return np.clip(r, -1.0, 1.0)
+
+    def error(self) -> float:
+        if self.n_rows <= 3:
+            return float("inf")
+        # the widest CI across all pairs bounds every score's error
+        halfwidths = fisher_ci_halfwidth(self.unit_scores(), self.n_rows)
+        return float(halfwidths.max())
+
+
+class CorrelationScore(Measure):
+    """Pearson correlation between each unit and each hypothesis.
+
+    ``CorrelationScore('pearson')`` reproduces the paper's API example.
+    """
+
+    joint = False
+
+    def __init__(self, method: str = "pearson"):
+        if method not in ("pearson",):
+            raise ValueError(
+                f"unknown method {method!r}; use SpearmanCorrelationScore "
+                f"for rank correlation")
+        self.method = method
+        self.score_id = f"corr:{method}"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _CorrState:
+        return _CorrState(n_units, n_hyps, rank_transform=False)
+
+
+class SpearmanCorrelationScore(Measure):
+    """Spearman rank correlation (block-wise rank approximation).
+
+    Ranks are computed within each processed block; for shuffled blocks this
+    converges to the full-data rank correlation as block size grows.
+    """
+
+    joint = False
+    score_id = "corr:spearman"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _CorrState:
+        return _CorrState(n_units, n_hyps, rank_transform=True)

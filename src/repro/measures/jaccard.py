@@ -1,0 +1,95 @@
+"""Jaccard-coefficient measure (independent) -- the NetDissect score.
+
+NetDissect binarizes each unit's activation map at a top-quantile threshold
+and computes the intersection-over-union with annotated pixels.  The
+threshold is estimated from an activation sample collected over the first
+blocks (an online quantile approximation, as the paper notes NetDissect's
+pipeline is); afterwards intersection/union counts accumulate exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import DeltaWindowMixin, Measure, MeasureState
+
+
+class _JaccardState(MeasureState, DeltaWindowMixin):
+    def __init__(self, n_units: int, n_hyps: int, quantile: float,
+                 calibration_rows: int, window: int):
+        MeasureState.__init__(self, n_units, n_hyps)
+        DeltaWindowMixin.__init__(self, window=window)
+        self.quantile = quantile
+        self.calibration_rows = calibration_rows
+        self._buffer_u: list[np.ndarray] = []
+        self._buffer_h: list[np.ndarray] = []
+        self._buffered_rows = 0
+        self.thresholds: np.ndarray | None = None
+        self.intersection = np.zeros((n_units, n_hyps))
+        self.active_u = np.zeros(n_units)   # |A| per unit
+        self.active_h = np.zeros(n_hyps)    # |H| per hypothesis
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if self.thresholds is None:
+            # buffer until enough rows exist to estimate the quantile
+            self._buffer_u.append(units.copy())
+            self._buffer_h.append(hyps.copy())
+            self._buffered_rows += units.shape[0]
+            if self._buffered_rows >= self.calibration_rows:
+                self._flush_buffer()
+        else:
+            self._accumulate(units, hyps)
+        self.push_score(self.unit_scores().max(axis=0))
+
+    def _flush_buffer(self) -> None:
+        sample = np.concatenate(self._buffer_u, axis=0)
+        self.thresholds = np.quantile(sample, self.quantile, axis=0)
+        for u_blk, h_blk in zip(self._buffer_u, self._buffer_h):
+            self._accumulate(u_blk, h_blk)
+        self._buffer_u, self._buffer_h = [], []
+
+    def _accumulate(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        assert self.thresholds is not None
+        active = (units > self.thresholds[None, :]).astype(np.float64)
+        h_active = (hyps > 0).astype(np.float64)
+        self.intersection += active.T @ h_active
+        self.active_u += active.sum(axis=0)
+        self.active_h += h_active.sum(axis=0)
+
+    def unit_scores(self) -> np.ndarray:
+        if self.thresholds is None:
+            if not self._buffer_u:
+                return np.zeros((self.n_units, self.n_hyps))
+            self._flush_buffer()  # small datasets: calibrate on what we have
+        union = (self.active_u[:, None] + self.active_h[None, :]
+                 - self.intersection)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(union > 0,
+                            self.intersection / np.maximum(union, 1e-12), 0.0)
+
+    def error(self) -> float:
+        return self.delta_error()
+
+
+class JaccardScore(Measure):
+    """Intersection-over-union of thresholded activations vs. annotations.
+
+    ``quantile`` sets the activation threshold (NetDissect uses the top 0.5%,
+    i.e. 0.995); ``calibration_rows`` controls how many symbols are buffered
+    to estimate it.
+    """
+
+    joint = False
+
+    def __init__(self, quantile: float = 0.995, calibration_rows: int = 2048,
+                 window: int = 4):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.quantile = quantile
+        self.calibration_rows = calibration_rows
+        self.window = window
+        self.score_id = f"jaccard:q{quantile}"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _JaccardState:
+        return _JaccardState(n_units, n_hyps, self.quantile,
+                             self.calibration_rows, self.window)

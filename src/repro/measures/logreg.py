@@ -1,0 +1,400 @@
+"""Logistic-regression affinity measures (joint).
+
+The measure of Belinkov et al. and Alain & Bengio: train a classifier that
+predicts the hypothesis behavior from the group's unit activations.  The F1
+score (5-fold cross-validation on the full-data path, held-out rows on the
+streaming path) is the group affinity; coefficients are the per-unit scores.
+
+**Model merging** (Section 5.2.1): instead of training one probe per
+hypothesis, all |H| probes share a single (n_units + 1, |H|) weight matrix
+trained jointly.  Since the merged loss is the sum of independent
+per-hypothesis losses, minimizing it is equivalent to minimizing each loss
+separately -- merging is exact, it only changes wall-clock.  The
+:class:`repro.nn.device.Device` shim decides whether the merged linear
+algebra runs vectorized ("gpu") or column-at-a-time ("cpu").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import DeltaWindowMixin, Measure, MeasureState
+from repro.measures.stats import (f1_score, multiclass_precision)
+from repro.nn.device import Device, get_device
+from repro.nn.layers import sigmoid, softmax
+from repro.util.rng import new_rng
+
+
+class MergedLogisticRegression:
+    """|H| binary logistic probes sharing one weight matrix, Adam-trained."""
+
+    def __init__(self, n_features: int, n_outputs: int,
+                 device: Device | str | None = None,
+                 l1: float = 0.0, l2: float = 0.0, lr: float = 0.05,
+                 seed: int = 0):
+        self.n_features = n_features
+        self.n_outputs = n_outputs
+        self.device = get_device(device)
+        self.l1 = l1
+        self.l2 = l2
+        self.lr = lr
+        rng = new_rng(seed)
+        self.weights = rng.standard_normal((n_features, n_outputs)) * 0.01
+        self.bias = np.zeros(n_outputs)
+        # Adam state
+        self._mw = np.zeros_like(self.weights)
+        self._vw = np.zeros_like(self.weights)
+        self._mb = np.zeros_like(self.bias)
+        self._vb = np.zeros_like(self.bias)
+        self._t = 0
+
+    # ------------------------------------------------------------------
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return self.device.matmul(x, self.weights) + self.bias
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return sigmoid(self.logits(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.logits(x) > 0.0
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray,
+                    batch_size: int = 128) -> None:
+        """One pass of minibatch Adam over the given rows."""
+        n = x.shape[0]
+        for start in range(0, n, batch_size):
+            xb = x[start:start + batch_size]
+            yb = y[start:start + batch_size]
+            delta = self.predict_proba(xb) - yb      # dL/dlogits, (n_b, H)
+            grad_w = self.device.batched_outer_update(xb, delta) / xb.shape[0]
+            grad_b = delta.mean(axis=0)
+            if self.l2:
+                grad_w = grad_w + self.l2 * self.weights
+            if self.l1:
+                grad_w = grad_w + self.l1 * np.sign(self.weights)
+            self._adam_step(grad_w, grad_b)
+
+    def _adam_step(self, grad_w: np.ndarray, grad_b: np.ndarray,
+                   beta1: float = 0.9, beta2: float = 0.999,
+                   eps: float = 1e-7) -> None:
+        self._t += 1
+        for grad, val, m, v in ((grad_w, self.weights, self._mw, self._vw),
+                                (grad_b, self.bias, self._mb, self._vb)):
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / (1 - beta1**self._t)
+            v_hat = v / (1 - beta2**self._t)
+            val -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def f1_per_output(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        pred = self.predict(x)
+        truth = y > 0
+        return np.array([f1_score(pred[:, j], truth[:, j])
+                         for j in range(self.n_outputs)])
+
+
+class _Standardizer:
+    """Freezes feature mean/std on the first calibration rows."""
+
+    def __init__(self, calibration_rows: int = 512):
+        self.calibration_rows = calibration_rows
+        self._buffer: list[np.ndarray] = []
+        self._rows = 0
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def feed(self, x: np.ndarray) -> None:
+        if self.mean is not None:
+            return
+        self._buffer.append(x)
+        self._rows += x.shape[0]
+        if self._rows >= self.calibration_rows:
+            self.fit(np.concatenate(self._buffer, axis=0))
+
+    def fit(self, x: np.ndarray) -> None:
+        self.mean = x.mean(axis=0)
+        self.std = np.maximum(x.std(axis=0), 1e-8)
+        self._buffer = []
+
+    @property
+    def ready(self) -> bool:
+        return self.mean is not None
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        assert self.mean is not None and self.std is not None
+        return (x - self.mean) / self.std
+
+
+class _LogRegState(MeasureState, DeltaWindowMixin):
+    """Streaming state: online training with held-out validation rows."""
+
+    def __init__(self, n_units: int, n_hyps: int, measure: "LogRegressionScore"):
+        MeasureState.__init__(self, n_units, n_hyps)
+        DeltaWindowMixin.__init__(self, window=measure.window)
+        self.measure = measure
+        self.model = MergedLogisticRegression(
+            n_units, n_hyps, device=measure.device,
+            l1=measure.l1, l2=measure.l2, lr=measure.lr, seed=measure.seed)
+        self.standardizer = _Standardizer()
+        self._val_x: list[np.ndarray] = []
+        self._val_y: list[np.ndarray] = []
+        self._val_rows = 0
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if not self.standardizer.ready:
+            self.standardizer.fit(units)  # first (shuffled) block calibrates
+        x = self.standardizer.transform(units)
+        y = (hyps > 0).astype(np.float64)
+        # hold out every 5th row for validation (cap the buffer)
+        val_mask = np.arange(x.shape[0]) % 5 == 0
+        if self._val_rows < self.measure.max_val_rows:
+            self._val_x.append(x[val_mask])
+            self._val_y.append(y[val_mask])
+            self._val_rows += int(val_mask.sum())
+        self.model.partial_fit(x[~val_mask], y[~val_mask],
+                               batch_size=self.measure.batch_size)
+        self.push_score(self._val_f1())
+
+    def _val_f1(self) -> np.ndarray:
+        if not self._val_x:
+            return np.zeros(self.n_hyps)
+        x = np.concatenate(self._val_x, axis=0)
+        y = np.concatenate(self._val_y, axis=0)
+        return self.model.f1_per_output(x, y)
+
+    def unit_scores(self) -> np.ndarray:
+        return self.model.weights.copy()
+
+    def group_scores(self) -> np.ndarray:
+        return self._val_f1()
+
+    def error(self) -> float:
+        return self.delta_error()
+
+
+class LogRegressionScore(Measure):
+    """Merged logistic-regression probe; F1 group score, coefficient units.
+
+    ``LogRegressionScore(regul='L1', score='F1')`` reproduces the paper's
+    API example.  ``device`` selects merged-vectorized ("gpu") vs
+    column-looped ("cpu") execution; ``merged=False`` switches the full-data
+    path to the naive one-model-per-hypothesis loop the baselines use.
+    """
+
+    joint = True
+
+    def __init__(self, regul: str = "L1", score: str = "F1",
+                 strength: float = 1e-3, lr: float = 0.05,
+                 epochs: int = 4, cv_folds: int = 5,
+                 device: Device | str | None = None, merged: bool = True,
+                 batch_size: int = 128, max_val_rows: int = 4096,
+                 window: int = 4, seed: int = 0):
+        regul = regul.upper()
+        if regul not in ("L1", "L2", "NONE"):
+            raise ValueError("regul must be L1, L2 or NONE")
+        if score != "F1":
+            raise ValueError("only the F1 score is implemented")
+        self.l1 = strength if regul == "L1" else 0.0
+        self.l2 = strength if regul == "L2" else 0.0
+        self.lr = lr
+        self.epochs = epochs
+        self.cv_folds = cv_folds
+        self.device = get_device(device)
+        self.merged = merged
+        self.batch_size = batch_size
+        self.max_val_rows = max_val_rows
+        self.window = window
+        self.seed = seed
+        self.score_id = f"logreg:{regul.lower()}"
+
+    # ------------------------------------------------------------------
+    def new_state(self, n_units: int, n_hyps: int) -> _LogRegState:
+        return _LogRegState(n_units, n_hyps, self)
+
+    # ------------------------------------------------------------------
+    def compute(self, units: np.ndarray, hyps: np.ndarray):
+        """Full-data path: k-fold cross-validated F1 (Section 4.3)."""
+        n_units, n_hyps = units.shape[1], hyps.shape[1]
+        std = _Standardizer()
+        std.fit(units)
+        x = std.transform(units)
+        y = (hyps > 0).astype(np.float64)
+
+        if self.merged:
+            f1 = self._cv_f1_merged(x, y)
+            final = self._train_merged(x, y)
+        else:
+            f1 = np.empty(n_hyps)
+            coefs = np.empty((n_units, n_hyps))
+            for j in range(n_hyps):
+                f1[j] = self._cv_f1_merged(x, y[:, j:j + 1])[0]
+                model = self._train_merged(x, y[:, j:j + 1])
+                coefs[:, j] = model.weights[:, 0]
+            result = self._make_result(coefs, f1, units.shape[0])
+            return result
+        return self._make_result(final.weights.copy(), f1, units.shape[0])
+
+    def _make_result(self, coefs, f1, n_rows):
+        from repro.measures.base import MeasureResult
+        return MeasureResult(unit_scores=coefs, group_scores=f1,
+                             n_rows_seen=n_rows, converged=True)
+
+    def _train_merged(self, x: np.ndarray,
+                      y: np.ndarray) -> MergedLogisticRegression:
+        model = MergedLogisticRegression(
+            x.shape[1], y.shape[1], device=self.device,
+            l1=self.l1, l2=self.l2, lr=self.lr, seed=self.seed)
+        rng = new_rng(self.seed)
+        for _ in range(self.epochs):
+            order = rng.permutation(x.shape[0])
+            model.partial_fit(x[order], y[order], batch_size=self.batch_size)
+        return model
+
+    def _cv_f1_merged(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        folds = max(2, self.cv_folds)
+        fold_ids = np.arange(n) % folds
+        scores = np.zeros((folds, y.shape[1]))
+        for k in range(folds):
+            test = fold_ids == k
+            model = self._train_merged(x[~test], y[~test])
+            scores[k] = model.f1_per_output(x[test], y[test])
+        return scores.mean(axis=0)
+
+
+class _MulticlassState(MeasureState, DeltaWindowMixin):
+    def __init__(self, n_units: int, measure: "MulticlassLogRegScore"):
+        MeasureState.__init__(self, n_units, 1)
+        DeltaWindowMixin.__init__(self, window=measure.window)
+        self.measure = measure
+        self.n_classes = measure.n_classes
+        rng = new_rng(measure.seed)
+        self.weights = rng.standard_normal((n_units, self.n_classes)) * 0.01
+        self.bias = np.zeros(self.n_classes)
+        self._mw = np.zeros_like(self.weights)
+        self._vw = np.zeros_like(self.weights)
+        self._mb = np.zeros_like(self.bias)
+        self._vb = np.zeros_like(self.bias)
+        self._t = 0
+        self.standardizer = _Standardizer()
+        self._val_x: list[np.ndarray] = []
+        self._val_y: list[np.ndarray] = []
+
+    def _step(self, x: np.ndarray, y_ids: np.ndarray) -> None:
+        measure = self.measure
+        for start in range(0, x.shape[0], measure.batch_size):
+            xb = x[start:start + measure.batch_size]
+            yb = y_ids[start:start + measure.batch_size]
+            probs = softmax(xb @ self.weights + self.bias, axis=-1)
+            probs[np.arange(xb.shape[0]), yb] -= 1.0
+            grad_w = xb.T @ probs / xb.shape[0] + measure.l2 * self.weights
+            if measure.l1:
+                grad_w += measure.l1 * np.sign(self.weights)
+            grad_b = probs.mean(axis=0)
+            self._adam(grad_w, grad_b)
+
+    def _adam(self, grad_w, grad_b, beta1=0.9, beta2=0.999, eps=1e-7):
+        self._t += 1
+        for grad, val, m, v in ((grad_w, self.weights, self._mw, self._vw),
+                                (grad_b, self.bias, self._mb, self._vb)):
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            val -= self.measure.lr * (m / (1 - beta1**self._t)) / (
+                np.sqrt(v / (1 - beta2**self._t)) + eps)
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if hyps.shape[1] != 1:
+            raise ValueError("multiclass probe expects a single categorical "
+                             "hypothesis column")
+        if not self.standardizer.ready:
+            self.standardizer.fit(units)
+        x = self.standardizer.transform(units)
+        y_ids = hyps[:, 0].astype(np.int64)
+        val_mask = np.arange(x.shape[0]) % 5 == 0
+        self._val_x.append(x[val_mask])
+        self._val_y.append(y_ids[val_mask])
+        self._step(x[~val_mask], y_ids[~val_mask])
+        self.push_score(np.array([self._val_accuracy()]))
+
+    def _predict(self, x: np.ndarray) -> np.ndarray:
+        return (x @ self.weights + self.bias).argmax(axis=-1)
+
+    def _val_accuracy(self) -> float:
+        if not self._val_x:
+            return 0.0
+        x = np.concatenate(self._val_x, axis=0)
+        y = np.concatenate(self._val_y, axis=0)
+        return float((self._predict(x) == y).mean())
+
+    def unit_scores(self) -> np.ndarray:
+        # per-unit relevance: L2 norm of the unit's class coefficients
+        return np.sqrt((self.weights**2).sum(axis=1, keepdims=True))
+
+    def group_scores(self) -> np.ndarray:
+        return np.array([self._val_accuracy()])
+
+    def extras(self) -> dict:
+        if not self._val_x:
+            return {"per_class_precision": np.zeros(self.n_classes)}
+        x = np.concatenate(self._val_x, axis=0)
+        y = np.concatenate(self._val_y, axis=0)
+        return {"per_class_precision": multiclass_precision(
+            self._predict(x), y, self.n_classes)}
+
+    def error(self) -> float:
+        return self.delta_error()
+
+
+class MulticlassLogRegScore(Measure):
+    """Softmax probe for one categorical hypothesis (Figure 11's measure).
+
+    The group score is held-out accuracy; ``extras['per_class_precision']``
+    carries the per-tag precision the paper plots.
+    """
+
+    joint = True
+
+    def __init__(self, n_classes: int, regul: str = "L2",
+                 strength: float = 1e-4, lr: float = 0.05,
+                 epochs: int = 10, batch_size: int = 128,
+                 window: int = 4, seed: int = 0):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        regul = regul.upper()
+        self.n_classes = n_classes
+        self.l1 = strength if regul == "L1" else 0.0
+        self.l2 = strength if regul == "L2" else 0.0
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.window = window
+        self.seed = seed
+        self.score_id = f"multiclass_logreg:{regul.lower()}"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _MulticlassState:
+        if n_hyps != 1:
+            raise ValueError("multiclass probe expects exactly one hypothesis")
+        return _MulticlassState(n_units, self)
+
+    def compute(self, units: np.ndarray, hyps: np.ndarray):
+        """Full-data path: fixed train/validation split, multiple epochs."""
+        state = self.new_state(units.shape[1], hyps.shape[1])
+        units = np.asarray(units, dtype=np.float64)
+        y_ids = np.asarray(hyps, dtype=np.float64)[:, 0].astype(np.int64)
+        n = units.shape[0]
+        val_mask = np.arange(n) % 5 == 0
+        state.standardizer.fit(units[~val_mask])
+        x_train = state.standardizer.transform(units[~val_mask])
+        y_train = y_ids[~val_mask]
+        state._val_x.append(state.standardizer.transform(units[val_mask]))
+        state._val_y.append(y_ids[val_mask])
+        rng = new_rng(self.seed)
+        for _ in range(self.epochs):
+            order = rng.permutation(x_train.shape[0])
+            state._step(x_train[order], y_train[order])
+        state.n_rows = n
+        return state.result(converged=True)

@@ -1,0 +1,80 @@
+"""Difference-of-means measure (independent).
+
+Scores each unit by the standardized difference between its mean behavior on
+symbols where the (binary) hypothesis is active versus inactive -- one of the
+classic measures in the RNN-interpretation literature (Section 4.3).
+Early stopping uses the standard error of the mean difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import Measure, MeasureState
+from repro.measures.stats import Z_95
+
+
+class _DiffMeansState(MeasureState):
+    def __init__(self, n_units: int, n_hyps: int):
+        super().__init__(n_units, n_hyps)
+        # sufficient statistics split by hypothesis value (h>0 vs h<=0)
+        self.n_pos = np.zeros(n_hyps)
+        self.n_neg = np.zeros(n_hyps)
+        self.sum_pos = np.zeros((n_units, n_hyps))
+        self.sum_neg = np.zeros((n_units, n_hyps))
+        self.sumsq_pos = np.zeros((n_units, n_hyps))
+        self.sumsq_neg = np.zeros((n_units, n_hyps))
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        active = hyps > 0
+        self.n_pos += active.sum(axis=0)
+        self.n_neg += (~active).sum(axis=0)
+        self.sum_pos += units.T @ active
+        self.sum_neg += units.T @ (~active)
+        units_sq = units**2
+        self.sumsq_pos += units_sq.T @ active
+        self.sumsq_neg += units_sq.T @ (~active)
+
+    def _moments(self):
+        n_pos = np.maximum(self.n_pos, 1e-12)
+        n_neg = np.maximum(self.n_neg, 1e-12)
+        mean_pos = self.sum_pos / n_pos
+        mean_neg = self.sum_neg / n_neg
+        var_pos = np.maximum(self.sumsq_pos / n_pos - mean_pos**2, 0.0)
+        var_neg = np.maximum(self.sumsq_neg / n_neg - mean_neg**2, 0.0)
+        return mean_pos, mean_neg, var_pos, var_neg, n_pos, n_neg
+
+    def unit_scores(self) -> np.ndarray:
+        mean_pos, mean_neg, var_pos, var_neg, n_pos, n_neg = self._moments()
+        pooled = np.sqrt((var_pos * n_pos + var_neg * n_neg)
+                         / (n_pos + n_neg))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(pooled > 1e-12,
+                              (mean_pos - mean_neg) / pooled, 0.0)
+        # zero out hypotheses that never (or always) fired: undefined contrast
+        degenerate = (self.n_pos < 2) | (self.n_neg < 2)
+        scores[:, degenerate] = 0.0
+        return scores
+
+    def error(self) -> float:
+        if self.n_rows < 8:
+            return float("inf")
+        _, _, var_pos, var_neg, n_pos, n_neg = self._moments()
+        valid = (self.n_pos >= 2) & (self.n_neg >= 2)
+        if not valid.any():
+            # no informative hypothesis yet -- scores are pinned at 0 and
+            # will not change, so the estimate is vacuously converged
+            return 0.0
+        se = np.sqrt(var_pos / np.maximum(n_pos, 1)
+                     + var_neg / np.maximum(n_neg, 1))
+        return float((Z_95 * se[:, valid]).max())
+
+
+class DiffMeansScore(Measure):
+    """Standardized mean-activation difference, active vs. inactive symbols."""
+
+    joint = False
+    score_id = "diff_means"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _DiffMeansState:
+        return _DiffMeansState(n_units, n_hyps)

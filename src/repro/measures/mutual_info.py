@@ -1,0 +1,244 @@
+"""Mutual-information measures.
+
+:class:`MutualInfoScore` (independent) discretizes each unit's behavior into
+quantile bins and accumulates joint histograms against each hypothesis --
+the measure Morcos et al. use to find "semantic neurons".
+
+:class:`MultivariateMutualInfoScore` (joint) estimates the MI between a
+hypothesis and the joint activation *pattern* of the most informative units
+of the group, matching the paper's "multivariate implementation of mutual
+information" (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures.base import DeltaWindowMixin, Measure, MeasureState
+
+
+def _digitize(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Column-wise bin ids given per-column inner edges (n_edges, n_cols)."""
+    out = np.zeros(values.shape, dtype=np.int64)
+    for e in range(edges.shape[0]):
+        out += values > edges[e][None, :]
+    return out
+
+
+def _quantile_edges(sample: np.ndarray, n_bins: int) -> np.ndarray:
+    """Inner quantile edges (n_bins - 1, n_cols); ties collapse bins."""
+    qs = np.linspace(0, 1, n_bins + 1)[1:-1]
+    return np.quantile(sample, qs, axis=0)
+
+
+def _mi_from_joint(joint: np.ndarray) -> float:
+    """MI in nats from a 2-D contingency table of counts."""
+    total = joint.sum()
+    if total <= 0:
+        return 0.0
+    p = joint / total
+    pi = p.sum(axis=1, keepdims=True)
+    pj = p.sum(axis=0, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = p * np.log(p / (pi @ pj))
+    return float(np.nansum(terms))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum())
+
+
+class _MiState(MeasureState, DeltaWindowMixin):
+    def __init__(self, n_units: int, n_hyps: int, n_bins: int,
+                 calibration_rows: int, normalize: bool, window: int):
+        MeasureState.__init__(self, n_units, n_hyps)
+        DeltaWindowMixin.__init__(self, window=window)
+        self.n_bins = n_bins
+        self.calibration_rows = calibration_rows
+        self.normalize = normalize
+        self._buffer: list[tuple[np.ndarray, np.ndarray]] = []
+        self._buffered_rows = 0
+        self.u_edges: np.ndarray | None = None
+        self.h_edges: np.ndarray | None = None
+        # joint histogram: (n_units, n_hyps, u_bin, h_bin)
+        self.joint: np.ndarray | None = None
+
+    def _calibrate_and_flush(self) -> None:
+        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
+        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
+        self.u_edges = _quantile_edges(sample_u, self.n_bins)
+        self.h_edges = _quantile_edges(sample_h, self.n_bins)
+        self.joint = np.zeros(
+            (self.n_units, self.n_hyps, self.n_bins, self.n_bins))
+        for u_blk, h_blk in self._buffer:
+            self._accumulate(u_blk, h_blk)
+        self._buffer = []
+
+    def _accumulate(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        assert self.joint is not None
+        u_bins = _digitize(units, self.u_edges)
+        h_bins = _digitize(hyps, self.h_edges)
+        for bu in range(self.n_bins):
+            mask_u = (u_bins == bu).astype(np.float64)
+            for bh in range(self.n_bins):
+                mask_h = (h_bins == bh).astype(np.float64)
+                self.joint[:, :, bu, bh] += mask_u.T @ mask_h
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if self.joint is None:
+            self._buffer.append((units.copy(), hyps.copy()))
+            self._buffered_rows += units.shape[0]
+            if self._buffered_rows >= self.calibration_rows:
+                self._calibrate_and_flush()
+        else:
+            self._accumulate(units, hyps)
+        self.push_score(self.unit_scores().max(axis=0))
+
+    def unit_scores(self) -> np.ndarray:
+        if self.joint is None:
+            if not self._buffer:
+                return np.zeros((self.n_units, self.n_hyps))
+            self._calibrate_and_flush()
+        scores = np.zeros((self.n_units, self.n_hyps))
+        for i in range(self.n_units):
+            for j in range(self.n_hyps):
+                mi = _mi_from_joint(self.joint[i, j])
+                if self.normalize:
+                    h_u = _entropy(self.joint[i, j].sum(axis=1))
+                    h_h = _entropy(self.joint[i, j].sum(axis=0))
+                    denom = np.sqrt(h_u * h_h)
+                    mi = mi / denom if denom > 1e-12 else 0.0
+                scores[i, j] = mi
+        return scores
+
+    def error(self) -> float:
+        return self.delta_error()
+
+
+class MutualInfoScore(Measure):
+    """Quantile-binned mutual information per (unit, hypothesis) pair.
+
+    ``normalize=True`` rescales by sqrt(H(U) * H(H)) so scores live in
+    [0, 1] and are comparable across hypotheses of different entropy.
+    """
+
+    joint = False
+
+    def __init__(self, n_bins: int = 4, calibration_rows: int = 2048,
+                 normalize: bool = True, window: int = 4):
+        if n_bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.n_bins = n_bins
+        self.calibration_rows = calibration_rows
+        self.normalize = normalize
+        self.window = window
+        self.score_id = "mutual_info"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _MiState:
+        return _MiState(n_units, n_hyps, self.n_bins, self.calibration_rows,
+                        self.normalize, self.window)
+
+
+class _MultiMiState(MeasureState, DeltaWindowMixin):
+    def __init__(self, n_units: int, n_hyps: int, top_k: int,
+                 calibration_rows: int, window: int):
+        MeasureState.__init__(self, n_units, n_hyps)
+        DeltaWindowMixin.__init__(self, window=window)
+        self.top_k = min(top_k, n_units)
+        self.calibration_rows = calibration_rows
+        self._buffer: list[tuple[np.ndarray, np.ndarray]] = []
+        self._buffered_rows = 0
+        self.u_medians: np.ndarray | None = None
+        self.selected: np.ndarray | None = None  # (n_hyps, top_k)
+        # per-hypothesis joint histogram over patterns x binary hypothesis
+        self.pattern_joint: np.ndarray | None = None
+        # per-unit binary joint for individual scores
+        self.unit_joint = np.zeros((n_units, n_hyps, 2, 2))
+
+    # -- calibration: pick each hypothesis's most correlated units ------
+    def _calibrate_and_flush(self) -> None:
+        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
+        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
+        self.u_medians = np.median(sample_u, axis=0)
+        bits = sample_u > self.u_medians[None, :]
+        h_act = sample_h > 0
+        # |corr| of binarized signals selects the informative units
+        bu = bits - bits.mean(axis=0, keepdims=True)
+        bh = h_act - h_act.mean(axis=0, keepdims=True)
+        denom = (np.sqrt((bu**2).sum(axis=0))[:, None]
+                 * np.sqrt((bh**2).sum(axis=0))[None, :])
+        with np.errstate(divide="ignore", invalid="ignore"):
+            corr = np.where(denom > 1e-12, np.abs(bu.T @ bh) / denom, 0.0)
+        self.selected = np.argsort(-corr, axis=0)[:self.top_k].T.copy()
+        self.pattern_joint = np.zeros((self.n_hyps, 2**self.top_k, 2))
+        for u_blk, h_blk in self._buffer:
+            self._accumulate(u_blk, h_blk)
+        self._buffer = []
+
+    def _accumulate(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        assert self.selected is not None and self.pattern_joint is not None
+        bits = (units > self.u_medians[None, :]).astype(np.int64)
+        h_act = (hyps > 0).astype(np.int64)
+        powers = 1 << np.arange(self.top_k)
+        for j in range(self.n_hyps):
+            patterns = bits[:, self.selected[j]] @ powers
+            np.add.at(self.pattern_joint[j], (patterns, h_act[:, j]), 1.0)
+        # individual unit contingency tables
+        for bu in (0, 1):
+            mask_u = (bits == bu).astype(np.float64)
+            for bh in (0, 1):
+                mask_h = (h_act == bh).astype(np.float64)
+                self.unit_joint[:, :, bu, bh] += mask_u.T @ mask_h
+
+    def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
+        if self.pattern_joint is None:
+            self._buffer.append((units.copy(), hyps.copy()))
+            self._buffered_rows += units.shape[0]
+            if self._buffered_rows >= self.calibration_rows:
+                self._calibrate_and_flush()
+        else:
+            self._accumulate(units, hyps)
+        group = self.group_scores()
+        if group is not None:
+            self.push_score(group)
+
+    def unit_scores(self) -> np.ndarray:
+        scores = np.zeros((self.n_units, self.n_hyps))
+        for i in range(self.n_units):
+            for j in range(self.n_hyps):
+                scores[i, j] = _mi_from_joint(self.unit_joint[i, j])
+        return scores
+
+    def group_scores(self) -> np.ndarray | None:
+        if self.pattern_joint is None:
+            if not self._buffer:
+                return None
+            self._calibrate_and_flush()
+        return np.array([_mi_from_joint(self.pattern_joint[j])
+                         for j in range(self.n_hyps)])
+
+    def error(self) -> float:
+        return self.delta_error()
+
+
+class MultivariateMutualInfoScore(Measure):
+    """MI between a hypothesis and the joint pattern of the top-k units."""
+
+    joint = True
+
+    def __init__(self, top_k: int = 8, calibration_rows: int = 2048,
+                 window: int = 4):
+        if top_k < 1 or top_k > 16:
+            raise ValueError("top_k must be in [1, 16]")
+        self.top_k = top_k
+        self.calibration_rows = calibration_rows
+        self.window = window
+        self.score_id = f"multi_mi:k{top_k}"
+
+    def new_state(self, n_units: int, n_hyps: int) -> _MultiMiState:
+        return _MultiMiState(n_units, n_hyps, self.top_k,
+                             self.calibration_rows, self.window)

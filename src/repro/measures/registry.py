@@ -1,0 +1,45 @@
+"""Name-based measure lookup (used by the SQL INSPECT clause)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.measures.base import Measure
+from repro.measures.baselines import MajorityClassScore, RandomClassScore
+from repro.measures.correlation import (CorrelationScore,
+                                        SpearmanCorrelationScore)
+from repro.measures.jaccard import JaccardScore
+from repro.measures.logreg import LogRegressionScore
+from repro.measures.means import DiffMeansScore
+from repro.measures.mutual_info import (MultivariateMutualInfoScore,
+                                        MutualInfoScore)
+from repro.measures.probes import LinearProbeScore
+
+_FACTORIES: dict[str, Callable[[], Measure]] = {
+    "corr": lambda: CorrelationScore("pearson"),
+    "pearson": lambda: CorrelationScore("pearson"),
+    "spearman": SpearmanCorrelationScore,
+    "diff_means": DiffMeansScore,
+    "mutual_info": MutualInfoScore,
+    "multi_mi": MultivariateMutualInfoScore,
+    "jaccard": JaccardScore,
+    "logreg": lambda: LogRegressionScore(regul="L1"),
+    "logreg_l1": lambda: LogRegressionScore(regul="L1"),
+    "logreg_l2": lambda: LogRegressionScore(regul="L2"),
+    "linear_probe": LinearProbeScore,
+    "random": RandomClassScore,
+    "majority": MajorityClassScore,
+}
+
+
+def list_measures() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_measure(name: str) -> Measure:
+    """Instantiate a measure by registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown measure {name!r}; available: {list_measures()}")
+    return _FACTORIES[key]()

@@ -1,0 +1,21 @@
+"""Neural machine translation experiment substrate (Section 6.3).
+
+The paper inspects a public OpenNMT English-to-German model over a tagged
+corpus.  Neither the model nor the WMT data is available offline, so this
+package generates a synthetic parallel corpus from a tagged grammar (exact
+POS ground truth by construction), trains a seq2seq model with attention on
+it, and re-implements the Belinkov et al. "in-place probe" scripts as the
+comparison baseline for Figure 11.
+"""
+
+from repro.nmt.belinkov import BelinkovProbe
+from repro.nmt.corpus import NmtCorpus, WordVocab, generate_nmt_corpus
+from repro.nmt.model import train_nmt_model
+
+__all__ = [
+    "BelinkovProbe",
+    "NmtCorpus",
+    "WordVocab",
+    "generate_nmt_corpus",
+    "train_nmt_model",
+]

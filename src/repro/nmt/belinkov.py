@@ -1,0 +1,137 @@
+"""Re-implementation of the Belinkov et al. probing scripts (Figure 11).
+
+The original scripts freeze the translation model's weights and insert a POS
+classifier directly into the encoder; every training epoch therefore re-runs
+the *full* translation model over the data.  DeepBase instead extracts the
+activations once and trains on the cached matrix -- the runtime comparison
+in Section 6.3.1 hinges exactly on this difference, which this class
+reproduces: ``epochs_run`` full model evaluations vs. DeepBase's one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measures.stats import multiclass_precision
+from repro.nmt.corpus import NmtCorpus
+from repro.nn.layers import softmax
+from repro.nn.seq2seq import Seq2SeqModel
+from repro.util.rng import new_rng
+
+
+@dataclass
+class BelinkovResult:
+    per_tag_precision: np.ndarray     # indexed by corpus tag id
+    accuracy: float
+    epochs_run: int
+    seconds: float
+    full_model_evals: int
+
+
+class BelinkovProbe:
+    """In-place POS classifier on the encoder, trained with many passes."""
+
+    def __init__(self, layer: int = 1, lr: float = 0.05, l2: float = 1e-4,
+                 max_epochs: int = 35, patience: int = 5,
+                 batch_size: int = 128, seed: int = 0):
+        self.layer = layer
+        self.lr = lr
+        self.l2 = l2
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self, model: Seq2SeqModel, corpus: NmtCorpus,
+            train_frac: float = 0.8, val_frac: float = 0.1) -> BelinkovResult:
+        """Train the inserted classifier; re-runs the NMT model each epoch."""
+        rng = new_rng(self.seed)
+        n = corpus.n_sentences
+        order = rng.permutation(n)
+        n_train = int(n * train_frac)
+        n_val = int(n * val_frac)
+        train_idx = order[:n_train]
+        val_idx = order[n_train:n_train + n_val]
+        test_idx = order[n_train + n_val:]
+
+        n_classes = len(corpus.tag_names)
+        weights = rng.standard_normal((model.n_units, n_classes)) * 0.01
+        bias = np.zeros(n_classes)
+        velocity_w = np.zeros_like(weights)
+        velocity_b = np.zeros_like(bias)
+
+        best_val = -np.inf
+        stale = 0
+        epochs_run = 0
+        full_model_evals = 0
+        t0 = time.perf_counter()
+
+        for _ in range(self.max_epochs):
+            epochs_run += 1
+            perm = rng.permutation(train_idx)
+            for start in range(0, perm.shape[0], self.batch_size):
+                idx = perm[start:start + self.batch_size]
+                # the scripts run the frozen translation model in place:
+                # encoder AND decoder execute even though only encoder
+                # states feed the classifier
+                model.forward(corpus.src[idx], corpus.tgt_in[idx])
+                full_model_evals += 1
+                states = model.encoder.layer_states()[self.layer]
+                x, y = self._flatten(states, corpus, idx)
+                if x.shape[0] == 0:
+                    continue
+                probs = softmax(x @ weights + bias, axis=-1)
+                probs[np.arange(x.shape[0]), y] -= 1.0
+                grad_w = x.T @ probs / x.shape[0] + self.l2 * weights
+                grad_b = probs.mean(axis=0)
+                velocity_w = 0.9 * velocity_w - self.lr * grad_w
+                velocity_b = 0.9 * velocity_b - self.lr * grad_b
+                weights += velocity_w
+                bias += velocity_b
+
+            val_acc = self._accuracy(model, corpus, val_idx, weights, bias)
+            full_model_evals += 1
+            if val_acc > best_val + 1e-4:
+                best_val = val_acc
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        precision, accuracy = self._test_scores(
+            model, corpus, test_idx, weights, bias, n_classes)
+        full_model_evals += 1
+        return BelinkovResult(per_tag_precision=precision, accuracy=accuracy,
+                              epochs_run=epochs_run,
+                              seconds=time.perf_counter() - t0,
+                              full_model_evals=full_model_evals)
+
+    # ------------------------------------------------------------------
+    def _flatten(self, states: np.ndarray, corpus: NmtCorpus,
+                 idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Keep only non-padding token positions."""
+        tags = corpus.tags[idx]
+        mask = corpus.src[idx] != corpus.src_vocab.pad_id
+        return states[mask], tags[mask]
+
+    def _predict(self, model, corpus, idx, weights, bias):
+        model.forward(corpus.src[idx], corpus.tgt_in[idx])
+        states = model.encoder.layer_states()[self.layer]
+        x, y = self._flatten(states, corpus, idx)
+        pred = (x @ weights + bias).argmax(axis=-1)
+        return pred, y
+
+    def _accuracy(self, model, corpus, idx, weights, bias) -> float:
+        pred, y = self._predict(model, corpus, idx, weights, bias)
+        return float((pred == y).mean()) if y.shape[0] else 0.0
+
+    def _test_scores(self, model, corpus, idx, weights, bias, n_classes):
+        pred, y = self._predict(model, corpus, idx, weights, bias)
+        precision = multiclass_precision(pred, y, n_classes)
+        accuracy = float((pred == y).mean()) if y.shape[0] else 0.0
+        return precision, accuracy

@@ -1,0 +1,42 @@
+"""A small numpy-only neural-network framework (Keras/PyTorch substitute).
+
+Provides exactly what Deep Neural Inspection needs from a deep-learning
+substrate: trainable models (LSTM language models, seq2seq translation with
+attention, small CNNs) whose per-symbol hidden-unit activations can be
+extracted, plus optimizers, losses, a training loop and (de)serialization.
+"""
+
+from repro.nn.device import Device, get_device
+from repro.nn.layers import Dense, Embedding, OneHot
+from repro.nn.losses import (mse_loss, softmax_cross_entropy,
+                             specialization_loss)
+from repro.nn.models import CharLSTMModel, SpecializedLSTMModel
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.recurrent import LSTM
+from repro.nn.seq2seq import Seq2SeqModel
+from repro.nn.serialize import load_model, save_model
+from repro.nn.training import TrainConfig, train_model
+
+__all__ = [
+    "Adam",
+    "CharLSTMModel",
+    "Dense",
+    "Device",
+    "Embedding",
+    "LSTM",
+    "Module",
+    "OneHot",
+    "Parameter",
+    "SGD",
+    "Seq2SeqModel",
+    "SpecializedLSTMModel",
+    "TrainConfig",
+    "get_device",
+    "load_model",
+    "mse_loss",
+    "save_model",
+    "softmax_cross_entropy",
+    "specialization_loss",
+    "train_model",
+]

@@ -1,0 +1,113 @@
+"""Convolutional layers for the CNN experiments (Appendix E).
+
+A minimal im2col-based Conv2D plus max-pooling, enough to train the small
+image classifier whose channel activation maps NetDissect and DeepBase
+compare in Figure 15.  Layout is channels-last: (batch, height, width, ch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter, glorot
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int) -> np.ndarray:
+    """(batch, H, W, C) -> (batch, H-kh+1, W-kw+1, kh*kw*C) patch matrix."""
+    batch, height, width, chans = x.shape
+    out_h = height - kh + 1
+    out_w = width - kw + 1
+    shape = (batch, out_h, out_w, kh, kw, chans)
+    strides = (x.strides[0], x.strides[1], x.strides[2],
+               x.strides[1], x.strides[2], x.strides[3])
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    return patches.reshape(batch, out_h, out_w, kh * kw * chans)
+
+
+class Conv2D(Module):
+    """Valid-padding 2D convolution with ReLU handled by callers."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 rng: np.random.Generator):
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        fan_in = kernel * kernel * in_channels
+        self.weight = Parameter(
+            glorot(rng, fan_in, out_channels, (fan_in, out_channels)),
+            "conv_w")
+        self.bias = Parameter(np.zeros(out_channels), "conv_b")
+        self._cols: np.ndarray | None = None
+        self._in_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        cols = _im2col(x, self.kernel, self.kernel)
+        self._cols = cols
+        return cols @ self.weight.value + self.bias.value
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._cols is not None and self._in_shape is not None
+        batch, out_h, out_w, _ = dy.shape
+        flat_dy = dy.reshape(-1, self.out_channels)
+        flat_cols = self._cols.reshape(-1, self.weight.value.shape[0])
+        self.weight.grad += flat_cols.T @ flat_dy
+        self.bias.grad += flat_dy.sum(axis=0)
+
+        dcols = (flat_dy @ self.weight.value.T).reshape(
+            batch, out_h, out_w, self.kernel, self.kernel, self.in_channels)
+        dx = np.zeros(self._in_shape)
+        for ki in range(self.kernel):
+            for kj in range(self.kernel):
+                dx[:, ki:ki + out_h, kj:kj + out_w, :] += dcols[:, :, :, ki, kj, :]
+        return dx
+
+
+class MaxPool2D(Module):
+    """Non-overlapping max pooling."""
+
+    def __init__(self, size: int = 2):
+        self.size = size
+        self._x: np.ndarray | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        s = self.size
+        batch, height, width, chans = x.shape
+        out_h, out_w = height // s, width // s
+        x = x[:, :out_h * s, :out_w * s, :]
+        self._x = x
+        windows = x.reshape(batch, out_h, s, out_w, s, chans)
+        windows = windows.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, out_h, out_w, s * s, chans)
+        self._argmax = windows.argmax(axis=3)
+        return windows.max(axis=3)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._argmax is not None
+        s = self.size
+        batch, out_h, out_w, chans = dy.shape
+        dwin = np.zeros((batch, out_h, out_w, s * s, chans))
+        np.put_along_axis(dwin, self._argmax[:, :, :, None, :],
+                          dy[:, :, :, None, :], axis=3)
+        dwin = dwin.reshape(batch, out_h, out_w, s, s, chans)
+        dwin = dwin.transpose(0, 1, 3, 2, 4, 5)
+        return dwin.reshape(self._x.shape)
+
+
+class GlobalAvgPool(Module):
+    """Averages over the spatial axes: (b, h, w, c) -> (b, c)."""
+
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._shape is not None
+        batch, height, width, chans = self._shape
+        scale = 1.0 / (height * width)
+        return np.broadcast_to(
+            dy[:, None, None, :], self._shape).copy() * scale

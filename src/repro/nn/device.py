@@ -1,0 +1,67 @@
+"""Execution-device shim (GPU simulation).
+
+The paper offloads merged affinity-model training to a GPU; the speedup comes
+from batching many small per-hypothesis models into one large matrix
+multiplication.  No GPU exists in this environment, so :class:`Device`
+re-creates the *relative* cost structure:
+
+* ``gpu``  -- merged operations run as single vectorized numpy calls
+  (numpy's BLAS plays the role of the parallel device);
+* ``cpu``  -- the same semantics executed column-group-at-a-time in a Python
+  loop, modelling a scalar device that cannot batch across hypotheses.
+
+Both devices compute identical results; only wall-clock differs, which is
+what Figures 5-7 measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_VALID = ("cpu", "gpu")
+
+
+class Device:
+    """Dispatches dense linear algebra according to the device kind."""
+
+    def __init__(self, kind: str = "gpu", cpu_chunk: int = 1):
+        if kind not in _VALID:
+            raise ValueError(f"unknown device {kind!r}; expected one of {_VALID}")
+        self.kind = kind
+        self.cpu_chunk = max(1, cpu_chunk)
+
+    def __repr__(self) -> str:
+        return f"Device({self.kind!r})"
+
+    # ------------------------------------------------------------------
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a @ b`` -- on ``cpu``, computed per column group of ``b``."""
+        if self.kind == "gpu" or b.ndim != 2 or b.shape[1] <= self.cpu_chunk:
+            return a @ b
+        out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+        for start in range(0, b.shape[1], self.cpu_chunk):
+            stop = min(start + self.cpu_chunk, b.shape[1])
+            out[:, start:stop] = a @ b[:, start:stop]
+        return out
+
+    def batched_outer_update(self, x: np.ndarray, d: np.ndarray) -> np.ndarray:
+        """``x.T @ d`` (gradient of a merged linear layer)."""
+        if self.kind == "gpu" or d.ndim != 2 or d.shape[1] <= self.cpu_chunk:
+            return x.T @ d
+        out = np.empty((x.shape[1], d.shape[1]), dtype=np.result_type(x, d))
+        for start in range(0, d.shape[1], self.cpu_chunk):
+            stop = min(start + self.cpu_chunk, d.shape[1])
+            out[:, start:stop] = x.T @ d[:, start:stop]
+        return out
+
+
+_DEFAULT = Device("gpu")
+
+
+def get_device(device: Device | str | None) -> Device:
+    """Normalize a device argument (None -> default vectorized device)."""
+    if device is None:
+        return _DEFAULT
+    if isinstance(device, Device):
+        return device
+    return Device(device)

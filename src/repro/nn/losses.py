@@ -1,0 +1,66 @@
+"""Loss functions.
+
+``softmax_cross_entropy`` powers next-symbol prediction and translation;
+``specialization_loss`` implements the auxiliary loss of Appendix C that
+forces a subset of hidden units to track a hypothesis function
+(``g_M = w * g_h + (1 - w) * g_T``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import softmax
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          targets: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy from raw logits.
+
+    ``logits`` has shape (..., n_classes); ``targets`` holds integer class
+    ids of shape ``logits.shape[:-1]``.  Returns (loss, dlogits) where the
+    gradient is already averaged over all target positions.
+    """
+    probs = softmax(logits, axis=-1)
+    flat_probs = probs.reshape(-1, probs.shape[-1])
+    flat_targets = targets.reshape(-1)
+    n = flat_targets.shape[0]
+    picked = flat_probs[np.arange(n), flat_targets]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    dlogits = flat_probs.copy()
+    dlogits[np.arange(n), flat_targets] -= 1.0
+    dlogits /= n
+    return loss, dlogits.reshape(logits.shape)
+
+
+def mse_loss(pred: np.ndarray,
+             target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error; returns (loss, dpred)."""
+    diff = pred - target
+    loss = float((diff**2).mean())
+    dpred = 2.0 * diff / diff.size
+    return loss, dpred
+
+
+def specialization_loss(hidden: np.ndarray, unit_ids: np.ndarray,
+                        target_behavior: np.ndarray) -> tuple[float, np.ndarray]:
+    """Auxiliary loss forcing units ``unit_ids`` to emit ``target_behavior``.
+
+    ``hidden`` is the full hidden sequence (batch, time, units);
+    ``target_behavior`` is (batch, time) -- the hypothesis behavior each
+    specialized unit should reproduce.  Returns (loss, dhidden) with zeros on
+    non-specialized units.
+    """
+    sub = hidden[:, :, unit_ids]
+    target = target_behavior[:, :, None]
+    diff = sub - target
+    loss = float((diff**2).mean())
+    dhidden = np.zeros_like(hidden)
+    dhidden[:, :, unit_ids] = 2.0 * diff / diff.size
+    return loss, dhidden
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of positions where argmax(logits) equals the target id."""
+    pred = logits.argmax(axis=-1)
+    return float((pred == targets).mean())

@@ -1,0 +1,113 @@
+"""Minibatch training loop with early stopping and epoch snapshots.
+
+The paper trains its models "for up to 50 epochs with Keras early stopping"
+and, for the inspection-across-epochs study (Appendix D / Figure 14),
+captures model snapshots after chosen epochs.  ``snapshot_hook`` provides
+that capture point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.optim import Adam
+from repro.util.rng import new_rng
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :func:`train_model`."""
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 1e-3
+    patience: int = 3           # epochs without val improvement before stop
+    validation_split: float = 0.1
+    seed: int = 0
+    verbose: bool = False
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch history plus the best validation metrics."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_acc: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    val_acc: list[float] = field(default_factory=list)
+    stopped_epoch: int = 0
+
+    @property
+    def best_val_acc(self) -> float:
+        return max(self.val_acc) if self.val_acc else float("nan")
+
+
+def train_model(model, inputs: np.ndarray, targets: np.ndarray,
+                config: TrainConfig | None = None,
+                aux_behavior: np.ndarray | None = None,
+                snapshot_hook: Callable[[int, object], None] | None = None
+                ) -> TrainResult:
+    """Train any model exposing ``loss_and_grads`` / ``evaluate``.
+
+    ``aux_behavior`` (records, time) is forwarded to specialized models.
+    ``snapshot_hook(epoch, model)`` fires after each epoch, before the
+    early-stopping check, so callers can deep-copy weights per epoch.
+    """
+    config = config or TrainConfig()
+    rng = new_rng(config.seed)
+    n = inputs.shape[0]
+    n_val = max(1, int(n * config.validation_split)) if n > 4 else 0
+    order = rng.permutation(n)
+    val_idx, train_idx = order[:n_val], order[n_val:]
+
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    result = TrainResult()
+    best_val = float("inf")
+    stale = 0
+
+    for epoch in range(config.epochs):
+        perm = rng.permutation(len(train_idx))
+        epoch_loss, epoch_acc, n_batches = 0.0, 0.0, 0
+        for start in range(0, len(perm), config.batch_size):
+            batch = train_idx[perm[start:start + config.batch_size]]
+            optimizer.zero_grad()
+            if aux_behavior is not None:
+                loss, acc = model.loss_and_grads(
+                    inputs[batch], targets[batch],
+                    aux_behavior=aux_behavior[batch])
+            else:
+                loss, acc = model.loss_and_grads(inputs[batch], targets[batch])
+            optimizer.step()
+            epoch_loss += loss
+            epoch_acc += acc
+            n_batches += 1
+
+        result.train_loss.append(epoch_loss / max(1, n_batches))
+        result.train_acc.append(epoch_acc / max(1, n_batches))
+
+        if n_val:
+            val_loss, val_acc = model.evaluate(
+                inputs[val_idx], targets[val_idx])
+        else:
+            val_loss, val_acc = result.train_loss[-1], result.train_acc[-1]
+        result.val_loss.append(val_loss)
+        result.val_acc.append(val_acc)
+        result.stopped_epoch = epoch
+
+        if config.verbose:
+            print(f"epoch {epoch}: loss={result.train_loss[-1]:.4f} "
+                  f"acc={result.train_acc[-1]:.3f} val_acc={val_acc:.3f}")
+        if snapshot_hook is not None:
+            snapshot_hook(epoch, model)
+
+        if val_loss < best_val - 1e-6:
+            best_val = val_loss
+            stale = 0
+        else:
+            stale += 1
+            if stale >= config.patience:
+                break
+    return result

@@ -1,0 +1,8 @@
+"""Shared utilities: result frames, RNG control, timing, block iteration."""
+
+from repro.util.blocks import iter_blocks
+from repro.util.frame import Frame
+from repro.util.rng import new_rng, spawn_rngs
+from repro.util.timing import Stopwatch, Timer
+
+__all__ = ["Frame", "Stopwatch", "Timer", "iter_blocks", "new_rng", "spawn_rngs"]

@@ -1,0 +1,217 @@
+"""A light columnar table, the return type of :func:`repro.core.inspect`.
+
+The paper's API returns a pandas DataFrame with schema
+``(model_id, score_id, hyp_id, h_unit_id, val)``.  pandas is not available in
+this environment, so :class:`Frame` provides the small relational surface the
+experiments actually use: column access, row filtering, group-by aggregation,
+sorting, joins on single keys, and CSV export.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+
+class Frame:
+    """An ordered mapping of column name -> list of values, equal lengths."""
+
+    def __init__(self, columns: Mapping[str, Sequence[Any]] | None = None):
+        self._cols: dict[str, list[Any]] = {}
+        if columns:
+            lengths = {len(v) for v in columns.values()}
+            if len(lengths) > 1:
+                raise ValueError(f"column lengths differ: {lengths}")
+            for name, values in columns.items():
+                self._cols[name] = list(values)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]],
+                     columns: Sequence[str] | None = None) -> "Frame":
+        """Build a frame from an iterable of dict rows.
+
+        ``columns`` fixes the column order (and allows an empty frame with a
+        known schema); otherwise the order of first appearance is used.
+        """
+        records = list(records)
+        if columns is None:
+            columns = []
+            for rec in records:
+                for key in rec:
+                    if key not in columns:
+                        columns.append(key)
+        frame = cls()
+        for col in columns:
+            frame._cols[col] = [rec.get(col) for rec in records]
+        return frame
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._cols)
+
+    def __len__(self) -> int:
+        if not self._cols:
+            return 0
+        return len(next(iter(self._cols.values())))
+
+    def __getitem__(self, name: str) -> list[Any]:
+        return self._cols[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cols
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        return self._cols == other._cols
+
+    def __repr__(self) -> str:
+        return f"Frame({len(self)} rows x {len(self._cols)} cols: {self.columns})"
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Materialize the frame as a list of dict rows."""
+        names = self.columns
+        return [dict(zip(names, vals)) for vals in zip(*self._cols.values())] \
+            if self._cols else []
+
+    def row(self, i: int) -> dict[str, Any]:
+        return {name: col[i] for name, col in self._cols.items()}
+
+    def column(self, name: str, dtype=None) -> np.ndarray:
+        """Return a column as a numpy array (optionally cast)."""
+        arr = np.asarray(self._cols[name])
+        if dtype is not None:
+            arr = arr.astype(dtype)
+        return arr
+
+    # ------------------------------------------------------------------
+    # relational-ish operators
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[dict[str, Any]], bool]) -> "Frame":
+        """Return the rows for which ``predicate(row)`` is true."""
+        return Frame.from_records(
+            [r for r in self.rows() if predicate(r)], columns=self.columns)
+
+    def where(self, **conditions: Any) -> "Frame":
+        """Shorthand equality filter: ``frame.where(score_id="corr")``."""
+        def pred(row: dict[str, Any]) -> bool:
+            return all(row.get(k) == v for k, v in conditions.items())
+        return self.filter(pred)
+
+    def select(self, *names: str) -> "Frame":
+        frame = Frame()
+        for name in names:
+            frame._cols[name] = list(self._cols[name])
+        return frame
+
+    def with_column(self, name: str, values: Sequence[Any]) -> "Frame":
+        if self._cols and len(values) != len(self):
+            raise ValueError(
+                f"column {name!r} has {len(values)} values, frame has {len(self)} rows")
+        frame = Frame(self._cols)
+        frame._cols[name] = list(values)
+        return frame
+
+    def sort(self, by: str, reverse: bool = False) -> "Frame":
+        order = sorted(range(len(self)), key=lambda i: self._cols[by][i],
+                       reverse=reverse)
+        frame = Frame()
+        for name, col in self._cols.items():
+            frame._cols[name] = [col[i] for i in order]
+        return frame
+
+    def head(self, n: int) -> "Frame":
+        frame = Frame()
+        for name, col in self._cols.items():
+            frame._cols[name] = col[:n]
+        return frame
+
+    def groupby(self, keys: str | Sequence[str],
+                aggs: Mapping[str, tuple[str, Callable[[list], Any]]]) -> "Frame":
+        """Hash group-by.
+
+        ``aggs`` maps output column -> (input column, aggregation function).
+        """
+        if isinstance(keys, str):
+            keys = [keys]
+        groups: dict[tuple, list[int]] = {}
+        for i in range(len(self)):
+            key = tuple(self._cols[k][i] for k in keys)
+            groups.setdefault(key, []).append(i)
+        records = []
+        for key, idxs in groups.items():
+            rec = dict(zip(keys, key))
+            for out_name, (in_name, fn) in aggs.items():
+                rec[out_name] = fn([self._cols[in_name][i] for i in idxs])
+            records.append(rec)
+        return Frame.from_records(records)
+
+    def join(self, other: "Frame", on: str, suffix: str = "_r") -> "Frame":
+        """Inner hash join on a single key column."""
+        index: dict[Any, list[int]] = {}
+        for j in range(len(other)):
+            index.setdefault(other._cols[on][j], []).append(j)
+        records = []
+        for i in range(len(self)):
+            key = self._cols[on][i]
+            for j in index.get(key, []):
+                rec = self.row(i)
+                for name, col in other._cols.items():
+                    if name == on:
+                        continue
+                    out = name if name not in rec else name + suffix
+                    rec[out] = col[j]
+                records.append(rec)
+        return Frame.from_records(records)
+
+    def concat(self, other: "Frame") -> "Frame":
+        """Stack two frames with identical schemas."""
+        if other.columns != self.columns:
+            if not self._cols:
+                return Frame(other._cols)
+            if not other._cols:
+                return Frame(self._cols)
+            raise ValueError(f"schema mismatch: {self.columns} vs {other.columns}")
+        frame = Frame()
+        for name in self.columns:
+            frame._cols[name] = self._cols[name] + other._cols[name]
+        return frame
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(",".join(self.columns) + "\n")
+            for row in self.rows():
+                f.write(",".join(str(row[c]) for c in self.columns) + "\n")
+
+    def to_string(self, max_rows: int = 20, float_fmt: str = "{:.4f}") -> str:
+        """Readable fixed-width rendering (used by benches to print tables)."""
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                return float_fmt.format(v)
+            return str(v)
+
+        names = self.columns
+        shown = self.rows()[:max_rows]
+        cells = [[fmt(r[c]) for c in names] for r in shown]
+        widths = [max([len(n)] + [len(row[i]) for row in cells])
+                  for i, n in enumerate(names)]
+        lines = ["  ".join(n.ljust(w) for n, w in zip(names, widths))]
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if len(self) > max_rows:
+            lines.append(f"... ({len(self) - max_rows} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Perturbation-based verification of high-scoring units (Section 4.4).
+
+DNI is a data-mining procedure over many pairwise tests, so high scores may
+be false positives.  The verification procedure runs randomized-control
+trials: for sampled input positions it swaps the symbol with a *baseline*
+replacement (hypothesis behavior unchanged) and a *treatment* replacement
+(behavior changes), and checks whether the candidate units' activation
+deltas separate the two conditions -- quantified with the Silhouette score.
+"""
+
+from repro.verify.perturb import (GenericPerturber, MappingPerturber,
+                                  Perturber)
+from repro.verify.procedure import VerificationReport, verify_units
+
+__all__ = [
+    "GenericPerturber",
+    "MappingPerturber",
+    "Perturber",
+    "VerificationReport",
+    "verify_units",
+]

@@ -1,0 +1,18 @@
+"""CNN inspection substrate (Appendix E): synthetic Broden-style images,
+a small trainable CNN, and a NetDissect implementation to compare DeepBase's
+Jaccard measure against (Figure 15).
+"""
+
+from repro.vision.cnn_model import ShapeCnn, pixel_behaviors, train_shape_cnn
+from repro.vision.netdissect import NetDissect, netdissect_scores
+from repro.vision.shapes import ShapeDataset, generate_shape_dataset
+
+__all__ = [
+    "NetDissect",
+    "ShapeCnn",
+    "ShapeDataset",
+    "generate_shape_dataset",
+    "netdissect_scores",
+    "pixel_behaviors",
+    "train_shape_cnn",
+]

@@ -1,0 +1,72 @@
+"""Terminal visualization helpers (the LSTMVis-style manual-inspection view).
+
+The paper motivates DNI by showing how hard manual inspection of activation
+plots is (Figure 1); these helpers render the same views as aligned ASCII so
+examples and debugging sessions can eyeball unit behavior without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+
+#: glyph ramp from strongly negative to strongly positive activation
+GLYPHS = " .:-=+*#%@"
+
+
+def activation_glyphs(values: np.ndarray, lo: float = -1.0,
+                      hi: float = 1.0) -> str:
+    """Map a 1-D activation sequence to a glyph string."""
+    span = hi - lo
+    clipped = np.clip((np.asarray(values) - lo) / span, 0.0, 1.0 - 1e-9)
+    return "".join(GLYPHS[int(v * len(GLYPHS))] for v in clipped)
+
+
+def activation_trace(model, dataset: Dataset, unit_ids: list[int],
+                     record: int = 0) -> str:
+    """Figure 1: one record's input with per-unit activation rows."""
+    states = model.hidden_states(dataset.symbols[record:record + 1])[0]
+    text = dataset.record_text(record)
+    lines = [f"input    |{text}|"]
+    for unit in unit_ids:
+        lines.append(f"unit {unit:3d} |{activation_glyphs(states[:, unit])}|")
+    return "\n".join(lines)
+
+
+def behavior_heatmap(behavior: np.ndarray, text: str,
+                     label: str = "hypothesis") -> str:
+    """Align a hypothesis-behavior vector under its record text."""
+    values = np.asarray(behavior, dtype=float)
+    hi = max(float(values.max()), 1.0)
+    lines = [f"input      |{text}|",
+             f"{label[:10]:10s} |{activation_glyphs(values, 0.0, hi)}|"]
+    return "\n".join(lines)
+
+
+def unit_hypothesis_overlay(model, dataset: Dataset, unit: int,
+                            hypothesis, record: int = 0) -> str:
+    """Stack a unit's activations over a hypothesis's behavior (eyeball
+    check of an affinity score)."""
+    states = model.hidden_states(dataset.symbols[record:record + 1])[0]
+    behavior = hypothesis.behavior(dataset, record)
+    text = dataset.record_text(record)
+    hi = max(float(np.max(behavior)), 1.0)
+    return "\n".join([
+        f"input    |{text}|",
+        f"unit {unit:3d} |{activation_glyphs(states[:, unit])}|",
+        f"hyp      |{activation_glyphs(behavior, 0.0, hi)}|",
+    ])
+
+
+def score_bar_chart(labels: list[str], values: list[float],
+                    width: int = 40) -> str:
+    """Horizontal bar chart for affinity scores (Figure 12b style)."""
+    hi = max(max(values), 1e-9)
+    label_w = max(len(lbl) for lbl in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * max(value, 0.0) / hi))
+        lines.append(f"{label.ljust(label_w)} {value:7.3f} |{bar}")
+    return "\n".join(lines)

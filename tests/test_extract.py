@@ -1,0 +1,120 @@
+"""Tests for behavior extractors."""
+
+import numpy as np
+import pytest
+
+from repro.extract import (EncoderActivationExtractor, HypothesisExtractor,
+                           RnnActivationExtractor)
+from repro.extract.base import apply_transform
+from repro.hypotheses import CharSetHypothesis, PositionCounterHypothesis
+from repro.util.rng import new_rng
+
+
+class TestTransforms:
+    def test_activation_identity(self):
+        x = new_rng(0).standard_normal((2, 3, 4))
+        assert np.array_equal(apply_transform(x, "activation"), x)
+
+    def test_abs(self):
+        x = np.array([[[-1.0, 2.0]]])
+        assert np.array_equal(apply_transform(x, "abs"), [[[1.0, 2.0]]])
+
+    def test_gradient_is_temporal_diff(self):
+        x = np.array([[[1.0], [3.0], [2.0]]])
+        out = apply_transform(x, "gradient")
+        assert out[0, :, 0].tolist() == [0.0, 2.0, -1.0]
+
+    def test_unknown_transform(self):
+        with pytest.raises(ValueError):
+            apply_transform(np.zeros((1, 1, 1)), "banana")
+
+
+class TestRnnExtractor(object):
+    def test_shape_is_symbol_major(self, sql_workload, trained_sql_model):
+        ext = RnnActivationExtractor(batch_size=32)
+        records = sql_workload.dataset.symbols[:10]
+        out = ext.extract(trained_sql_model, records)
+        assert out.shape == (10 * sql_workload.dataset.n_symbols,
+                             trained_sql_model.n_units)
+
+    def test_unit_selection(self, sql_workload, trained_sql_model):
+        ext = RnnActivationExtractor()
+        records = sql_workload.dataset.symbols[:4]
+        full = ext.extract(trained_sql_model, records)
+        sub = ext.extract(trained_sql_model, records, hid_units=[3, 5])
+        assert np.array_equal(sub, full[:, [3, 5]])
+
+    def test_batching_invariant(self, sql_workload, trained_sql_model):
+        records = sql_workload.dataset.symbols[:12]
+        small = RnnActivationExtractor(batch_size=5).extract(
+            trained_sql_model, records)
+        large = RnnActivationExtractor(batch_size=512).extract(
+            trained_sql_model, records)
+        assert np.allclose(small, large)
+
+    def test_empty_records(self, sql_workload, trained_sql_model):
+        ext = RnnActivationExtractor()
+        out = ext.extract(trained_sql_model,
+                          sql_workload.dataset.symbols[:0])
+        assert out.shape == (0, trained_sql_model.n_units)
+
+    def test_row_alignment_with_hidden_states(self, sql_workload,
+                                              trained_sql_model):
+        """Row r*ns + t must equal hidden state of record r at time t."""
+        records = sql_workload.dataset.symbols[:3]
+        ext = RnnActivationExtractor()
+        flat = ext.extract(trained_sql_model, records)
+        states = trained_sql_model.hidden_states(records)
+        ns = records.shape[1]
+        assert np.allclose(flat[1 * ns + 4], states[1, 4])
+
+    def test_n_units(self, trained_sql_model):
+        assert RnnActivationExtractor().n_units(trained_sql_model) == \
+            trained_sql_model.n_units
+
+
+class TestEncoderExtractor:
+    @pytest.fixture(scope="class")
+    def nmt(self):
+        from repro.nmt import generate_nmt_corpus, train_nmt_model
+        corpus = generate_nmt_corpus(n_sentences=60, seed=3)
+        model = train_nmt_model(corpus, n_units=8, epochs=1, seed=0)
+        return corpus, model
+
+    def test_single_layer_shape(self, nmt):
+        corpus, model = nmt
+        ext = EncoderActivationExtractor(layer=0)
+        out = ext.extract(model, corpus.src[:5])
+        assert out.shape == (5 * corpus.src.shape[1], model.n_units)
+
+    def test_all_layers_concatenated(self, nmt):
+        corpus, model = nmt
+        ext = EncoderActivationExtractor(layer=None)
+        out = ext.extract(model, corpus.src[:5])
+        assert out.shape[1] == model.n_units * model.n_layers
+        assert ext.n_units(model) == model.n_units * model.n_layers
+
+    def test_layers_differ(self, nmt):
+        corpus, model = nmt
+        l0 = EncoderActivationExtractor(layer=0).extract(model, corpus.src[:5])
+        l1 = EncoderActivationExtractor(layer=1).extract(model, corpus.src[:5])
+        assert not np.allclose(l0, l1)
+
+
+class TestHypothesisExtractor:
+    def test_columns_align_with_hypotheses(self, sql_workload):
+        hyps = [CharSetHypothesis("space", " "),
+                PositionCounterHypothesis()]
+        ext = HypothesisExtractor(hyps)
+        out = ext.extract(sql_workload.dataset, [0, 1])
+        ns = sql_workload.dataset.n_symbols
+        assert out.shape == (2 * ns, 2)
+        assert np.array_equal(out[:ns, 1], np.arange(ns))
+
+    def test_names(self):
+        hyps = [CharSetHypothesis("space", " ")]
+        assert HypothesisExtractor(hyps).names == ["space"]
+
+    def test_empty_hypothesis_list(self, sql_workload):
+        out = HypothesisExtractor([]).extract(sql_workload.dataset, [0])
+        assert out.shape == (sql_workload.dataset.n_symbols, 0)

@@ -1,0 +1,92 @@
+"""Tests for the CFG/PCFG representation."""
+
+import pytest
+
+from repro.grammar.cfg import Grammar, Production, grammar_from_rules
+
+
+@pytest.fixture
+def toy():
+    return grammar_from_rules("s", [
+        ("s", ("a", "x"), 1.0),
+        ("x", ("b",), 1.0),
+        ("x", (), 0.5),
+    ])
+
+
+class TestProduction:
+    def test_str_shows_epsilon(self):
+        assert "ε" in str(Production("x", ()))
+
+    def test_rejects_empty_lhs(self):
+        with pytest.raises(ValueError):
+            Production("", ("a",))
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            Production("x", ("a",), weight=0.0)
+
+    def test_frozen(self):
+        p = Production("x", ("a",))
+        with pytest.raises(AttributeError):
+            p.lhs = "y"
+
+
+class TestGrammar:
+    def test_nonterminals(self, toy):
+        assert toy.nonterminals == {"s", "x"}
+
+    def test_terminals(self, toy):
+        assert toy.terminals == {"a", "b"}
+
+    def test_is_nonterminal(self, toy):
+        assert toy.is_nonterminal("x")
+        assert not toy.is_nonterminal("a")
+
+    def test_productions_for(self, toy):
+        assert len(toy.productions_for("x")) == 2
+        assert toy.productions_for("zzz") == []
+
+    def test_len_counts_rules(self, toy):
+        assert len(toy) == 3
+
+    def test_start_without_productions_rejected(self):
+        with pytest.raises(ValueError, match="start"):
+            Grammar(start="nope", productions=[Production("s", ("a",))])
+
+    def test_nullable_symbols(self, toy):
+        assert toy.nullable_symbols() == {"x"}
+
+    def test_nullable_propagates(self):
+        g = grammar_from_rules("s", [
+            ("s", ("x", "y"), 1.0),
+            ("x", (), 1.0),
+            ("y", (), 1.0),
+        ])
+        assert g.nullable_symbols() == {"s", "x", "y"}
+
+    def test_alphabet_collects_chars(self, toy):
+        assert toy.alphabet() == ["a", "b"]
+
+    def test_alphabet_multichar_terminals(self):
+        g = grammar_from_rules("s", [("s", ("ab", "bc"), 1.0)])
+        assert g.alphabet() == ["a", "b", "c"]
+
+    def test_validate_accepts_clean_grammar(self, toy):
+        toy.validate()  # no exception
+
+    def test_validate_rejects_unreachable(self):
+        g = grammar_from_rules("s", [
+            ("s", ("a",), 1.0),
+            ("orphan", ("b",), 1.0),
+        ])
+        with pytest.raises(ValueError, match="unreachable"):
+            g.validate()
+
+    def test_validate_rejects_unproductive(self):
+        g = grammar_from_rules("s", [
+            ("s", ("loop",), 1.0),
+            ("loop", ("loop",), 1.0),
+        ])
+        with pytest.raises(ValueError, match="unproductive"):
+            g.validate()

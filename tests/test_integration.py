@@ -1,0 +1,146 @@
+"""Cross-subsystem integration tests: full analysis pipelines end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (InspectConfig, UnitGroup, inspect, saliency_frame,
+                   top_units)
+from repro.baselines import PyBaseRunner
+from repro.extract.base import HypothesisExtractor
+from repro.extract.rnn import RnnActivationExtractor
+from repro.hypotheses import (CharSetHypothesis, bracket_machine_hypotheses,
+                              grammar_hypotheses)
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.measures import (CorrelationScore, DiffMeansScore,
+                            LogRegressionScore, MutualInfoScore,
+                            RandomClassScore)
+from repro.verify import verify_units
+from repro.util.rng import new_rng
+
+
+class TestSqlPipeline:
+    """The full Section 4.1 analysis on the shared fixtures."""
+
+    def test_specialized_unit_found_by_every_independent_measure(
+            self, parens_workload, specialized_parens_model):
+        """Units forced to track a hypothesis must rank top for all
+        independent measures simultaneously."""
+        hyp = CharSetHypothesis("parens", "()")
+        measures = [CorrelationScore(), DiffMeansScore(),
+                    MutualInfoScore(calibration_rows=512)]
+        frame = inspect([specialized_parens_model], parens_workload.dataset,
+                        measures, [hyp],
+                        config=InspectConfig(mode="full"))
+        specialized = {0, 1, 2, 3}
+        for measure in measures:
+            top = top_units(frame, measure.score_id, "parens", k=3)
+            found = set(top["h_unit_id"]) & specialized
+            assert found, f"{measure.score_id} missed the specialized units"
+
+    def test_probe_beats_random_baseline(self, trained_sql_model,
+                                         sql_workload):
+        hyps = sql_keyword_hypotheses(("SELECT", "FROM"))
+        frame = inspect([trained_sql_model], sql_workload.dataset,
+                        [LogRegressionScore(epochs=6, cv_folds=2, lr=0.1),
+                         RandomClassScore()], hyps,
+                        config=InspectConfig(mode="full", max_records=300))
+        for hyp in hyps:
+            probe = frame.where(score_id="logreg:l1", kind="group",
+                                hyp_id=hyp.name)["val"][0]
+            floor = frame.where(score_id="baseline:random", kind="group",
+                                hyp_id=hyp.name)["val"][0]
+            assert probe > floor, hyp.name
+
+    def test_deepbase_matches_pybase_scores(self, trained_sql_model,
+                                            sql_workload):
+        """Optimizations must not change correlation results (exactness)."""
+        hyps = sql_keyword_hypotheses(("SELECT",))
+        small = sql_workload.dataset.head(60)
+        frame = inspect([trained_sql_model], small, [CorrelationScore()],
+                        hyps, config=InspectConfig(mode="streaming",
+                                                   early_stop=False,
+                                                   shuffle=False))
+        pybase = PyBaseRunner().run_correlation(trained_sql_model, small,
+                                                hyps)
+        engine_scores = np.array(
+            frame.sort("h_unit_id")["val"], dtype=float)
+        assert np.allclose(engine_scores, pybase.unit_scores[:, 0],
+                           atol=1e-9)
+
+    def test_grammar_and_iterator_hypotheses_compose(self, parens_workload,
+                                                     specialized_parens_model):
+        """Different hypothesis generators can be mixed in one call."""
+        hyps = bracket_machine_hypotheses()[:2]
+        hyps += [CharSetHypothesis("digits", "0123456789")]
+        frame = inspect([specialized_parens_model], parens_workload.dataset,
+                        [CorrelationScore()], hyps,
+                        config=InspectConfig(mode="full", max_records=80))
+        assert set(frame["hyp_id"]) == {h.name for h in hyps}
+
+    def test_saliency_agrees_with_correlation(self, parens_workload,
+                                              specialized_parens_model):
+        """A unit specialized on parens must have parens among its top
+        saliency symbols."""
+        frame = saliency_frame(specialized_parens_model,
+                               parens_workload.dataset, units=[0], k=10,
+                               max_records=60)
+        symbols = set(frame["symbol"])
+        assert symbols & {"(", ")"}
+
+    def test_verification_confirms_probe_selection(self, parens_workload,
+                                                   specialized_parens_model):
+        """L1-probe selection followed by verification (the paper's loop)."""
+        hyp = CharSetHypothesis("parens", "()")
+        units = RnnActivationExtractor().extract(
+            specialized_parens_model, parens_workload.dataset.symbols)
+        hyp_m = HypothesisExtractor([hyp]).extract(parens_workload.dataset)
+        probe = LogRegressionScore(regul="L1", strength=5e-3, epochs=3,
+                                   cv_folds=2)
+        result = probe.compute(units, hyp_m)
+        selected = np.argsort(-np.abs(result.unit_scores[:, 0]))[:4]
+        report = verify_units(specialized_parens_model,
+                              parens_workload.dataset, hyp, selected,
+                              n_sites=40, rng=new_rng(11))
+        assert report.silhouette > 0.3
+
+
+class TestMultiModelComparison:
+    def test_epoch_groups_scored_independently(self, sql_workload):
+        """Two snapshots inspected in one call get separate scores."""
+        from repro.nn import CharLSTMModel, TrainConfig, train_model
+        from repro.nn.serialize import clone_model
+        model = CharLSTMModel(len(sql_workload.vocab), 12, new_rng(21),
+                              model_id="m_trained")
+        frozen = clone_model(model)
+        frozen.model_id = "m_init"
+        train_model(model, sql_workload.dataset.symbols, sql_workload.targets,
+                    TrainConfig(epochs=2, lr=3e-3))
+        hyps = sql_keyword_hypotheses(("SELECT",))
+        frame = inspect([model, frozen], sql_workload.dataset,
+                        [CorrelationScore()], hyps,
+                        config=InspectConfig(mode="full", max_records=60))
+        trained_vals = frame.where(model_id="m_trained")["val"]
+        init_vals = frame.where(model_id="m_init")["val"]
+        assert len(trained_vals) == len(init_vals) == 12
+        assert not np.allclose(trained_vals, init_vals)
+
+    def test_layer_groups_get_distinct_scores(self):
+        from repro.data.datasets import Dataset, Vocab
+        from repro.extract import EncoderActivationExtractor
+        from repro.nmt import generate_nmt_corpus, train_nmt_model
+        corpus = generate_nmt_corpus(n_sentences=80, seed=13)
+        model = train_nmt_model(corpus, n_units=8, epochs=2, seed=0)
+        dataset = Dataset(corpus.src, Vocab(["x"]),
+                          meta=[{} for _ in range(corpus.n_sentences)])
+        from repro.hypotheses.annotations import tag_indicator_hypotheses
+        hyps = tag_indicator_hypotheses(corpus.tags, corpus.tag_names)[:3]
+        groups = [UnitGroup(model=model, unit_ids=np.arange(8),
+                            name=f"layer{layer}",
+                            extractor=EncoderActivationExtractor(layer=layer))
+                  for layer in (0, 1)]
+        frame = inspect(None, dataset, [CorrelationScore()], hyps,
+                        unit_groups=groups,
+                        config=InspectConfig(mode="full"))
+        l0 = frame.where(group_id="layer0")["val"]
+        l1 = frame.where(group_id="layer1")["val"]
+        assert not np.allclose(l0, l1)

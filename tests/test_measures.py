@@ -1,0 +1,342 @@
+"""Tests for affinity measures: correctness on known structure, incremental
+consistency, convergence behavior, and the model-merging exactness claim."""
+
+import numpy as np
+import pytest
+
+from repro.measures import (CorrelationScore, DiffMeansScore, JaccardScore,
+                            LinearProbeScore, LogRegressionScore,
+                            MajorityClassScore, MulticlassLogRegScore,
+                            MultivariateMutualInfoScore, MutualInfoScore,
+                            RandomClassScore, SpearmanCorrelationScore,
+                            get_measure, list_measures)
+from repro.measures.logreg import MergedLogisticRegression
+from repro.util.rng import new_rng
+
+
+class TestCorrelation:
+    def test_exact_tracker_scores_high(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = CorrelationScore("pearson").compute(units, hyps)
+        assert res.unit_scores[0, 0] > 0.9
+        assert abs(res.unit_scores[4, 0]) < 0.1
+        assert abs(res.unit_scores[0, 1]) < 0.1
+
+    def test_matches_numpy_corrcoef(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = CorrelationScore().compute(units, hyps)
+        expected = np.corrcoef(units[:, 2], hyps[:, 0])[0, 1]
+        assert res.unit_scores[2, 0] == pytest.approx(expected, abs=1e-9)
+
+    def test_incremental_equals_full(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        measure = CorrelationScore()
+        full = measure.compute(units, hyps)
+        state = measure.new_state(units.shape[1], hyps.shape[1])
+        for start in range(0, units.shape[0], 500):
+            result, _ = measure.process_block(
+                state, units[start:start + 500], hyps[start:start + 500])
+        assert np.allclose(result.unit_scores, full.unit_scores, atol=1e-9)
+
+    def test_error_shrinks_with_data(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        measure = CorrelationScore()
+        state = measure.new_state(units.shape[1], hyps.shape[1])
+        _, err1 = measure.process_block(state, units[:200], hyps[:200])
+        _, err2 = measure.process_block(state, units[200:2000], hyps[200:2000])
+        assert err2 < err1
+
+    def test_constant_unit_scores_zero(self):
+        units = np.ones((100, 1))
+        hyps = new_rng(0).random((100, 1))
+        res = CorrelationScore().compute(units, hyps)
+        assert res.unit_scores[0, 0] == 0.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationScore("kendall")
+
+    def test_spearman_handles_monotone_nonlinear(self):
+        rng = new_rng(0)
+        h = rng.random((2000, 1))
+        units = np.exp(5 * h)  # monotone but nonlinear
+        res = SpearmanCorrelationScore().compute(units, h)
+        assert res.unit_scores[0, 0] > 0.95
+
+
+class TestDiffMeans:
+    def test_detects_mean_shift(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = DiffMeansScore().compute(units, hyps)
+        assert res.unit_scores[0, 0] > 2.0
+        assert abs(res.unit_scores[4, 0]) < 0.2
+
+    def test_degenerate_hypothesis_scores_zero(self):
+        units = new_rng(0).standard_normal((100, 2))
+        hyps = np.zeros((100, 1))  # never fires
+        res = DiffMeansScore().compute(units, hyps)
+        assert np.all(res.unit_scores == 0.0)
+
+    def test_incremental_equals_full(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        measure = DiffMeansScore()
+        full = measure.compute(units, hyps)
+        state = measure.new_state(units.shape[1], hyps.shape[1])
+        for start in range(0, units.shape[0], 700):
+            result, _ = measure.process_block(
+                state, units[start:start + 700], hyps[start:start + 700])
+        assert np.allclose(result.unit_scores, full.unit_scores)
+
+
+class TestMutualInfo:
+    def test_detects_dependency(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = MutualInfoScore(calibration_rows=1024).compute(units, hyps)
+        assert res.unit_scores[0, 0] > 5 * max(res.unit_scores[4, 0], 0.01)
+
+    def test_normalized_scores_bounded(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = MutualInfoScore(normalize=True).compute(units, hyps)
+        assert np.all(res.unit_scores >= 0.0)
+        assert np.all(res.unit_scores <= 1.0 + 1e-9)
+
+    def test_independent_variables_near_zero(self):
+        rng = new_rng(1)
+        units = rng.standard_normal((4000, 1))
+        hyps = (rng.random((4000, 1)) > 0.5).astype(float)
+        res = MutualInfoScore().compute(units, hyps)
+        assert res.unit_scores[0, 0] < 0.02
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            MutualInfoScore(n_bins=1)
+
+    def test_multivariate_group_beats_weak_units(self):
+        """XOR structure: no single unit predicts h, the pair does."""
+        rng = new_rng(2)
+        a = rng.random(6000) > 0.5
+        b = rng.random(6000) > 0.5
+        h = (a ^ b).astype(float)
+        units = np.stack([a, b], axis=1).astype(float)
+        units += rng.standard_normal(units.shape) * 0.05
+        measure = MultivariateMutualInfoScore(top_k=2, calibration_rows=2048)
+        res = measure.compute(units, h[:, None])
+        individual_best = res.unit_scores[:, 0].max()
+        assert res.group_scores[0] > individual_best + 0.3
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateMutualInfoScore(top_k=0)
+
+
+class TestJaccard:
+    def test_perfect_overlap(self):
+        rng = new_rng(0)
+        h = (rng.random(4000) > 0.9).astype(float)
+        unit = h * 5.0 + rng.standard_normal(4000) * 0.01
+        res = JaccardScore(quantile=0.9, calibration_rows=1024).compute(
+            unit[:, None], h[:, None])
+        assert res.unit_scores[0, 0] > 0.9
+
+    def test_disjoint_scores_zero(self):
+        h = np.zeros(1000)
+        h[:100] = 1.0
+        unit = np.zeros(1000)
+        unit[900:] = 5.0
+        res = JaccardScore(quantile=0.85, calibration_rows=512).compute(
+            unit[:, None], h[:, None])
+        assert res.unit_scores[0, 0] == 0.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            JaccardScore(quantile=1.5)
+
+    def test_small_dataset_calibrates_lazily(self):
+        rng = new_rng(0)
+        units = rng.random((100, 2))
+        hyps = (rng.random((100, 1)) > 0.5).astype(float)
+        res = JaccardScore(calibration_rows=10_000).compute(units, hyps)
+        assert res.unit_scores.shape == (2, 1)  # no crash, scores defined
+
+
+class TestLogReg:
+    def test_predictive_hypothesis_scores_high(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = LogRegressionScore(regul="L1", epochs=3, cv_folds=3).compute(
+            units, hyps)
+        assert res.group_scores[0] > 0.9    # h0 is predictable
+        assert res.group_scores[1] < 0.65   # h1 is noise
+
+    def test_l1_zeroes_irrelevant_coefficients(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        res = LogRegressionScore(regul="L1", strength=5e-3, epochs=4,
+                                 cv_folds=2).compute(units, hyps)
+        coef = np.abs(res.unit_scores[:, 0])
+        assert coef[0] > 5 * coef[4]
+
+    def test_merged_equals_unmerged(self, synthetic_behaviors):
+        """Model merging is exact (Section 5.2.1)."""
+        units, hyps = synthetic_behaviors
+        merged = LogRegressionScore(regul="L2", epochs=3, cv_folds=2,
+                                    merged=True).compute(units, hyps)
+        unmerged = LogRegressionScore(regul="L2", epochs=3, cv_folds=2,
+                                      merged=False).compute(units, hyps)
+        assert np.allclose(merged.group_scores, unmerged.group_scores,
+                           atol=0.03)
+        assert np.allclose(merged.unit_scores, unmerged.unit_scores,
+                           atol=0.05)
+
+    def test_cpu_gpu_devices_agree(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        gpu = LogRegressionScore(regul="L2", epochs=2, cv_folds=2,
+                                 device="gpu").compute(units, hyps)
+        cpu = LogRegressionScore(regul="L2", epochs=2, cv_folds=2,
+                                 device="cpu").compute(units, hyps)
+        assert np.allclose(gpu.unit_scores, cpu.unit_scores, atol=1e-9)
+        assert np.allclose(gpu.group_scores, cpu.group_scores, atol=1e-9)
+
+    def test_streaming_state_converges(self, synthetic_behaviors):
+        units, hyps = synthetic_behaviors
+        measure = LogRegressionScore(regul="L2", window=2)
+        state = measure.new_state(units.shape[1], hyps.shape[1])
+        errs = []
+        for start in range(0, units.shape[0], 300):
+            result, err = measure.process_block(
+                state, units[start:start + 300], hyps[start:start + 300])
+            errs.append(err)
+        assert result.group_scores[0] > 0.85
+        assert errs[-1] < 0.2
+
+    def test_invalid_regul_rejected(self):
+        with pytest.raises(ValueError):
+            LogRegressionScore(regul="L3")
+
+    def test_invalid_score_rejected(self):
+        with pytest.raises(ValueError):
+            LogRegressionScore(score="AUC")
+
+
+class TestMergedLogisticRegression:
+    def test_learns_and_separates(self):
+        rng = new_rng(0)
+        x = rng.standard_normal((2000, 4))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)[:, None]
+        model = MergedLogisticRegression(4, 1, lr=0.1)
+        for _ in range(5):
+            model.partial_fit(x, y)
+        f1 = model.f1_per_output(x, y)
+        assert f1[0] > 0.9
+
+    def test_columns_train_independently(self):
+        """Merged training must not couple the per-hypothesis columns."""
+        rng = new_rng(0)
+        x = rng.standard_normal((1500, 3))
+        y0 = (x[:, 0] > 0).astype(float)
+        y1 = (x[:, 1] > 0).astype(float)
+        merged = MergedLogisticRegression(3, 2, lr=0.1, seed=1)
+        solo = MergedLogisticRegression(3, 1, lr=0.1, seed=1)
+        for _ in range(3):
+            merged.partial_fit(x, np.stack([y0, y1], axis=1))
+            solo.partial_fit(x, y0[:, None])
+        # column 0 of the merged model equals the solo model's column,
+        # modulo the different random init of column 1 (same seed, same
+        # init slice for column 0)
+        assert np.allclose(merged.f1_per_output(
+            x, np.stack([y0, y1], axis=1))[0],
+            solo.f1_per_output(x, y0[:, None])[0], atol=0.02)
+
+
+class TestMulticlass:
+    def test_recovers_separable_classes(self):
+        rng = new_rng(0)
+        n = 3000
+        y = rng.integers(0, 3, size=n)
+        x = rng.standard_normal((n, 5)) * 0.2
+        for cls in range(3):
+            x[:, cls] += (y == cls)
+        res = MulticlassLogRegScore(n_classes=3, epochs=6).compute(
+            x, y[:, None].astype(float))
+        assert res.group_scores[0] > 0.95
+        assert np.all(res.extras["per_class_precision"] > 0.9)
+
+    def test_rejects_multiple_hypotheses(self):
+        m = MulticlassLogRegScore(n_classes=3)
+        with pytest.raises(ValueError):
+            m.new_state(4, 2)
+
+    def test_class_count_validation(self):
+        with pytest.raises(ValueError):
+            MulticlassLogRegScore(n_classes=1)
+
+
+class TestLinearProbe:
+    def test_r2_high_for_linear_relationship(self):
+        rng = new_rng(0)
+        x = rng.standard_normal((2000, 4))
+        y = (2 * x[:, 0] - x[:, 2])[:, None] + rng.standard_normal((2000, 1)) * 0.1
+        res = LinearProbeScore().compute(x, y)
+        assert res.group_scores[0] > 0.95
+        assert res.unit_scores[0, 0] == pytest.approx(2.0, abs=0.05)
+
+    def test_r2_near_zero_for_noise(self):
+        rng = new_rng(1)
+        x = rng.standard_normal((2000, 4))
+        y = rng.standard_normal((2000, 1))
+        res = LinearProbeScore().compute(x, y)
+        assert res.group_scores[0] < 0.05
+
+    def test_incremental_equals_full(self):
+        rng = new_rng(2)
+        x = rng.standard_normal((1000, 3))
+        y = x[:, :1] + rng.standard_normal((1000, 1)) * 0.3
+        measure = LinearProbeScore()
+        full = measure.compute(x, y)
+        state = measure.new_state(3, 1)
+        for start in range(0, 1000, 250):
+            result, _ = measure.process_block(
+                state, x[start:start + 250], y[start:start + 250])
+        assert np.allclose(result.group_scores, full.group_scores, atol=1e-9)
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ValueError):
+            LinearProbeScore(ridge=-1.0)
+
+
+class TestBaselines:
+    def test_random_f1_equals_prior(self):
+        hyps = np.zeros((1000, 1))
+        hyps[:300] = 1.0
+        res = RandomClassScore().compute(np.zeros((1000, 2)), hyps)
+        assert res.group_scores[0] == pytest.approx(0.3)
+
+    def test_majority_zero_when_negative_dominates(self):
+        hyps = np.zeros((1000, 1))
+        hyps[:300] = 1.0
+        res = MajorityClassScore().compute(np.zeros((1000, 2)), hyps)
+        assert res.group_scores[0] == 0.0
+
+    def test_majority_when_positive_dominates(self):
+        hyps = np.ones((1000, 1))
+        hyps[:300] = 0.0
+        res = MajorityClassScore().compute(np.zeros((1000, 2)), hyps)
+        assert res.group_scores[0] == pytest.approx(2 * 0.7 / 1.7)
+
+    def test_unit_scores_tiled(self):
+        hyps = np.ones((100, 2))
+        res = RandomClassScore().compute(np.zeros((100, 3)), hyps)
+        assert res.unit_scores.shape == (3, 2)
+        assert np.all(res.unit_scores == res.group_scores[None, :])
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in list_measures():
+            measure = get_measure(name)
+            assert hasattr(measure, "score_id")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_measure("nope")
+
+    def test_case_insensitive(self):
+        assert get_measure("CORR").score_id == "corr:pearson"

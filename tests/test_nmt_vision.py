@@ -1,0 +1,174 @@
+"""Tests for the NMT and vision experiment substrates."""
+
+import numpy as np
+import pytest
+
+from repro.nmt import BelinkovProbe, generate_nmt_corpus, train_nmt_model
+from repro.nmt.corpus import LEXICON, WordVocab
+from repro.nmt.model import translation_accuracy, untrained_nmt_model
+from repro.vision import (generate_shape_dataset, netdissect_scores,
+                          train_shape_cnn)
+from repro.vision.cnn_model import pixel_behaviors, upsample_nearest
+from repro.vision.netdissect import CnnPixelExtractor
+from repro.vision.shapes import CONCEPTS
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_nmt_corpus(n_sentences=200, seed=1)
+
+
+@pytest.fixture(scope="module")
+def nmt_model(corpus):
+    return train_nmt_model(corpus, n_units=24, epochs=8, seed=0, lr=5e-3)
+
+
+class TestCorpus:
+    def test_shapes_consistent(self, corpus):
+        assert corpus.src.shape == corpus.tags.shape
+        assert corpus.tgt_in.shape == corpus.tgt_out.shape
+        assert corpus.n_sentences == 200
+
+    def test_tags_zero_only_on_padding(self, corpus):
+        pad = corpus.src == corpus.src_vocab.pad_id
+        assert np.all((corpus.tags == 0) == pad)
+
+    def test_tags_match_lexicon(self, corpus):
+        lex = {en: tag for en, _, tag in LEXICON}
+        for i in range(10):
+            words = corpus.sentences[i]
+            for j, word in enumerate(words):
+                tag_name = corpus.tag_names[corpus.tags[i, j]]
+                assert tag_name == lex[word]
+
+    def test_teacher_forcing_alignment(self, corpus):
+        # tgt_in is BOS + tgt_out shifted right (up to EOS)
+        for i in range(5):
+            out_ids = corpus.tgt_out[i]
+            in_ids = corpus.tgt_in[i]
+            assert in_ids[0] == corpus.tgt_vocab.bos_id
+            length = int((out_ids != 0).sum())
+            assert np.array_equal(in_ids[1:length], out_ids[:length - 1])
+            assert out_ids[length - 1] == corpus.tgt_vocab.eos_id
+
+    def test_vocab_roundtrip(self):
+        vocab = WordVocab(["dog", "cat"])
+        assert vocab.decode(vocab.encode(["cat", "dog"])) == ["cat", "dog"]
+
+    def test_reproducible(self):
+        a = generate_nmt_corpus(n_sentences=30, seed=5)
+        b = generate_nmt_corpus(n_sentences=30, seed=5)
+        assert np.array_equal(a.src, b.src)
+
+    def test_sentence_lengths_bounded(self, corpus):
+        assert corpus.src.shape[1] == 14
+
+
+class TestNmtModel:
+    def test_training_improves_over_untrained(self, corpus, nmt_model):
+        untrained = untrained_nmt_model(corpus, n_units=24)
+        trained_acc = translation_accuracy(nmt_model, corpus)
+        untrained_acc = translation_accuracy(untrained, corpus)
+        assert trained_acc > untrained_acc + 0.05
+
+    def test_encoder_states_extraction(self, corpus, nmt_model):
+        states = nmt_model.encoder_states(corpus.src[:4])
+        assert len(states) == 2
+        assert states[0].shape == (4, corpus.src.shape[1], 24)
+
+
+class TestBelinkov:
+    def test_probe_beats_majority_class(self, corpus, nmt_model):
+        probe = BelinkovProbe(layer=1, max_epochs=12, patience=6,
+                              batch_size=32, lr=0.3)
+        result = probe.run(nmt_model, corpus)
+        tags = corpus.tags[corpus.src != corpus.src_vocab.pad_id]
+        majority = np.bincount(tags).max() / tags.shape[0]
+        assert result.accuracy > majority + 0.03
+        assert result.per_tag_precision.shape == (len(corpus.tag_names),)
+
+    def test_reruns_full_model_every_epoch(self, corpus, nmt_model):
+        probe = BelinkovProbe(layer=1, max_epochs=3, patience=10)
+        result = probe.run(nmt_model, corpus)
+        # at least one full model evaluation per batch per epoch
+        assert result.full_model_evals > result.epochs_run
+
+
+class TestShapes:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_shape_dataset(n_images=60, image_size=16, seed=2)
+
+    def test_shapes_and_masks_align(self, dataset):
+        assert dataset.images.shape == (60, 16, 16, 1)
+        for concept in CONCEPTS:
+            assert dataset.masks[concept].shape == (60, 16, 16)
+
+    def test_label_mask_nonempty(self, dataset):
+        for i in range(20):
+            concept = CONCEPTS[dataset.labels[i]]
+            assert dataset.masks[concept][i].sum() > 0
+
+    def test_other_masks_empty(self, dataset):
+        for i in range(20):
+            for j, concept in enumerate(CONCEPTS):
+                if j != dataset.labels[i]:
+                    assert dataset.masks[concept][i].sum() == 0
+
+    def test_flat_masks(self, dataset):
+        flat = dataset.flat_masks()
+        assert flat["square"].shape == (60, 256)
+
+    def test_masked_pixels_brighter(self, dataset):
+        i = 0
+        concept = CONCEPTS[dataset.labels[i]]
+        mask = dataset.masks[concept][i] > 0
+        img = dataset.images[i, :, :, 0]
+        assert img[mask].mean() > img[~mask].mean() + 0.3
+
+
+class TestCnnAndNetDissect:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = generate_shape_dataset(n_images=240, image_size=16, seed=0)
+        model = train_shape_cnn(dataset, epochs=10, seed=0, lr=4e-3)
+        return dataset, model
+
+    def test_cnn_learns(self, trained):
+        dataset, model = trained
+        _, acc = model.evaluate(dataset.images, dataset.labels)
+        assert acc > 0.5  # 4-way task, random = 0.25
+
+    def test_upsample_nearest(self):
+        maps = np.arange(4, dtype=float).reshape(1, 2, 2, 1)
+        up = upsample_nearest(maps, 4)
+        assert up.shape == (1, 4, 4, 1)
+        assert up[0, 0, 0, 0] == 0 and up[0, 3, 3, 0] == 3
+
+    def test_pixel_behaviors_shape(self, trained):
+        dataset, model = trained
+        behaviors = pixel_behaviors(model, dataset.images[:8])
+        assert behaviors.shape == (8, 16 * 16, model.n_units)
+
+    def test_netdissect_scores_shape_and_range(self, trained):
+        dataset, model = trained
+        scores = netdissect_scores(model, dataset, quantile=0.98)
+        assert set(scores) == set(CONCEPTS)
+        for ious in scores.values():
+            assert ious.shape == (model.n_units,)
+            assert np.all((0.0 <= ious) & (ious <= 1.0))
+
+    def test_netdissect_finds_detectors(self, trained):
+        dataset, model = trained
+        scores = netdissect_scores(model, dataset, quantile=0.95)
+        best = max(ious.max() for ious in scores.values())
+        assert best > 0.1  # some channel aligns with some concept
+
+    def test_cnn_pixel_extractor_protocol(self, trained):
+        dataset, model = trained
+        ext = CnnPixelExtractor(dataset.images)
+        records = np.arange(6)[:, None]
+        out = ext.extract(model, records)
+        assert out.shape == (6 * 256, model.n_units)
+        sub = ext.extract(model, records, hid_units=[0, 2])
+        assert np.array_equal(sub, out[:, [0, 2]])

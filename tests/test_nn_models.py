@@ -1,0 +1,153 @@
+"""Tests for the concrete models, training loop and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (CharLSTMModel, SpecializedLSTMModel, TrainConfig,
+                      load_model, save_model, train_model)
+from repro.nn.serialize import clone_model
+from repro.util.rng import new_rng
+
+
+@pytest.fixture
+def tiny_problem():
+    """Predict the next symbol of a deterministic cycle 0->1->2->0."""
+    rng = new_rng(0)
+    n, t = 200, 6
+    ids = np.zeros((n, t), dtype=np.int64)
+    start = rng.integers(0, 3, size=n)
+    for j in range(t):
+        ids[:, j] = (start + j) % 3
+    targets = (start + t) % 3
+    return ids, targets
+
+
+class TestCharLSTMModel:
+    def test_forward_shape(self, tiny_problem):
+        ids, _ = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        assert model.forward(ids[:5]).shape == (5, 3)
+
+    def test_hidden_states_shape(self, tiny_problem):
+        ids, _ = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        assert model.hidden_states(ids[:4]).shape == (4, 6, 8)
+
+    def test_learns_deterministic_cycle(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        result = train_model(model, ids, targets,
+                             TrainConfig(epochs=15, lr=1e-2, patience=20))
+        assert result.val_acc[-1] > 0.95
+
+    def test_loss_decreases(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        result = train_model(model, ids, targets,
+                             TrainConfig(epochs=5, lr=1e-2, patience=10))
+        assert result.train_loss[-1] < result.train_loss[0]
+
+    def test_evaluate_does_not_accumulate_grads(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        model.zero_grad()
+        model.evaluate(ids[:10], targets[:10])
+        assert all(np.all(p.grad == 0.0) for p in model.parameters())
+
+
+class TestSpecializedModel:
+    def test_aux_loss_drives_units_toward_target(self, tiny_problem):
+        ids, targets = tiny_problem
+        aux = (ids == 0).astype(float)  # unit should detect symbol 0
+        model = SpecializedLSTMModel(3, 8, new_rng(2),
+                                     specialized_units=[0], weight=0.9)
+        train_model(model, ids, targets,
+                    TrainConfig(epochs=32, lr=1e-2, patience=40),
+                    aux_behavior=aux)
+        states = model.hidden_states(ids[:50])
+        unit0 = states[:, :, 0].reshape(-1)
+        target = aux[:50].reshape(-1)
+        corr = np.corrcoef(unit0, target)[0, 1]
+        assert corr > 0.9
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            SpecializedLSTMModel(3, 8, new_rng(0), weight=1.5)
+
+    def test_without_aux_behaves_like_base(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = SpecializedLSTMModel(3, 8, new_rng(1), weight=0.5)
+        loss, acc = model.loss_and_grads(ids[:32], targets[:32])
+        assert np.isfinite(loss)
+
+
+class TestTrainingLoop:
+    def test_early_stopping_halts_on_plateau(self, tiny_problem):
+        ids, _ = tiny_problem
+        # random targets: validation loss cannot keep improving
+        random_targets = new_rng(5).integers(0, 3, size=ids.shape[0])
+        model = CharLSTMModel(3, 8, new_rng(1))
+        result = train_model(model, ids, random_targets,
+                             TrainConfig(epochs=50, lr=1e-2, patience=2))
+        assert result.stopped_epoch < 49  # stopped before the budget
+
+    def test_snapshot_hook_called_each_epoch(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        seen = []
+        train_model(model, ids, targets,
+                    TrainConfig(epochs=3, lr=1e-2, patience=10),
+                    snapshot_hook=lambda epoch, m: seen.append(epoch))
+        assert seen == [0, 1, 2]
+
+    def test_history_lengths_consistent(self, tiny_problem):
+        ids, targets = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        result = train_model(model, ids, targets,
+                             TrainConfig(epochs=4, patience=10))
+        n = result.stopped_epoch + 1
+        assert len(result.train_loss) == len(result.val_acc) == n
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tiny_problem, tmp_path):
+        ids, _ = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1), model_id="roundtrip")
+        path = str(tmp_path / "model")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.model_id == "roundtrip"
+        assert np.allclose(model.forward(ids[:4]), loaded.forward(ids[:4]))
+
+    def test_specialized_roundtrip(self, tmp_path):
+        model = SpecializedLSTMModel(3, 8, new_rng(1),
+                                     specialized_units=[2, 5], weight=0.3)
+        path = str(tmp_path / "spec")
+        save_model(model, path)
+        loaded = load_model(path)
+        assert loaded.weight == 0.3
+        assert loaded.specialized_units.tolist() == [2, 5]
+
+    def test_clone_is_independent(self, tiny_problem):
+        ids, _ = tiny_problem
+        model = CharLSTMModel(3, 8, new_rng(1))
+        clone = clone_model(model)
+        assert np.allclose(model.forward(ids[:3]), clone.forward(ids[:3]))
+        clone.parameters()[0].value += 1.0
+        assert not np.allclose(model.parameters()[0].value,
+                               clone.parameters()[0].value)
+
+    def test_load_rejects_shape_mismatch(self, tmp_path):
+        model = CharLSTMModel(3, 8, new_rng(1))
+        path = str(tmp_path / "m")
+        save_model(model, path)
+        # corrupt the arch to expect different shapes
+        import json, os
+        arch_path = os.path.join(path, "arch.json")
+        with open(arch_path) as f:
+            arch = json.load(f)
+        arch["n_units"] = 16
+        with open(arch_path, "w") as f:
+            json.dump(arch, f)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_model(path)

@@ -1,0 +1,115 @@
+"""Tests for the LSTM: shapes, gradients, determinism, supervision modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn.recurrent import LSTM, StackedLSTM
+from repro.util.rng import new_rng
+from tests.test_nn_layers import numerical_grad
+
+
+@pytest.fixture
+def lstm():
+    return LSTM(3, 4, new_rng(0))
+
+
+class TestForward:
+    def test_output_shape(self, lstm):
+        x = np.zeros((2, 5, 3))
+        assert lstm.forward(x).shape == (2, 5, 4)
+
+    def test_hidden_states_bounded_by_tanh(self, lstm):
+        x = new_rng(1).standard_normal((4, 10, 3)) * 5
+        hs = lstm.forward(x)
+        assert np.all(np.abs(hs) <= 1.0)
+
+    def test_deterministic(self, lstm):
+        x = new_rng(1).standard_normal((2, 5, 3))
+        assert np.array_equal(lstm.forward(x), lstm.forward(x))
+
+    def test_initial_state_used(self, lstm):
+        x = new_rng(1).standard_normal((2, 3, 3))
+        h0 = np.ones((2, 4)) * 0.5
+        c0 = np.ones((2, 4)) * 0.5
+        default = lstm.forward(x)
+        seeded = lstm.forward(x, h0=h0, c0=c0)
+        assert not np.allclose(default[:, 0], seeded[:, 0])
+
+    def test_last_hidden(self, lstm):
+        x = new_rng(1).standard_normal((2, 5, 3))
+        hs = lstm.forward(x)
+        assert np.array_equal(lstm.last_hidden(), hs[:, -1])
+
+    def test_forget_bias_initialized_to_one(self, lstm):
+        h = lstm.n_units
+        assert np.all(lstm.b.value[h:2 * h] == 1.0)
+
+
+class TestBackward:
+    def test_full_sequence_supervision_gradients(self, lstm):
+        x = new_rng(1).standard_normal((2, 4, 3))
+        w = new_rng(2).standard_normal((2, 4, 4))
+
+        def loss():
+            return float((lstm.forward(x) * w).sum())
+
+        loss()
+        lstm.zero_grad()
+        dx = lstm.backward(w)
+        for param in (lstm.w_x, lstm.w_h, lstm.b):
+            num = numerical_grad(loss, param.value)
+            assert np.allclose(num, param.grad, atol=1e-7), param.name
+        assert np.allclose(numerical_grad(loss, x), dx, atol=1e-7)
+
+    def test_last_step_only_supervision(self, lstm):
+        """Supervising only t=-1 must still backprop through all steps."""
+        x = new_rng(1).standard_normal((2, 4, 3))
+        w_last = new_rng(2).standard_normal((2, 4))
+
+        def loss():
+            return float((lstm.forward(x)[:, -1] * w_last).sum())
+
+        loss()
+        lstm.zero_grad()
+        dh = np.zeros((2, 4, 4))
+        dh[:, -1] = w_last
+        dx = lstm.backward(dh)
+        assert np.allclose(numerical_grad(loss, x), dx, atol=1e-7)
+        # early inputs influence the last hidden state
+        assert np.abs(dx[:, 0]).max() > 0
+
+    def test_backward_requires_forward(self):
+        fresh = LSTM(2, 2, new_rng(0))
+        with pytest.raises(AssertionError):
+            fresh.backward(np.zeros((1, 1, 2)))
+
+
+class TestStackedLSTM:
+    def test_layer_states_exposed(self):
+        stack = StackedLSTM(3, 4, n_layers=2, rng=new_rng(0))
+        x = new_rng(1).standard_normal((2, 5, 3))
+        out = stack.forward(x)
+        states = stack.layer_states()
+        assert len(states) == 2
+        assert np.array_equal(states[-1], out)
+        assert states[0].shape == (2, 5, 4)
+
+    def test_gradients_flow_through_stack(self):
+        stack = StackedLSTM(2, 3, n_layers=2, rng=new_rng(0))
+        x = new_rng(1).standard_normal((2, 4, 2))
+        w = new_rng(2).standard_normal((2, 4, 3))
+
+        def loss():
+            return float((stack.forward(x) * w).sum())
+
+        loss()
+        stack.zero_grad()
+        dx = stack.backward(w)
+        assert np.allclose(numerical_grad(loss, x), dx, atol=1e-6)
+        # both layers receive gradient
+        for layer in stack.layers:
+            assert np.abs(layer.w_x.grad).max() > 0
+
+    def test_parameter_count(self):
+        stack = StackedLSTM(2, 3, n_layers=2, rng=new_rng(0))
+        assert len(stack.parameters()) == 6  # 3 per LSTM layer

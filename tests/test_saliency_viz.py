@@ -1,0 +1,189 @@
+"""Tests for saliency analysis, iterator hypotheses, gradient behaviors
+and the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.saliency import (saliency_frame, symbol_saliency_profile,
+                                 top_symbols)
+from repro.hypotheses.iterators import (BracketMachine,
+                                        IteratorHypothesis,
+                                        bracket_machine_hypotheses)
+from repro.viz import (activation_glyphs, activation_trace,
+                       behavior_heatmap, score_bar_chart,
+                       unit_hypothesis_overlay)
+from repro.hypotheses import CharSetHypothesis
+
+
+class TestSaliency:
+    def test_top_symbols_shape_and_order(self, trained_sql_model,
+                                         sql_workload):
+        hits = top_symbols(trained_sql_model, sql_workload.dataset, unit=0,
+                           k=5, max_records=30)
+        assert len(hits) == 5
+        values = [h.value for h in hits]
+        assert values == sorted(values, reverse=True)
+
+    def test_hit_symbol_matches_context(self, trained_sql_model,
+                                        sql_workload):
+        for hit in top_symbols(trained_sql_model, sql_workload.dataset,
+                               unit=3, k=3, max_records=30):
+            assert f"[{hit.symbol}]" in hit.context
+            text = sql_workload.dataset.record_text(hit.record)
+            assert text[hit.position] == hit.symbol
+
+    def test_by_abs_includes_negative_peaks(self, trained_sql_model,
+                                            sql_workload):
+        hits = top_symbols(trained_sql_model, sql_workload.dataset, unit=1,
+                           k=10, by_abs=True, max_records=30)
+        # under |.| ordering the magnitudes must be sorted
+        mags = [abs(h.value) for h in hits]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_saliency_frame_schema(self, trained_sql_model, sql_workload):
+        frame = saliency_frame(trained_sql_model, sql_workload.dataset,
+                               units=[0, 1], k=3, max_records=20)
+        assert len(frame) == 6
+        assert set(frame["unit"]) == {0, 1}
+
+    def test_symbol_profile_sorted_and_complete(self, trained_sql_model,
+                                                sql_workload):
+        profile = symbol_saliency_profile(trained_sql_model,
+                                          sql_workload.dataset, unit=0,
+                                          max_records=20)
+        means = profile["mean_behavior"]
+        assert means == sorted(means, reverse=True)
+        total = 20 * sql_workload.dataset.n_symbols
+        assert sum(profile["count"]) == total
+
+
+class TestInputSaliency:
+    def test_gradient_matches_finite_difference(self, trained_sql_model,
+                                                sql_workload):
+        ids = sql_workload.dataset.symbols[:2]
+        unit = 4
+        saliency = trained_sql_model.input_saliency(ids, unit)
+        assert saliency.shape == ids.shape
+
+        # finite-difference check on one input position's one-hot vector
+        model = trained_sql_model
+        x = model.onehot.forward(ids)
+        pos, comp = 5, 3
+        eps = 1e-6
+
+        def unit_sum(x_mod):
+            hs = model.lstm.forward(x_mod)
+            return float(hs[:, :, unit].sum())
+
+        x_plus = x.copy()
+        x_plus[0, pos, comp] += eps
+        x_minus = x.copy()
+        x_minus[0, pos, comp] -= eps
+        fd = (unit_sum(x_plus) - unit_sum(x_minus)) / (2 * eps)
+
+        hs = model.lstm.forward(x)
+        dh = np.zeros_like(hs)
+        dh[:, :, unit] = 1.0
+        dx = model.lstm.backward(dh)
+        model.lstm.zero_grad()
+        assert dx[0, pos, comp] == pytest.approx(fd, abs=1e-6)
+
+    def test_clears_parameter_gradients(self, trained_sql_model,
+                                        sql_workload):
+        trained_sql_model.zero_grad()
+        trained_sql_model.input_saliency(sql_workload.dataset.symbols[:2], 0)
+        assert all(np.all(p.grad == 0.0)
+                   for p in trained_sql_model.lstm.parameters())
+
+    def test_unit_group_saliency(self, trained_sql_model, sql_workload):
+        ids = sql_workload.dataset.symbols[:2]
+        group = trained_sql_model.input_saliency(ids, np.array([0, 1, 2]))
+        assert group.shape == ids.shape
+        assert np.all(group >= 0.0)
+
+
+class TestIteratorHypotheses:
+    def make_dataset(self, texts):
+        from tests.test_hypotheses import make_dataset
+        return make_dataset(texts)
+
+    def test_bracket_machine_depth(self):
+        machine = BracketMachine()
+        depths = []
+        for ch in "a(b(c))":
+            machine.step(ch)
+            depths.append(machine.depth)
+        assert depths == [1, 2, 3, 4, 5, 4, 2]
+
+    def test_bracket_machine_reduce_events(self):
+        machine = BracketMachine()
+        events = []
+        for ch in "(a)(b)":
+            machine.step(ch)
+            events.append(machine.reduced)
+        assert events == [False, False, True, False, False, True]
+
+    def test_stack_depth_hypothesis(self):
+        ds = self.make_dataset(["(ab)"])
+        hyps = {h.name: h for h in bracket_machine_hypotheses()}
+        out = hyps["sr:stack_depth"].behavior(ds, 0)
+        assert out.tolist() == [1, 2, 3, 1]
+
+    def test_max_depth_monotone(self):
+        ds = self.make_dataset(["((a))b"])
+        hyps = {h.name: h for h in bracket_machine_hypotheses()}
+        out = hyps["sr:max_stack_depth"].behavior(ds, 0)
+        assert all(a <= b for a, b in zip(out, out[1:]))
+
+    def test_reduce_event_hypothesis(self):
+        ds = self.make_dataset(["(a)(b)"])
+        hyps = {h.name: h for h in bracket_machine_hypotheses()}
+        out = hyps["sr:reduce_event"].behavior(ds, 0)
+        assert out.tolist() == [0, 0, 1, 0, 0, 1]
+
+    def test_custom_iterator_hypothesis(self):
+        ds = self.make_dataset(["aabba"])
+        hyp = IteratorHypothesis(
+            "count_a", make_state=lambda: {"n": 0},
+            step=lambda s, ch: s.__setitem__("n", s["n"] + (ch == "a"))
+            or s["n"])
+        assert hyp.behavior(ds, 0).tolist() == [1, 2, 2, 2, 3]
+
+    def test_fresh_state_per_record(self):
+        ds = self.make_dataset(["((", "(("])
+        hyps = {h.name: h for h in bracket_machine_hypotheses()}
+        first = hyps["sr:stack_depth"].behavior(ds, 0)
+        second = hyps["sr:stack_depth"].behavior(ds, 1)
+        assert np.array_equal(first, second)  # no state leakage
+
+
+class TestViz:
+    def test_glyphs_length_and_extremes(self):
+        out = activation_glyphs(np.array([-1.0, 0.0, 0.999]))
+        assert len(out) == 3
+        assert out[0] == " " and out[-1] == "@"
+
+    def test_activation_trace_alignment(self, trained_sql_model,
+                                        sql_workload):
+        text = activation_trace(trained_sql_model, sql_workload.dataset,
+                                unit_ids=[0, 5], record=0)
+        lines = text.split("\n")
+        assert len(lines) == 3
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # rows align under the input
+
+    def test_behavior_heatmap(self):
+        out = behavior_heatmap(np.array([0, 1, 0]), "abc")
+        assert "|abc|" in out
+
+    def test_overlay(self, trained_sql_model, sql_workload):
+        hyp = CharSetHypothesis("space", " ")
+        out = unit_hypothesis_overlay(trained_sql_model,
+                                      sql_workload.dataset, 2, hyp, record=1)
+        assert out.count("|") == 6
+
+    def test_score_bar_chart(self):
+        out = score_bar_chart(["a", "bb"], [1.0, 0.5], width=10)
+        lines = out.split("\n")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5

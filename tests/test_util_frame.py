@@ -1,0 +1,141 @@
+"""Tests for the columnar result frame."""
+
+import numpy as np
+import pytest
+
+from repro.util.frame import Frame
+
+
+@pytest.fixture
+def frame():
+    return Frame({
+        "model": ["m1", "m1", "m2", "m2"],
+        "score": [0.9, 0.1, 0.5, 0.7],
+        "unit": [0, 1, 0, 1],
+    })
+
+
+class TestConstruction:
+    def test_columns_preserved_in_order(self, frame):
+        assert frame.columns == ["model", "score", "unit"]
+
+    def test_length(self, frame):
+        assert len(frame) == 4
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            Frame({"a": [1, 2], "b": [1]})
+
+    def test_from_records_infers_columns(self):
+        f = Frame.from_records([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert f.columns == ["x", "y"]
+        assert f["x"] == [1, 3]
+
+    def test_from_records_missing_keys_become_none(self):
+        f = Frame.from_records([{"x": 1}, {"y": 2}])
+        assert f["x"] == [1, None]
+        assert f["y"] == [None, 2]
+
+    def test_empty_frame_with_schema(self):
+        f = Frame.from_records([], columns=["a", "b"])
+        assert f.columns == ["a", "b"]
+        assert len(f) == 0
+
+
+class TestAccess:
+    def test_getitem_returns_column(self, frame):
+        assert frame["model"] == ["m1", "m1", "m2", "m2"]
+
+    def test_contains(self, frame):
+        assert "score" in frame
+        assert "missing" not in frame
+
+    def test_row(self, frame):
+        assert frame.row(2) == {"model": "m2", "score": 0.5, "unit": 0}
+
+    def test_rows_roundtrip(self, frame):
+        assert Frame.from_records(frame.rows()) == frame
+
+    def test_column_as_numpy(self, frame):
+        arr = frame.column("score", dtype=float)
+        assert isinstance(arr, np.ndarray)
+        assert arr.dtype == np.float64
+
+    def test_iteration_yields_rows(self, frame):
+        rows = list(frame)
+        assert rows[0]["model"] == "m1"
+        assert len(rows) == 4
+
+
+class TestOperators:
+    def test_where_equality(self, frame):
+        sub = frame.where(model="m1")
+        assert len(sub) == 2
+        assert set(sub["model"]) == {"m1"}
+
+    def test_filter_predicate(self, frame):
+        sub = frame.filter(lambda r: r["score"] > 0.4)
+        assert len(sub) == 3
+
+    def test_select_projects_columns(self, frame):
+        sub = frame.select("model", "unit")
+        assert sub.columns == ["model", "unit"]
+
+    def test_sort_descending(self, frame):
+        s = frame.sort("score", reverse=True)
+        assert s["score"] == [0.9, 0.7, 0.5, 0.1]
+
+    def test_head(self, frame):
+        assert len(frame.head(2)) == 2
+
+    def test_with_column(self, frame):
+        f2 = frame.with_column("flag", [True] * 4)
+        assert f2["flag"] == [True] * 4
+        assert "flag" not in frame  # original untouched
+
+    def test_with_column_length_mismatch(self, frame):
+        with pytest.raises(ValueError):
+            frame.with_column("bad", [1])
+
+    def test_groupby_aggregates(self, frame):
+        g = frame.groupby("model", {"max_score": ("score", max),
+                                    "n": ("unit", len)})
+        by_model = {r["model"]: r for r in g.rows()}
+        assert by_model["m1"]["max_score"] == 0.9
+        assert by_model["m2"]["n"] == 2
+
+    def test_join_inner(self, frame):
+        meta = Frame({"model": ["m1", "m2"], "epoch": [3, 5]})
+        joined = frame.join(meta, on="model")
+        assert len(joined) == 4
+        assert set(joined["epoch"]) == {3, 5}
+
+    def test_join_drops_unmatched(self, frame):
+        meta = Frame({"model": ["m1"], "epoch": [3]})
+        joined = frame.join(meta, on="model")
+        assert len(joined) == 2
+
+    def test_concat(self, frame):
+        both = frame.concat(frame)
+        assert len(both) == 8
+
+    def test_concat_schema_mismatch_rejected(self, frame):
+        with pytest.raises(ValueError, match="schema"):
+            frame.concat(Frame({"other": [1]}))
+
+
+class TestExport:
+    def test_to_csv_roundtrips_header(self, frame, tmp_path):
+        path = tmp_path / "out.csv"
+        frame.to_csv(str(path))
+        lines = path.read_text().strip().split("\n")
+        assert lines[0] == "model,score,unit"
+        assert len(lines) == 5
+
+    def test_to_string_contains_values(self, frame):
+        text = frame.to_string()
+        assert "m1" in text and "0.9000" in text
+
+    def test_to_string_truncates(self, frame):
+        text = frame.to_string(max_rows=2)
+        assert "more rows" in text
