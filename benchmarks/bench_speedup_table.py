@@ -42,7 +42,10 @@ def test_speedup_table(benchmark, bench_model, bench_workload, bench_hypotheses)
                 runner.run_logreg(bench_model, dataset, hyps)
             pybase = time.perf_counter() - t0
 
-            madlib_runner = MadlibRunner(logreg_iters=2)
+            # the paper's Section 6.2 ratios measure the row-at-a-time
+            # RDBMS profile; the columnar engine has its own bench in
+            # bench_fig5_baselines.py
+            madlib_runner = MadlibRunner(logreg_iters=2, engine="row")
             t0 = time.perf_counter()
             if kind == "corr":
                 madlib_runner.run_correlation(bench_model, dataset, hyps)

@@ -11,7 +11,6 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-import numpy as np
 import pytest
 
 from repro.data import generate_sql_workload

@@ -31,14 +31,23 @@ from repro.util.timing import Stopwatch
 
 
 class MadlibRunner:
-    """Drives the mini relational engine through the paper's baseline plan."""
+    """Drives the mini relational engine through the paper's baseline plan.
+
+    ``engine`` selects the execution engine for the correlation queries and
+    the training UDAs: ``"columnar"`` (the engine default) vectorizes each
+    batched query, ``"row"`` reproduces the paper's row-at-a-time RDBMS
+    cost profile.  The query plan -- batching, join and pass structure --
+    is identical either way.
+    """
 
     def __init__(self, extractor: Extractor | None = None,
                  batch_limit: int = MAX_EXPRESSIONS,
-                 logreg_iters: int = 4):
+                 logreg_iters: int = 4,
+                 engine: str | None = None):
         self.extractor = extractor or RnnActivationExtractor()
         self.batch_limit = min(batch_limit, MAX_EXPRESSIONS)
         self.logreg_iters = logreg_iters
+        self.engine = engine
         self.db = Database()
 
     # ------------------------------------------------------------------
@@ -93,7 +102,7 @@ class MadlibRunner:
                     joins=[JoinSpec(table="hyposb_dense", alias="H",
                                     left_col="U.symbolid",
                                     right_col="H.symbolid")])
-                rows = execute_select(self.db, query)
+                rows = execute_select(self.db, query, engine=self.engine)
                 for i, j in batch:
                     val = rows[0][f"c_{i}_{j}"]
                     scores[i, j] = 0.0 if val is None else val
@@ -114,11 +123,13 @@ class MadlibRunner:
             for j in range(n_hyps):
                 weights = logregr_train(
                     self.db, "behaviors", f"coef_h{j}", dep_col=f"h{j}",
-                    indep_cols=indep_cols, max_iter=self.logreg_iters)
+                    indep_cols=indep_cols, max_iter=self.logreg_iters,
+                    engine=self.engine)
                 coef_matrix[:, j] = weights[:-1]
                 f1_scores[j] = logregr_f1(self.db, "behaviors", f"coef_h{j}",
                                           dep_col=f"h{j}",
-                                          indep_cols=indep_cols)
+                                          indep_cols=indep_cols,
+                                          engine=self.engine)
         return MeasureResult(unit_scores=coef_matrix, group_scores=f1_scores,
                              n_rows_seen=len(self.db.table("behaviors")),
                              converged=True)

@@ -35,6 +35,7 @@ class HypothesisCache:
     def __init__(self, max_bytes: int = 512 * 1024 * 1024):
         self.max_bytes = max_bytes
         self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+        self._bytes = 0  # running total; entry sizes are fixed at creation
         self.hits = 0
         self.misses = 0
 
@@ -45,14 +46,15 @@ class HypothesisCache:
         if entry is None:
             entry = _Entry(dataset.n_records, dataset.n_symbols)
             self._entries[key] = entry
+            self._bytes += entry.nbytes
             self._evict()
         self._entries.move_to_end(key)
         return entry
 
     def _evict(self) -> None:
-        while (sum(e.nbytes for e in self._entries.values()) > self.max_bytes
-               and len(self._entries) > 1):
-            self._entries.popitem(last=False)
+        while self._bytes > self.max_bytes and len(self._entries) > 1:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
 
     # ------------------------------------------------------------------
     def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
@@ -71,9 +73,10 @@ class HypothesisCache:
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries),
-                "bytes": sum(e.nbytes for e in self._entries.values())}
+                "bytes": self._bytes}
 
     def clear(self) -> None:
         self._entries.clear()
+        self._bytes = 0
         self.hits = 0
         self.misses = 0

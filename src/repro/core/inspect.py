@@ -18,7 +18,6 @@ The returned :class:`repro.util.frame.Frame` has the paper's schema
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.groups import UnitGroup, all_units_group
 from repro.core.pipeline import (GroupMeasureOutcome, InspectConfig,

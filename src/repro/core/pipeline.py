@@ -18,7 +18,7 @@ Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -81,10 +81,44 @@ class GroupMeasureOutcome:
     records_processed: int = 0
 
 
-def _extract_units(group: UnitGroup, default_extractor: Extractor,
-                   records: np.ndarray) -> np.ndarray:
-    extractor = group.extractor or default_extractor
-    return extractor.extract(group.model, records, hid_units=group.unit_ids)
+def _total_units(extractor: Extractor, model) -> int | None:
+    try:
+        return int(extractor.n_units(model))
+    except (AttributeError, NotImplementedError):
+        return None
+
+
+def _extract_unit_blocks(groups: list[tuple[int, UnitGroup]],
+                         default_extractor: Extractor, records: np.ndarray,
+                         watch: Stopwatch) -> dict[int, np.ndarray]:
+    """Unit behaviors for ``records``, one extraction per (model, extractor)
+    pair, keyed by group index.
+
+    When the groups sharing a pair cover only a strict subset of the model's
+    units, the union of their unit ids is passed through ``hid_units`` so
+    the extractor never materializes behaviors nobody asked for; each
+    group's block is then sliced out of the union's column space.
+    """
+    by_pair: dict[tuple[int, int], list[tuple[int, UnitGroup]]] = {}
+    for gi, group in groups:
+        ext = group.extractor or default_extractor
+        by_pair.setdefault((id(group.model), id(ext)), []).append((gi, group))
+
+    out: dict[int, np.ndarray] = {}
+    for members in by_pair.values():
+        _, first = members[0]
+        ext = first.extractor or default_extractor
+        union = np.unique(np.concatenate([g.unit_ids for _, g in members]))
+        total = _total_units(ext, first.model)
+        narrow = total is not None and union.shape[0] < total
+        with watch.charge("unit_extraction"):
+            block = ext.extract(first.model, records,
+                                hid_units=union if narrow else None)
+        for gi, group in members:
+            cols = (np.searchsorted(union, group.unit_ids) if narrow
+                    else group.unit_ids)
+            out[gi] = block[:, cols]
+    return out
 
 
 def _extract_hypotheses(hypotheses: list[HypothesisFunction],
@@ -142,18 +176,15 @@ def _run_streaming(groups, dataset, measures, hypotheses, extractor,
         with watch.charge("hypothesis_extraction"):
             h_block = _extract_hypotheses(hypotheses, dataset, indices,
                                           config.cache)
-        # extract each distinct (model, extractor) pair once per block
-        unit_cache: dict[tuple[int, int], np.ndarray] = {}
-        for gi, group in enumerate(groups):
-            if not any((gi, mi) in active for mi in range(len(measures))):
-                continue
-            ext = group.extractor or extractor
-            key = (id(group.model), id(ext))
-            if key not in unit_cache:
-                with watch.charge("unit_extraction"):
-                    unit_cache[key] = ext.extract(
-                        group.model, dataset.symbols[indices], hid_units=None)
-            u_block = unit_cache[key][:, group.unit_ids]
+        # extract each distinct (model, extractor) pair once per block,
+        # narrowed to the units the still-active groups actually need
+        active_groups = [
+            (gi, group) for gi, group in enumerate(groups)
+            if any((gi, mi) in active for mi in range(len(measures)))]
+        u_blocks = _extract_unit_blocks(active_groups, extractor,
+                                        dataset.symbols[indices], watch)
+        for gi, group in active_groups:
+            u_block = u_blocks[gi]
             for mi, measure in enumerate(measures):
                 skey = (gi, mi)
                 if skey not in active:
@@ -181,20 +212,13 @@ def _run_materialized(groups, dataset, measures, hypotheses, extractor,
 
     with watch.charge("hypothesis_extraction"):
         h_all = _extract_hypotheses(hypotheses, dataset, order, config.cache)
-    unit_all: dict[tuple[int, int], np.ndarray] = {}
-    for group in groups:
-        ext = group.extractor or extractor
-        key = (id(group.model), id(ext))
-        if key not in unit_all:
-            with watch.charge("unit_extraction"):
-                unit_all[key] = ext.extract(
-                    group.model, dataset.symbols[order], hid_units=None)
+    unit_all = _extract_unit_blocks(list(enumerate(groups)), extractor,
+                                    dataset.symbols[order], watch)
 
     outcomes: list[GroupMeasureOutcome] = []
     ns = dataset.n_symbols
     for gi, group in enumerate(groups):
-        ext = group.extractor or extractor
-        u_full = unit_all[(id(group.model), id(ext))][:, group.unit_ids]
+        u_full = unit_all[gi]
         for measure in measures:
             if config.mode == "full":
                 with watch.charge("inspection"):

@@ -2,22 +2,30 @@
 
 Implements just enough of an RDBMS to host the paper's DB-oriented DNI
 baseline (Section 5.1.1) and the ``INSPECT`` SQL extension (Appendix B):
-tables, row-at-a-time expression evaluation, filters, hash joins, hash
-group-by with aggregates (including ``corr``), an expression-count limit per
-SELECT clause (PostgreSQL's 1,600 default, which forces the baseline to
-batch), and MADLib-style training UDAs that perform one full table scan per
-optimization pass.
+columnar tables (numpy column arrays), expression evaluation, filters, hash
+joins, hash group-by with aggregates (including ``corr``), an
+expression-count limit per SELECT clause (PostgreSQL's 1,600 default, which
+forces the baseline to batch), and MADLib-style training UDAs that perform
+one full table pass per optimization step.
+
+``execute_select`` runs on one of two engines: the vectorized ``columnar``
+default, or the original row-at-a-time Volcano interpreter
+(``engine="row"``), retained for differential testing and for reproducing
+the paper's baseline cost profile.
 """
 
 from repro.db.aggregates import AGGREGATES
 from repro.db.engine import Database, Table
-from repro.db.executor import SelectQuery, execute_select
+from repro.db.executor import (DEFAULT_ENGINE, ENGINES, SelectQuery,
+                               execute_select)
 from repro.db.inspect_clause import InspectQuery, run_inspect_sql
 from repro.db.madlib import logregr_predict, logregr_train
 from repro.db.sqlparser import parse_sql
 
 __all__ = [
     "AGGREGATES",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Database",
     "InspectQuery",
     "SelectQuery",

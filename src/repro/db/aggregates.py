@@ -2,8 +2,13 @@
 
 Aggregates follow the PostgreSQL state-machine contract: ``init`` produces a
 state, ``step(state, *values)`` folds one row, ``final(state)`` emits the
-result.  Row-at-a-time stepping is the point -- it models the execution cost
-the paper measures for the in-RDBMS design.
+result.  The row engine steps once per row -- deliberately, since that
+models the execution cost the paper measures for the in-RDBMS design.
+
+The columnar executor instead calls ``step_batch(state, *value_arrays)``,
+which folds a whole column segment with numpy reductions; the sufficient
+statistics are identical, so ``final`` is shared by both paths.  Aggregates
+without ``step_batch`` fall back to per-row stepping under either engine.
 """
 
 from __future__ import annotations
@@ -20,25 +25,47 @@ class Aggregate:
     step: Callable[..., Any]
     final: Callable[[Any], Any]
     n_args: int = 1
+    #: vectorized fold over numpy value arrays; same state/final contract.
+    #: Zero-argument aggregates (``count``) receive the segment index array.
+    step_batch: Callable[..., Any] | None = None
 
 
 # ---- count / sum / avg / min / max -----------------------------------
+def _min_step_batch(state, values):
+    if values.shape[0] == 0:
+        return state
+    m = values.min()
+    return m if state is None or m < state else state
+
+
+def _max_step_batch(state, values):
+    if values.shape[0] == 0:
+        return state
+    m = values.max()
+    return m if state is None or m > state else state
+
+
 def _make_simple() -> dict[str, Aggregate]:
     aggs: dict[str, Aggregate] = {}
     aggs["count"] = Aggregate(
-        "count", lambda: 0, lambda s, v=None: s + 1, lambda s: s, n_args=0)
+        "count", lambda: 0, lambda s, v=None: s + 1, lambda s: s, n_args=0,
+        step_batch=lambda s, seg: s + int(seg.shape[0]))
     aggs["sum"] = Aggregate(
-        "sum", lambda: 0.0, lambda s, v: s + v, lambda s: s)
+        "sum", lambda: 0.0, lambda s, v: s + v, lambda s: s,
+        step_batch=lambda s, v: s + v.sum())
     aggs["avg"] = Aggregate(
         "avg", lambda: [0.0, 0],
         lambda s, v: [s[0] + v, s[1] + 1],
-        lambda s: s[0] / s[1] if s[1] else None)
+        lambda s: s[0] / s[1] if s[1] else None,
+        step_batch=lambda s, v: [s[0] + v.sum(), s[1] + int(v.shape[0])])
     aggs["min"] = Aggregate(
         "min", lambda: None,
-        lambda s, v: v if s is None or v < s else s, lambda s: s)
+        lambda s, v: v if s is None or v < s else s, lambda s: s,
+        step_batch=_min_step_batch)
     aggs["max"] = Aggregate(
         "max", lambda: None,
-        lambda s, v: v if s is None or v > s else s, lambda s: s)
+        lambda s, v: v if s is None or v > s else s, lambda s: s,
+        step_batch=_max_step_batch)
     return aggs
 
 
@@ -58,6 +85,16 @@ def _corr_step(state: list[float], x: float, y: float) -> list[float]:
     return state
 
 
+def _corr_step_batch(state: list[float], x, y) -> list[float]:
+    state[0] += float(x.shape[0])
+    state[1] += float(x.sum())
+    state[2] += float(y.sum())
+    state[3] += float(x @ x)
+    state[4] += float(y @ y)
+    state[5] += float(x @ y)
+    return state
+
+
 def _corr_final(state: list[float]) -> float | None:
     n, sx, sy, sxx, syy, sxy = state
     if n < 2:
@@ -70,19 +107,27 @@ def _corr_final(state: list[float]) -> float | None:
     return cov / math.sqrt(vx * vy)
 
 
+def _moments_step_batch(state, values):
+    return [state[0] + float(values.shape[0]),
+            state[1] + float(values.sum()),
+            state[2] + float(values @ values)]
+
+
 def _make_stats() -> dict[str, Aggregate]:
     aggs: dict[str, Aggregate] = {}
     aggs["corr"] = Aggregate("corr", _corr_init, _corr_step, _corr_final,
-                             n_args=2)
+                             n_args=2, step_batch=_corr_step_batch)
     aggs["var_pop"] = Aggregate(
         "var_pop", lambda: [0.0, 0.0, 0.0],
         lambda s, v: [s[0] + 1, s[1] + v, s[2] + v * v],
-        lambda s: (s[2] / s[0] - (s[1] / s[0])**2) if s[0] else None)
+        lambda s: (s[2] / s[0] - (s[1] / s[0])**2) if s[0] else None,
+        step_batch=_moments_step_batch)
     aggs["stddev_pop"] = Aggregate(
         "stddev_pop", lambda: [0.0, 0.0, 0.0],
         lambda s, v: [s[0] + 1, s[1] + v, s[2] + v * v],
         lambda s: math.sqrt(max(s[2] / s[0] - (s[1] / s[0])**2, 0.0))
-        if s[0] else None)
+        if s[0] else None,
+        step_batch=_moments_step_batch)
     return aggs
 
 

@@ -1,8 +1,15 @@
 """Tables and catalog for the mini relational engine.
 
-Rows are stored as Python tuples and scanned one at a time -- deliberately:
-the DB baseline's cost profile (Section 5.1.1) comes from row-at-a-time
-aggregation over large behavior relations, and this engine reproduces it.
+Tables are stored **columnar**: each column is one numpy array (float64 /
+int64 for numeric columns, ``object`` for everything else).  The columnar
+executor consumes these arrays directly; the retained row engine (and the
+MADLib UDAs that deliberately model row-at-a-time cost, Section 5.1.1) go
+through the materialized :attr:`Table.rows` tuple view, which is rebuilt
+lazily from the column arrays.
+
+Inserts land in a small row buffer that is flushed into the column arrays
+the next time a columnar (or row) view is requested, so single-row
+``insert`` stays cheap while bulk loads pay one transpose.
 
 PostgreSQL limits the number of columns/expressions per relation and target
 list (1,600 by default); :data:`MAX_EXPRESSIONS` enforces the same limit so
@@ -15,12 +22,49 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+import numpy as np
+
 #: PostgreSQL's default limit on columns / target-list entries.
 MAX_EXPRESSIONS = 1600
 
 
+def _as_column(values: list) -> np.ndarray:
+    """Build a column array, preserving exact values for non-float data."""
+    numeric = True
+    has_float = False
+    for v in values:
+        if isinstance(v, bool):
+            numeric = False
+            break
+        if isinstance(v, (float, np.floating)):
+            has_float = True
+        elif not isinstance(v, (int, np.integer)):
+            numeric = False
+            break
+    if numeric:
+        if has_float:
+            return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=np.int64)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+def _append_column(old: np.ndarray, new: np.ndarray) -> np.ndarray:
+    if old.shape[0] == 0:
+        return new
+    if new.shape[0] == 0:
+        return old
+    if old.dtype == object or new.dtype == object:
+        out = np.empty(old.shape[0] + new.shape[0], dtype=object)
+        out[:old.shape[0]] = old
+        out[old.shape[0]:] = new
+        return out
+    return np.concatenate([old, new])
+
+
 class Table:
-    """A named relation: column names + list of row tuples."""
+    """A named relation: column names + numpy column arrays."""
 
     def __init__(self, name: str, columns: Sequence[str],
                  rows: Iterable[Sequence[Any]] | None = None):
@@ -32,9 +76,32 @@ class Table:
         self.name = name
         self.columns = list(columns)
         self._index = {c: i for i, c in enumerate(self.columns)}
-        self.rows: list[tuple] = [tuple(r) for r in rows] if rows else []
+        self._cols: list[np.ndarray] = [
+            np.empty(0, dtype=np.float64) for _ in self.columns]
+        self._n_stored = 0
+        self._buffer: list[tuple] = []
+        self._rows_cache: list[tuple] | None = None
+        if rows:
+            self._buffer = [tuple(r) for r in rows]
+            for i, row in enumerate(self._buffer):
+                if len(row) != len(self.columns):
+                    raise ValueError(
+                        f"row {i} arity {len(row)} != table arity "
+                        f"{len(self.columns)}")
+            self._flush()
 
     # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        """Fold buffered rows into the column arrays."""
+        if not self._buffer:
+            return
+        transposed = list(zip(*self._buffer)) or [
+            () for _ in self.columns]
+        self._cols = [_append_column(old, _as_column(list(vals)))
+                      for old, vals in zip(self._cols, transposed)]
+        self._n_stored += len(self._buffer)
+        self._buffer = []
+
     def col_index(self, column: str) -> int:
         try:
             return self._index[column]
@@ -43,22 +110,43 @@ class Table:
                 f"no column {column!r} in table {self.name!r} "
                 f"(has {self.columns})") from None
 
+    def column(self, name: str) -> np.ndarray:
+        """The numpy array backing one column (the columnar access path)."""
+        self._flush()
+        return self._cols[self.col_index(name)]
+
+    def column_arrays(self) -> list[np.ndarray]:
+        """All column arrays, in schema order."""
+        self._flush()
+        return list(self._cols)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Row-tuple view, rebuilt lazily from the column arrays."""
+        if self._rows_cache is None:
+            self._flush()
+            self._rows_cache = list(
+                zip(*(c.tolist() for c in self._cols))) if self._n_stored \
+                else []
+        return self._rows_cache
+
     def insert(self, row: Sequence[Any]) -> None:
         if len(row) != len(self.columns):
             raise ValueError(
                 f"row arity {len(row)} != table arity {len(self.columns)}")
-        self.rows.append(tuple(row))
+        self._buffer.append(tuple(row))
+        self._rows_cache = None
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
         for row in rows:
             self.insert(row)
 
     def scan(self) -> Iterable[tuple]:
-        """Full sequential scan (the only access path -- no indexes)."""
+        """Full sequential row scan (no indexes)."""
         return iter(self.rows)
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._n_stored + len(self._buffer)
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, {len(self.columns)} cols, {len(self)} rows)"
@@ -92,3 +180,11 @@ class Database:
     def scan(self, name: str) -> Iterable[tuple]:
         self.full_scans += 1
         return self.table(name).scan()
+
+    def scan_columns(self, name: str,
+                     columns: Sequence[str] | None = None) -> list[np.ndarray]:
+        """One full columnar pass: counted like :meth:`scan`."""
+        self.full_scans += 1
+        table = self.table(name)
+        names = table.columns if columns is None else columns
+        return [table.column(c) for c in names]

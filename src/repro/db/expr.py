@@ -1,15 +1,25 @@
-"""Row expressions for the mini engine.
+"""Row and batch expressions for the mini engine.
 
-Expressions evaluate against an environment mapping qualified and unqualified
-column names to values.  The node set covers what the DNI baseline and the
-INSPECT integration need: column refs, literals, comparison/boolean/arithmetic
-operators and function-style aggregate references.
+Expressions evaluate in two modes:
+
+* :meth:`Expr.eval` -- against an environment mapping qualified and
+  unqualified column names to scalar values (the row engine).
+* :meth:`Expr.eval_batch` -- against a mapping of column names to numpy
+  column arrays; every operator broadcasts, so a predicate evaluates to a
+  boolean mask and an arithmetic expression to a value column (the columnar
+  engine).
+
+The node set covers what the DNI baseline and the INSPECT integration need:
+column refs, literals, comparison/boolean/arithmetic operators and
+function-style aggregate references.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 _COMPARATORS = {
     "=": lambda a, b: a == b,
@@ -35,6 +45,10 @@ class Expr:
     def eval(self, env: dict[str, Any]) -> Any:
         raise NotImplementedError
 
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
+        """Vectorized evaluation over column arrays (broadcasts scalars)."""
+        raise NotImplementedError
+
     def columns(self) -> set[str]:
         """Referenced column names (for projection pruning / validation)."""
         return set()
@@ -49,6 +63,11 @@ class Column(Expr):
             return env[self.name]
         raise KeyError(f"unbound column {self.name!r}")
 
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> np.ndarray:
+        if self.name in cols:
+            return cols[self.name]
+        raise KeyError(f"unbound column {self.name!r}")
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -61,6 +80,9 @@ class Literal(Expr):
     value: Any
 
     def eval(self, env: dict[str, Any]) -> Any:
+        return self.value
+
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
         return self.value
 
     def __str__(self) -> str:
@@ -79,6 +101,10 @@ class Compare(Expr):
 
     def eval(self, env: dict[str, Any]) -> bool:
         return _COMPARATORS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
+        return _COMPARATORS[self.op](self.left.eval_batch(cols),
+                                     self.right.eval_batch(cols))
 
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
@@ -100,6 +126,10 @@ class Arith(Expr):
     def eval(self, env: dict[str, Any]) -> Any:
         return _ARITHMETIC[self.op](self.left.eval(env), self.right.eval(env))
 
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
+        return _ARITHMETIC[self.op](self.left.eval_batch(cols),
+                                    self.right.eval_batch(cols))
+
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()
 
@@ -116,6 +146,22 @@ class BoolOp(Expr):
             return any(o.eval(env) for o in self.operands)
         if self.op == "not":
             return not self.operands[0].eval(env)
+        raise ValueError(f"unknown boolean op {self.op!r}")
+
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
+        batches = [o.eval_batch(cols) for o in self.operands]
+        if self.op == "and":
+            out = batches[0]
+            for b in batches[1:]:
+                out = np.logical_and(out, b)
+            return out
+        if self.op == "or":
+            out = batches[0]
+            for b in batches[1:]:
+                out = np.logical_or(out, b)
+            return out
+        if self.op == "not":
+            return np.logical_not(batches[0])
         raise ValueError(f"unknown boolean op {self.op!r}")
 
     def columns(self) -> set[str]:
@@ -137,6 +183,9 @@ class AggregateRef(Expr):
     args: list[Expr]
 
     def eval(self, env: dict[str, Any]) -> Any:
+        raise RuntimeError("aggregates are evaluated by the group-by executor")
+
+    def eval_batch(self, cols: dict[str, np.ndarray]) -> Any:
         raise RuntimeError("aggregates are evaluated by the group-by executor")
 
     def columns(self) -> set[str]:

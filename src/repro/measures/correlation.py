@@ -27,13 +27,15 @@ class _CorrState(MeasureState):
 
     @staticmethod
     def _rank(x: np.ndarray) -> np.ndarray:
-        """Column-wise average ranks (Spearman operates on in-block ranks)."""
-        order = np.argsort(x, axis=0, kind="stable")
-        ranks = np.empty_like(x)
-        n = x.shape[0]
-        rng_col = np.arange(n, dtype=np.float64)
+        """Column-wise average ranks: tied values share the mean of the
+        positions they occupy (0-based; Spearman is shift-invariant)."""
+        ranks = np.empty(x.shape, dtype=np.float64)
         for j in range(x.shape[1]):
-            ranks[order[:, j], j] = rng_col
+            _, inv, counts = np.unique(x[:, j], return_inverse=True,
+                                       return_counts=True)
+            # mean 0-based position of a run ending at cumsum(counts) - 1
+            mean_pos = np.cumsum(counts) - (counts + 1) / 2.0
+            ranks[:, j] = mean_pos[inv]
         return ranks
 
     def update(self, units: np.ndarray, hyps: np.ndarray) -> None:

@@ -10,7 +10,6 @@ explicitly (e.g. swap ``and`` with ``or`` vs. with ``chicken``).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.data.datasets import Dataset
 from repro.hypotheses.base import HypothesisFunction

@@ -78,6 +78,63 @@ class TestHypothesisCache:
         assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
                                  "bytes": 0}
 
+    def test_running_byte_total_matches_entries(self, sql_workload, hyps):
+        entry_bytes = 8 * sql_workload.dataset.n_records * \
+            sql_workload.dataset.n_symbols + sql_workload.dataset.n_records
+        cache = HypothesisCache(max_bytes=2 * entry_bytes)
+        for hyp in hyps:  # third insert must evict the first entry
+            cache.extract(hyp, sql_workload.dataset, np.arange(2))
+            assert cache.stats()["bytes"] == sum(
+                e.nbytes for e in cache._entries.values())
+        assert cache.stats()["entries"] == 2
+
+
+class _RecordingExtractor(RnnActivationExtractor):
+    """Records the ``hid_units`` argument of every extract call."""
+
+    def __init__(self):
+        super().__init__()
+        self.hid_units_calls = []
+
+    def extract(self, model, records, hid_units=None):
+        self.hid_units_calls.append(
+            None if hid_units is None else np.asarray(hid_units).tolist())
+        return super().extract(model, records, hid_units=hid_units)
+
+
+class TestStreamingNarrowExtraction:
+    def test_narrow_groups_extract_union_only(self, trained_sql_model,
+                                              sql_workload, hyps):
+        extractor = _RecordingExtractor()
+        groups = [UnitGroup(model=trained_sql_model, unit_ids=[1, 3], name="a"),
+                  UnitGroup(model=trained_sql_model, unit_ids=[3, 5], name="b")]
+        config = InspectConfig(mode="streaming", block_size=32,
+                               early_stop=False, max_records=40)
+        outcomes = run_inspection(groups, sql_workload.dataset,
+                                  [CorrelationScore()], hyps, extractor,
+                                  config)
+        assert extractor.hid_units_calls  # extraction happened
+        assert all(call == [1, 3, 5] for call in extractor.hid_units_calls)
+
+        # scores must match the full-width extraction path exactly
+        full = run_inspection(groups, sql_workload.dataset,
+                              [CorrelationScore()], hyps,
+                              RnnActivationExtractor(),
+                              InspectConfig(mode="full", max_records=40))
+        for narrow, wide in zip(outcomes, full):
+            assert np.allclose(narrow.result.unit_scores,
+                               wide.result.unit_scores, atol=1e-9)
+
+    def test_full_coverage_extracts_all_units(self, trained_sql_model,
+                                              sql_workload, hyps):
+        extractor = _RecordingExtractor()
+        groups = [all_units_group(trained_sql_model)]
+        config = InspectConfig(mode="streaming", block_size=32,
+                               early_stop=False, max_records=20)
+        run_inspection(groups, sql_workload.dataset, [CorrelationScore()],
+                       hyps, extractor, config)
+        assert all(call is None for call in extractor.hid_units_calls)
+
 
 class TestInspectConfig:
     def test_mode_validation(self):

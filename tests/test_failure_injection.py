@@ -5,7 +5,6 @@ import numpy as np
 import pytest
 
 from repro import InspectConfig, UnitGroup, inspect
-from repro.data.datasets import Dataset, Vocab
 from repro.extract.base import Extractor
 from repro.hypotheses import FunctionHypothesis
 from repro.hypotheses.library import sql_keyword_hypotheses

@@ -1,6 +1,5 @@
 """Tests for PCFG sampling and the Earley chart parser."""
 
-import numpy as np
 import pytest
 
 from repro.grammar.cfg import grammar_from_rules

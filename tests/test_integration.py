@@ -1,15 +1,13 @@
 """Cross-subsystem integration tests: full analysis pipelines end to end."""
 
 import numpy as np
-import pytest
 
 from repro import (InspectConfig, UnitGroup, inspect, saliency_frame,
                    top_units)
 from repro.baselines import PyBaseRunner
 from repro.extract.base import HypothesisExtractor
 from repro.extract.rnn import RnnActivationExtractor
-from repro.hypotheses import (CharSetHypothesis, bracket_machine_hypotheses,
-                              grammar_hypotheses)
+from repro.hypotheses import CharSetHypothesis, bracket_machine_hypotheses
 from repro.hypotheses.library import sql_keyword_hypotheses
 from repro.measures import (CorrelationScore, DiffMeansScore,
                             LogRegressionScore, MutualInfoScore,

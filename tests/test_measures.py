@@ -63,6 +63,33 @@ class TestCorrelation:
         res = SpearmanCorrelationScore().compute(units, h)
         assert res.unit_scores[0, 0] > 0.95
 
+    def test_rank_averages_ties(self):
+        from repro.measures.correlation import _CorrState
+        x = np.array([[1.0], [3.0], [1.0], [2.0], [3.0], [3.0]])
+        ranks = _CorrState._rank(x)[:, 0]
+        # scipy.stats.rankdata(..., method="average") minus 1 (0-based)
+        np.testing.assert_allclose(ranks, [0.5, 4.0, 0.5, 2.0, 4.0, 4.0])
+
+    def test_rank_matches_scipy_average_method(self):
+        stats = pytest.importorskip("scipy.stats")
+        from repro.measures.correlation import _CorrState
+        rng = new_rng(7)
+        x = rng.integers(0, 5, size=(200, 3)).astype(float)  # heavy ties
+        ranks = _CorrState._rank(x)
+        for j in range(x.shape[1]):
+            expected = stats.rankdata(x[:, j], method="average") - 1.0
+            np.testing.assert_allclose(ranks[:, j], expected)
+
+    def test_spearman_with_ties_matches_scipy(self):
+        stats = pytest.importorskip("scipy.stats")
+        rng = new_rng(9)
+        units = rng.integers(0, 4, size=(600, 2)).astype(float)
+        hyps = (units[:, :1] + rng.integers(0, 3, size=(600, 1))).astype(float)
+        res = SpearmanCorrelationScore().compute(units, hyps)
+        for i in range(units.shape[1]):
+            expected = stats.spearmanr(units[:, i], hyps[:, 0]).statistic
+            assert res.unit_scores[i, 0] == pytest.approx(expected, abs=1e-9)
+
 
 class TestDiffMeans:
     def test_detects_mean_shift(self, synthetic_behaviors):

@@ -5,7 +5,6 @@ import pytest
 
 from repro import InspectConfig
 from repro.core.progressive import inspect_progressive
-from repro.hypotheses import CharSetHypothesis
 from repro.hypotheses.library import sql_keyword_hypotheses
 from repro.measures import CorrelationScore
 from repro.util.rng import new_rng
