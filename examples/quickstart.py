@@ -10,7 +10,10 @@ trace, then runs the two analyses from the paper's API example:
 Run:  python examples/quickstart.py
 """
 
-from repro import InspectConfig, inspect, top_units
+import time
+
+from repro import (HypothesisCache, InspectConfig, UnitBehaviorCache,
+                   inspect, top_units)
 from repro.data import generate_sql_workload
 from repro.hypotheses import grammar_hypotheses
 from repro.hypotheses.library import sql_keyword_hypotheses
@@ -60,9 +63,13 @@ def main() -> None:
     scores = [CorrelationScore("pearson"),
               LogRegressionScore(regul="L1", score="F1", epochs=2,
                                  cv_folds=3)]
-    config = InspectConfig(mode="streaming", block_size=256)
+    hyp_cache, unit_cache = HypothesisCache(), UnitBehaviorCache()
+    config = InspectConfig(mode="streaming", block_size=256,
+                           cache=hyp_cache, unit_cache=unit_cache)
+    t0 = time.perf_counter()
     frame = inspect([model], workload.dataset, scores, hypotheses,
                     config=config)
+    cold_s = time.perf_counter() - t0
     print(f"result frame: {frame}")
 
     print("\ntop units correlated with the SELECT keyword:")
@@ -77,6 +84,18 @@ def main() -> None:
     print("\nruntime breakdown (seconds):")
     for bucket, secs in config.stopwatch.breakdown().items():
         print(f"  {bucket:24s} {secs:.2f}")
+
+    print("\n== 4. interactive re-run: both behavior caches are warm ==")
+    warm_config = InspectConfig(mode="streaming", block_size=256,
+                                cache=hyp_cache, unit_cache=unit_cache)
+    t0 = time.perf_counter()
+    inspect([model], workload.dataset, scores, hypotheses,
+            config=warm_config)
+    warm_s = time.perf_counter() - t0
+    print(f"cold run {cold_s:.2f}s -> warm run {warm_s:.2f}s "
+          f"({cold_s / max(warm_s, 1e-9):.1f}x)")
+    print(f"hypothesis cache: {hyp_cache.stats()}")
+    print(f"unit cache:       {unit_cache.stats()}")
 
 
 if __name__ == "__main__":

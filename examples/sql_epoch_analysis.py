@@ -50,13 +50,20 @@ def main() -> None:
         mode="derivation") if h.name in TRACKED]
 
     measure = LogRegressionScore(regul="L1", epochs=2, cv_folds=3)
+    # one plan inspects every snapshot; the thread-pool scheduler runs the
+    # per-snapshot score tasks in parallel
+    ordered = [snapshots[e] for e in sorted(snapshots)]
+    frame = inspect(ordered, workload.dataset, [measure], hypotheses,
+                    config=InspectConfig(mode="full", max_records=400,
+                                         scheduler="threads"))
+    label_of = {snap.model_id: "init" if epoch == -1 else epoch
+                for epoch, snap in snapshots.items()}
     rows = []
     for epoch in sorted(snapshots):
         snap = snapshots[epoch]
-        frame = inspect([snap], workload.dataset, [measure], hypotheses,
-                        config=InspectConfig(mode="full", max_records=400))
-        for row in frame.where(kind="group").rows():
-            rows.append({"epoch": "init" if epoch == -1 else epoch,
+        for row in frame.where(kind="group",
+                               model_id=snap.model_id).rows():
+            rows.append({"epoch": label_of[snap.model_id],
                          "hypothesis": row["hyp_id"],
                          "F1": round(row["val"], 3)})
 

@@ -23,18 +23,25 @@ Quick start::
                      LogRegressionScore(regul="L1")], hyps)
 """
 
-from repro.core.cache import HypothesisCache
+from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup, all_units_group, layer_groups
 from repro.core.inspect import InspectConfig, inspect, top_units
+from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
+                                 ThreadPoolScheduler)
 from repro.core.saliency import saliency_frame, top_symbols
 from repro.util.frame import Frame
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Frame",
     "HypothesisCache",
     "InspectConfig",
+    "InspectionPlan",
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadPoolScheduler",
+    "UnitBehaviorCache",
     "UnitGroup",
     "all_units_group",
     "inspect",

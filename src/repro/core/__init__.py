@@ -3,18 +3,29 @@
 :func:`inspect` implements DNI-General (Definition 2): given models (or unit
 groups), a dataset, affinity measures and hypothesis functions, it returns a
 result frame with one affinity value per (model, score, hypothesis, unit)
-plus group-level rows.  :class:`InspectConfig` toggles each optimization of
-Section 5.2 -- model merging happens inside the measures, while streaming
-extraction, early stopping and hypothesis caching live in the pipeline.
+plus group-level rows.  Runs compile into an
+:class:`~repro.core.pipeline.InspectionPlan` — a behavior source feeding
+(group, measure) score tasks under a scheduler — and
+:class:`InspectConfig` toggles each optimization of Section 5.2: model
+merging happens inside the measures, while streaming extraction,
+per-hypothesis early stopping, behavior caching (hypothesis- and unit-side)
+and parallel scheduling live in the plan executor.
 """
 
-from repro.core.cache import HypothesisCache
+from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup, all_units_group, layer_groups
 from repro.core.inspect import InspectConfig, inspect
+from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
+                                 ThreadPoolScheduler)
 
 __all__ = [
     "HypothesisCache",
     "InspectConfig",
+    "InspectionPlan",
+    "Scheduler",
+    "SerialScheduler",
+    "ThreadPoolScheduler",
+    "UnitBehaviorCache",
     "UnitGroup",
     "all_units_group",
     "inspect",

@@ -1,20 +1,71 @@
-"""LRU cache for hypothesis behavior matrices (Section 5.1.2 / Figure 9).
+"""LRU caches for behavior matrices (Section 5.1.2 / Figure 9).
 
-During model development the hypothesis library is fixed while models change,
-so hypothesis behaviors can be extracted once and reused across inspection
-runs.  Entries are keyed by (dataset content hash, hypothesis name) and
-filled at record granularity, so streaming runs that stopped early still
-contribute partial cache contents.
+During model development one side of the inspection workload is usually
+fixed while the other changes, so behaviors can be extracted once and reused
+across inspection runs:
+
+* :class:`HypothesisCache` — the hypothesis library is fixed while models
+  are retrained.  Entries are keyed by (dataset content hash, hypothesis
+  name).
+* :class:`UnitBehaviorCache` — the model is fixed while hypotheses, measures
+  or thresholds change (interactive debugging).  Entries are keyed by
+  (model parameter fingerprint, extractor identity incl. the behavior
+  transform, dataset content hash, selected unit ids).
+
+Both caches fill at record granularity, so streaming runs that stopped early
+still contribute partial cache contents, and both are byte-bounded LRUs.
+They are lock-protected so the thread-pool scheduler can share them.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.extract.base import Extractor
 from repro.hypotheses.base import HypothesisFunction
+
+
+#: process-unique tokens for parameter-less models (id() can be recycled
+#: after garbage collection, so raw id() may alias two different models)
+_FALLBACK_TOKENS = itertools.count()
+
+
+def model_fingerprint(model) -> str:
+    """Content identity of a model for unit-behavior caching.
+
+    Hashes the parameter tensors when the model exposes a ``parameters()``
+    walk (every :class:`repro.nn.Module` does), so retraining — even in
+    place — invalidates cached behaviors.  Parameter-less models get a
+    process-unique token stamped onto the object, so a model allocated at a
+    recycled address never aliases a dead one.
+    """
+    mid = getattr(model, "model_id", type(model).__name__)
+    params = getattr(model, "parameters", None)
+    if callable(params):
+        try:
+            digest = hashlib.sha1()
+            for param in params():
+                value = np.ascontiguousarray(
+                    getattr(param, "value", param), dtype=np.float64)
+                digest.update(str(value.shape).encode())
+                digest.update(value.tobytes())
+            return f"{mid}:{digest.hexdigest()}"
+        except (TypeError, AttributeError):
+            pass
+    token = getattr(model, "_repro_cache_token", None)
+    if token is None:
+        token = f"{mid}#{next(_FALLBACK_TOKENS)}"
+        try:
+            model._repro_cache_token = token
+        except (AttributeError, TypeError):
+            return f"{mid}@{id(model):x}"  # slots/frozen object: best effort
+    return token
 
 
 class _Entry:
@@ -29,22 +80,23 @@ class _Entry:
         return self.matrix.nbytes + self.filled.nbytes
 
 
-class HypothesisCache:
-    """Byte-bounded LRU over (dataset, hypothesis) behavior matrices."""
+class _ByteBoundedLRU:
+    """Shared plumbing for the two behavior caches: a lock-protected,
+    byte-bounded LRU with hit/miss accounting.  Subclass helpers must be
+    called while holding ``self._lock``."""
 
-    def __init__(self, max_bytes: int = 512 * 1024 * 1024):
+    def __init__(self, max_bytes: int):
         self.max_bytes = max_bytes
-        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
-        self._bytes = 0  # running total; entry sizes are fixed at creation
+        self._entries: OrderedDict = OrderedDict()
+        self._bytes = 0  # running total of entry.nbytes
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
-    # ------------------------------------------------------------------
-    def _entry(self, dataset: Dataset, hyp_name: str) -> _Entry:
-        key = (dataset.cache_key(), hyp_name)
+    def _get_or_create(self, key, factory):
         entry = self._entries.get(key)
         if entry is None:
-            entry = _Entry(dataset.n_records, dataset.n_symbols)
+            entry = factory()
             self._entries[key] = entry
             self._bytes += entry.nbytes
             self._evict()
@@ -56,27 +108,151 @@ class HypothesisCache:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
 
-    # ------------------------------------------------------------------
-    def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
-                indices: np.ndarray) -> np.ndarray:
-        """Behavior rows for ``indices``, computing only the missing ones."""
-        indices = np.asarray(indices, dtype=int)
-        entry = self._entry(dataset, hypothesis.name)
-        missing = indices[~entry.filled[indices]]
-        self.hits += int(indices.shape[0] - missing.shape[0])
-        self.misses += int(missing.shape[0])
-        if missing.shape[0]:
-            entry.matrix[missing] = hypothesis.extract(dataset, missing)
-            entry.filled[missing] = True
-        return entry.matrix[indices]
-
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self._entries),
                 "bytes": self._bytes}
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+
+class HypothesisCache(_ByteBoundedLRU):
+    """Byte-bounded LRU over (dataset, hypothesis) behavior matrices."""
+
+    def __init__(self, max_bytes: int = 512 * 1024 * 1024):
+        super().__init__(max_bytes)
+
+    # ------------------------------------------------------------------
+    def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
+                indices: np.ndarray) -> np.ndarray:
+        """Behavior rows for ``indices``, computing only the missing ones."""
+        indices = np.asarray(indices, dtype=int)
+        key = (dataset.cache_key(), hypothesis.name)
+        with self._lock:
+            entry = self._get_or_create(
+                key, lambda: _Entry(dataset.n_records, dataset.n_symbols))
+            missing = indices[~entry.filled[indices]]
+            self.hits += int(indices.shape[0] - missing.shape[0])
+            self.misses += int(missing.shape[0])
+        if missing.shape[0]:
+            rows = hypothesis.extract(dataset, missing)
+            with self._lock:
+                entry.matrix[missing] = rows
+                entry.filled[missing] = True
+        with self._lock:
+            return entry.matrix[indices]
+
+
+class _UnitEntry:
+    """Record-major unit behaviors: row r holds the (ns * n_units) block."""
+
+    def __init__(self, n_records: int, n_symbols: int):
+        self.n_symbols = n_symbols
+        self.matrix: np.ndarray | None = None  # allocated on first fill
+        self.filled = np.zeros(n_records, dtype=bool)
+
+    @property
+    def nbytes(self) -> int:
+        matrix_bytes = 0 if self.matrix is None else self.matrix.nbytes
+        return matrix_bytes + self.filled.nbytes
+
+
+class UnitBehaviorCache(_ByteBoundedLRU):
+    """Byte-bounded LRU over extracted unit behaviors.
+
+    The mirror image of :class:`HypothesisCache` for the other half of the
+    Figure 9 story: repeated inspection runs against the *same* model (new
+    hypotheses, different measures or thresholds) skip the forward passes
+    entirely.  Keys carry the model's parameter fingerprint, the extractor's
+    :meth:`~repro.extract.base.Extractor.cache_key` (which includes the
+    behavior transform), the dataset content hash and the selected unit ids,
+    so a retrained model or a different layer/transform never aliases.
+
+    An entry's matrix spans the whole dataset at the extraction width (the
+    fill mask is what makes partial streaming runs reusable), so
+    ``max_bytes`` is accounted at full-matrix size; zero pages stay virtual
+    until rows are actually written.
+    """
+
+    def __init__(self, max_bytes: int = 1024 * 1024 * 1024):
+        super().__init__(max_bytes)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _units_key(hid_units: np.ndarray | list[int] | None) -> str:
+        if hid_units is None:
+            return "all"
+        ids = np.asarray(hid_units, dtype=int)
+        digest = hashlib.sha1(ids.tobytes()).hexdigest()[:16]
+        return f"{ids.shape[0]}:{digest}"
+
+    # ------------------------------------------------------------------
+    def extract(self, model, extractor: Extractor, dataset: Dataset,
+                indices: np.ndarray,
+                hid_units: np.ndarray | list[int] | None = None,
+                model_key: str | None = None) -> np.ndarray:
+        """Unit behaviors for ``indices``: (len(indices) * ns, width).
+
+        Only records without cached rows are run through the extractor; the
+        result is always served from the cache matrix so repeated runs cost
+        one slice.  ``model_key`` lets callers that fingerprint the model
+        once per run (the plan executor) skip re-hashing its parameters on
+        every block.
+        """
+        indices = np.asarray(indices, dtype=int)
+        if model_key is None:
+            model_key = model_fingerprint(model)
+        key = (model_key, extractor.cache_key(),
+               dataset.cache_key(), self._units_key(hid_units))
+        with self._lock:
+            entry = self._get_or_create(
+                key,
+                lambda: _UnitEntry(dataset.n_records, dataset.n_symbols))
+            missing = indices[~entry.filled[indices]]
+            self.hits += int(indices.shape[0] - missing.shape[0])
+            self.misses += int(missing.shape[0])
+        if missing.shape[0]:
+            block = extractor.extract(model, dataset.symbols[missing],
+                                      hid_units=hid_units)
+            ns = entry.n_symbols
+            if block.shape[0] != missing.shape[0] * ns:
+                raise ValueError(
+                    f"extractor row mismatch: expected "
+                    f"{missing.shape[0] * ns} rows "
+                    f"({missing.shape[0]} records x {ns} symbols), "
+                    f"got {block.shape[0]}")
+            with self._lock:
+                # the entry may have been evicted (or even displaced) by a
+                # concurrent insert while we extracted without the lock;
+                # re-account bytes against the map's actual contents
+                mapped = self._entries.get(key) is entry
+                if mapped:
+                    self._bytes -= entry.nbytes
+                if entry.matrix is None:
+                    entry.matrix = np.zeros(
+                        (entry.filled.shape[0], ns * block.shape[1]))
+                entry.matrix[missing] = block.reshape(missing.shape[0], -1)
+                entry.filled[missing] = True
+                if not mapped:
+                    displaced = self._entries.get(key)
+                    if displaced is not None:
+                        self._bytes -= displaced.nbytes
+                    self._entries[key] = entry
+                self._bytes += entry.nbytes
+                self._entries.move_to_end(key)
+                self._evict()
+        if entry.matrix is None:
+            # only reachable for an empty index set (nothing was ever
+            # filled); let the extractor produce the correctly-shaped
+            # (0, width) result instead of guessing the width
+            return extractor.extract(model, dataset.symbols[indices],
+                                     hid_units=hid_units)
+        with self._lock:
+            width = entry.matrix.shape[1] // entry.n_symbols
+            return entry.matrix[indices].reshape(
+                indices.shape[0] * entry.n_symbols, width)

@@ -18,6 +18,7 @@ The returned :class:`repro.util.frame.Frame` has the paper's schema
 
 from __future__ import annotations
 
+import numpy as np
 
 from repro.core.groups import UnitGroup, all_units_group
 from repro.core.pipeline import (GroupMeasureOutcome, InspectConfig,
@@ -68,14 +69,13 @@ def inspect(models, dataset: Dataset, scores, hypotheses,
         scores = [scores]
     if isinstance(hypotheses, HypothesisFunction):
         hypotheses = [hypotheses]
+    extractor = extractor or RnnActivationExtractor()
     if unit_groups is None:
         if models is None:
             raise ValueError("provide models or explicit unit_groups")
         if not isinstance(models, (list, tuple)):
             models = [models]
-        default_ext = extractor or RnnActivationExtractor()
-        unit_groups = [all_units_group(m, default_ext) for m in models]
-    extractor = extractor or RnnActivationExtractor()
+        unit_groups = [all_units_group(m, extractor) for m in models]
     config = config or InspectConfig()
 
     outcomes = run_inspection(unit_groups, dataset, list(scores),
@@ -86,7 +86,12 @@ def inspect(models, dataset: Dataset, scores, hypotheses,
 
 
 def outcomes_to_frame(outcomes: list[GroupMeasureOutcome]) -> Frame:
-    """Flatten outcomes into the paper's result schema."""
+    """Flatten outcomes into the paper's result schema.
+
+    Row order per outcome is hypothesis-major: the hypothesis's unit rows
+    followed by its group row (for joint measures).  Columns are assembled
+    with numpy repeat/tile instead of a per-(unit, hypothesis) Python loop.
+    """
     model_ids: list[str] = []
     group_ids: list[str] = []
     score_ids: list[str] = []
@@ -100,27 +105,38 @@ def outcomes_to_frame(outcomes: list[GroupMeasureOutcome]) -> Frame:
     for outcome in outcomes:
         group = outcome.group
         result = outcome.result
-        names = outcome.hypothesis_names
+        names = np.asarray(outcome.hypothesis_names, dtype=object)
         n_units, n_hyps = result.unit_scores.shape
-        unit_idx = group.unit_ids
+        unit_idx = np.asarray(group.unit_ids, dtype=np.int64)
+        col_rows = (result.col_rows_seen if result.col_rows_seen is not None
+                    else np.full(n_hyps, result.n_rows_seen, dtype=np.int64))
+        col_conv = (result.col_converged if result.col_converged is not None
+                    else np.full(n_hyps, result.converged, dtype=bool))
 
-        def push(hyp: str, unit: int, val: float, kind: str) -> None:
-            model_ids.append(group.model_id)
-            group_ids.append(group.name)
-            score_ids.append(outcome.measure.score_id)
-            hyp_ids.append(hyp)
-            unit_ids.append(unit)
-            vals.append(float(val))
-            kinds.append(kind)
-            rows_seen.append(result.n_rows_seen)
-            converged.append(result.converged)
+        if result.group_scores is None:
+            per_hyp = n_units
+            val_matrix = result.unit_scores
+            unit_cycle = unit_idx
+            kind_cycle = ["unit"] * n_units
+        else:
+            per_hyp = n_units + 1
+            val_matrix = np.concatenate(
+                [result.unit_scores, result.group_scores[None, :]], axis=0)
+            unit_cycle = np.concatenate([unit_idx, [GROUP_ROW]])
+            kind_cycle = ["unit"] * n_units + ["group"]
 
-        for j in range(n_hyps):
-            for i in range(n_units):
-                push(names[j], int(unit_idx[i]),
-                     result.unit_scores[i, j], "unit")
-            if result.group_scores is not None:
-                push(names[j], GROUP_ROW, result.group_scores[j], "group")
+        n_rows = per_hyp * n_hyps
+        model_ids += [group.model_id] * n_rows
+        group_ids += [group.name] * n_rows
+        score_ids += [outcome.measure.score_id] * n_rows
+        hyp_ids += np.repeat(names, per_hyp).tolist()
+        unit_ids += np.tile(unit_cycle, n_hyps).tolist()
+        vals += val_matrix.T.reshape(-1).astype(float).tolist()
+        kinds += kind_cycle * n_hyps
+        rows_seen += np.repeat(np.asarray(col_rows, dtype=np.int64),
+                               per_hyp).tolist()
+        converged += np.repeat(np.asarray(col_conv, dtype=bool),
+                               per_hyp).tolist()
 
     return Frame({
         "model_id": model_ids,
@@ -140,6 +156,7 @@ def top_units(frame: Frame, score_id: str, hyp_id: str,
     """Post-processing helper: the k highest-affinity units for a hypothesis."""
     sub = frame.where(score_id=score_id, hyp_id=hyp_id, kind="unit")
     if by_abs:
-        sub = sub.with_column("abs_val", [abs(v) for v in sub["val"]])
+        abs_val = np.abs(sub.column("val", dtype=float))
+        sub = sub.with_column("abs_val", abs_val.tolist())
         return sub.sort("abs_val", reverse=True).head(k)
     return sub.sort("val", reverse=True).head(k)

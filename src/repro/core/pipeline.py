@@ -1,16 +1,27 @@
-"""The inspection pipeline: extraction + measures, with all optimizations.
+"""The plan-based inspection engine: extraction + measures as operators.
 
-Three execution modes mirror the designs of Section 5:
+An inspection run compiles into an :class:`InspectionPlan` of explicit
+operators, mirroring Section 5's view of neural inspection as a
+query-optimizable workload:
 
-* ``full``          -- materialize all behaviors, then run each measure's
-  exact full-data computation (the naive DeepBase design, Section 5.1.2;
-  also the quality-experiment path).
-* ``materialized``  -- materialize all behaviors, then feed them to the
-  incremental measure states block-by-block with optional early stopping
-  (the paper's ``+MM+ES`` configuration).
-* ``streaming``     -- extract unit and hypothesis behaviors lazily per
-  block and stop extracting the moment every score has converged
-  (full DeepBase, Section 5.2.3).
+* :class:`BehaviorSource` — produces aligned unit/hypothesis behavior
+  blocks.  The paper's three designs are *configurations* of this one
+  operator: ``full`` and ``materialized`` extract everything up front
+  (Section 5.1.2), ``streaming`` extracts lazily per block and narrows unit
+  extraction to the units still-active groups need (Section 5.2.3).  Both
+  behavior sides can be served from caches (:class:`HypothesisCache` /
+  :class:`UnitBehaviorCache`).
+* :class:`ScoreTask` — one (unit group, measure) pair driving an
+  incremental :class:`~repro.measures.base.MeasureState`.  Measures whose
+  statistics factor across hypothesis columns converge *per hypothesis*:
+  a converged column freezes its scores and drops out of ``process_block``
+  compute, instead of the coarse max-over-all-pairs criterion.
+* :class:`Scheduler` — executes independent operator invocations.  The
+  serial scheduler reproduces single-threaded execution exactly; the
+  thread-pool scheduler parallelizes unit extraction across (model,
+  extractor) pairs and score updates across tasks (numpy releases the GIL,
+  so multi-model workloads scale across cores) while producing bit-identical
+  results.
 
 Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 ``inspection`` buckets, reproducing Figure 8's runtime breakdown.
@@ -18,11 +29,14 @@ Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cache import HypothesisCache
+from repro.core.cache import (HypothesisCache, UnitBehaviorCache,
+                              model_fingerprint)
 from repro.core.groups import UnitGroup
 from repro.data.datasets import Dataset
 from repro.extract.base import Extractor, HypothesisExtractor
@@ -40,6 +54,84 @@ DEFAULT_THRESHOLDS = {"corr": 0.025, "logreg": 0.01}
 FALLBACK_THRESHOLD = 0.01
 
 
+# ----------------------------------------------------------------------
+# schedulers
+# ----------------------------------------------------------------------
+class Scheduler:
+    """Executes a batch of independent operator invocations.
+
+    ``map`` must return results in input order, so plans produce identical
+    frames under every scheduler.
+    """
+
+    name = "scheduler"
+
+    def map(self, fn, items: list) -> list:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        pass
+
+
+class SerialScheduler(Scheduler):
+    """Runs every invocation inline on the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolScheduler(Scheduler):
+    """Fans invocations out over a shared thread pool.
+
+    Each work item touches disjoint state (one task's measure state, one
+    (model, extractor) pair's extraction), and results are collected in
+    input order, so execution is deterministic.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(self, fn, items: list) -> list:
+        items = list(items)
+        if len(items) <= 1:  # no parallelism to exploit; skip dispatch cost
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_SCHEDULERS = {"serial": SerialScheduler, "threads": ThreadPoolScheduler}
+
+
+def _resolve_scheduler(spec) -> tuple[Scheduler, bool]:
+    """Returns (scheduler, owned); owned schedulers are shut down after use."""
+    if spec is None:
+        return SerialScheduler(), True
+    if isinstance(spec, Scheduler):
+        return spec, False
+    if isinstance(spec, str):
+        try:
+            return _SCHEDULERS[spec](), True
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler {spec!r}; expected one of "
+                f"{tuple(_SCHEDULERS)} or a Scheduler instance") from None
+    raise TypeError(f"scheduler must be a name or Scheduler, got {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
 @dataclass
 class InspectConfig:
     """Execution knobs for one inspection run."""
@@ -50,7 +142,11 @@ class InspectConfig:
     error_threshold: float | dict | None = None
     shuffle: bool = True
     seed: int = 0
-    cache: HypothesisCache | None = None
+    cache: HypothesisCache | None = None     # hypothesis-behavior cache
+    unit_cache: UnitBehaviorCache | None = None
+    scheduler: Scheduler | str | None = None  # None -> serial
+    partition: bool = True      # per-hypothesis-column early stopping
+    partition_min_rows: int = 0  # rows a state must see before freezing
     stopwatch: Stopwatch | None = None
     max_records: int | None = None
 
@@ -81,44 +177,14 @@ class GroupMeasureOutcome:
     records_processed: int = 0
 
 
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
 def _total_units(extractor: Extractor, model) -> int | None:
     try:
         return int(extractor.n_units(model))
     except (AttributeError, NotImplementedError):
         return None
-
-
-def _extract_unit_blocks(groups: list[tuple[int, UnitGroup]],
-                         default_extractor: Extractor, records: np.ndarray,
-                         watch: Stopwatch) -> dict[int, np.ndarray]:
-    """Unit behaviors for ``records``, one extraction per (model, extractor)
-    pair, keyed by group index.
-
-    When the groups sharing a pair cover only a strict subset of the model's
-    units, the union of their unit ids is passed through ``hid_units`` so
-    the extractor never materializes behaviors nobody asked for; each
-    group's block is then sliced out of the union's column space.
-    """
-    by_pair: dict[tuple[int, int], list[tuple[int, UnitGroup]]] = {}
-    for gi, group in groups:
-        ext = group.extractor or default_extractor
-        by_pair.setdefault((id(group.model), id(ext)), []).append((gi, group))
-
-    out: dict[int, np.ndarray] = {}
-    for members in by_pair.values():
-        _, first = members[0]
-        ext = first.extractor or default_extractor
-        union = np.unique(np.concatenate([g.unit_ids for _, g in members]))
-        total = _total_units(ext, first.model)
-        narrow = total is not None and union.shape[0] < total
-        with watch.charge("unit_extraction"):
-            block = ext.extract(first.model, records,
-                                hid_units=union if narrow else None)
-        for gi, group in members:
-            cols = (np.searchsorted(union, group.unit_ids) if narrow
-                    else group.unit_ids)
-            out[gi] = block[:, cols]
-    return out
 
 
 def _extract_hypotheses(hypotheses: list[HypothesisFunction],
@@ -131,133 +197,419 @@ def _extract_hypotheses(hypotheses: list[HypothesisFunction],
     return HypothesisExtractor(hypotheses).extract(dataset, indices)
 
 
+class BehaviorSource:
+    """Serves aligned behavior blocks for record positions in ``order``.
+
+    ``materialize=False`` (streaming) extracts lazily per request;
+    ``materialize=True`` extracts everything on :meth:`prepare` and then
+    serves row slices.  Either way unit extraction runs once per distinct
+    (model, extractor) pair and — when the requesting groups cover a strict
+    subset of a model's units — is narrowed to the union of their unit ids
+    via ``hid_units``, so behaviors nobody asked for are never materialized.
+    With a :class:`UnitBehaviorCache` configured, extraction instead runs at
+    full width and slices columns on read: cache entries then reuse across
+    runs regardless of which groups were active when they were filled.
+    """
+
+    def __init__(self, dataset: Dataset, hypotheses: list[HypothesisFunction],
+                 groups: list[UnitGroup], default_extractor: Extractor,
+                 config: InspectConfig, order: np.ndarray):
+        self.dataset = dataset
+        self.hypotheses = hypotheses
+        self.groups = groups
+        self.default_extractor = default_extractor
+        self.config = config
+        self.order = order
+        self.materialize = config.mode in ("materialized", "full")
+        self._h_all: np.ndarray | None = None
+        self._u_all: dict[int, np.ndarray] | None = None
+        # fingerprints are stable for the lifetime of one plan execution;
+        # memoize so warm cache hits don't re-hash model parameters per block
+        self._model_keys: dict[int, str] = {}
+
+    def _model_key(self, model) -> str:
+        key = self._model_keys.get(id(model))
+        if key is None:
+            key = model_fingerprint(model)
+            self._model_keys[id(model)] = key
+        return key
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return int(self.order.shape[0])
+
+    def block_slices(self):
+        """Record-position slices the executor iterates over."""
+        if self.config.mode == "full":
+            yield slice(0, self.n_records)
+            return
+        yield from iter_blocks(self.n_records, self.config.block_size)
+
+    def _extract_units_for_pair(self, members: list[tuple[int, UnitGroup]],
+                                indices: np.ndarray) -> dict[int, np.ndarray]:
+        """One extraction for all groups sharing a (model, extractor) pair."""
+        _, first = members[0]
+        ext = first.extractor or self.default_extractor
+        out: dict[int, np.ndarray] = {}
+        if self.config.unit_cache is not None:
+            # cache at full width: entry keys stay independent of which
+            # groups happen to be active, so warm hits survive different
+            # convergence trajectories; columns are sliced on read
+            block = self.config.unit_cache.extract(
+                first.model, ext, self.dataset, indices, hid_units=None,
+                model_key=self._model_key(first.model))
+            for gi, group in members:
+                out[gi] = block[:, group.unit_ids]
+            return out
+        union = np.unique(np.concatenate([g.unit_ids for _, g in members]))
+        total = _total_units(ext, first.model)
+        narrow = total is not None and union.shape[0] < total
+        block = ext.extract(first.model, self.dataset.symbols[indices],
+                            hid_units=union if narrow else None)
+        for gi, group in members:
+            cols = (np.searchsorted(union, group.unit_ids) if narrow
+                    else group.unit_ids)
+            out[gi] = block[:, cols]
+        return out
+
+    def _extract_unit_blocks(self, groups: list[tuple[int, UnitGroup]],
+                             indices: np.ndarray,
+                             scheduler: Scheduler) -> dict[int, np.ndarray]:
+        by_pair: dict[tuple[int, int], list[tuple[int, UnitGroup]]] = {}
+        for gi, group in groups:
+            ext = group.extractor or self.default_extractor
+            by_pair.setdefault((id(group.model), id(ext)), []).append(
+                (gi, group))
+        results = scheduler.map(
+            lambda members: self._extract_units_for_pair(members, indices),
+            list(by_pair.values()))
+        merged: dict[int, np.ndarray] = {}
+        for chunk in results:
+            merged.update(chunk)
+        return merged
+
+    # -- executor interface --------------------------------------------
+    def prepare(self, scheduler: Scheduler, watch: Stopwatch) -> None:
+        if not self.materialize:
+            return
+        with watch.charge("hypothesis_extraction"):
+            self._h_all = _extract_hypotheses(self.hypotheses, self.dataset,
+                                              self.order, self.config.cache)
+        with watch.charge("unit_extraction"):
+            self._u_all = self._extract_unit_blocks(
+                list(enumerate(self.groups)), self.order, scheduler)
+
+    def hypothesis_block(self, sl: slice, watch: Stopwatch,
+                         columns: np.ndarray | None = None) -> np.ndarray:
+        """Hypothesis behaviors for the slice.
+
+        ``columns`` narrows lazy extraction to the still-active hypothesis
+        columns (the hypothesis-side mirror of ``hid_units``): frozen
+        hypotheses are not re-evaluated for the remaining blocks.  Ignored
+        when materialized — everything was extracted up front.
+        """
+        ns = self.dataset.n_symbols
+        if self.materialize:
+            assert self._h_all is not None
+            return self._h_all[sl.start * ns:sl.stop * ns]
+        hyps = (self.hypotheses if columns is None
+                else [self.hypotheses[int(c)] for c in columns])
+        with watch.charge("hypothesis_extraction"):
+            return _extract_hypotheses(hyps, self.dataset,
+                                       self.order[sl], self.config.cache)
+
+    def unit_blocks(self, sl: slice, groups: list[tuple[int, UnitGroup]],
+                    scheduler: Scheduler,
+                    watch: Stopwatch) -> dict[int, np.ndarray]:
+        ns = self.dataset.n_symbols
+        if self.materialize:
+            assert self._u_all is not None
+            return {gi: self._u_all[gi][sl.start * ns:sl.stop * ns]
+                    for gi, _ in groups}
+        with watch.charge("unit_extraction"):
+            return self._extract_unit_blocks(groups, self.order[sl],
+                                             scheduler)
+
+    def describe(self) -> str:
+        parts = [f"materialize={self.materialize}",
+                 f"block_size={self.config.block_size}",
+                 f"hyp_cache={'on' if self.config.cache else 'off'}",
+                 f"unit_cache={'on' if self.config.unit_cache else 'off'}"]
+        return f"BehaviorSource({', '.join(parts)})"
+
+
+class ScoreTask:
+    """One (unit group, measure) pair: state, convergence, freezing.
+
+    With a partition-capable measure and early stopping on, hypothesis
+    columns converge individually: a column whose error bound drops under
+    the threshold has its scores snapshotted, is removed from the measure
+    state's sufficient statistics, and stops being fed — later blocks only
+    pay for the still-active columns.  The task finishes when every column
+    is frozen (or, for non-partition measures, when the scalar criterion
+    fires).
+    """
+
+    def __init__(self, gi: int, group: UnitGroup, mi: int, measure: Measure,
+                 n_hyps: int, config: InspectConfig):
+        self.gi = gi
+        self.mi = mi
+        self.group = group
+        self.measure = measure
+        self.n_hyps = n_hyps
+        self.threshold = config.threshold_for(measure.score_id)
+        self.single_shot = config.mode == "full"
+        self.early_stop = (config.early_stop and measure.supports_early_stop
+                           and not self.single_shot)
+        self.partition = (self.early_stop and config.partition
+                          and measure.supports_partition)
+        self.partition_min_rows = config.partition_min_rows
+        self.state = (None if self.single_shot
+                      else measure.new_state(group.n_units, n_hyps))
+        self.active_cols = np.arange(n_hyps)
+        self.col_rows = np.zeros(n_hyps, dtype=np.int64)
+        self.col_converged = np.zeros(n_hyps, dtype=bool)
+        self._frozen_unit: np.ndarray | None = None
+        self._frozen_group: np.ndarray | None = None
+        self._last: MeasureResult | None = None
+        self.records_processed = 0
+        self.done = False
+
+    # ------------------------------------------------------------------
+    def process(self, u_block: np.ndarray, h_block: np.ndarray,
+                n_records: int) -> None:
+        """Consume one aligned block.
+
+        ``h_block`` must already be restricted to this task's active
+        hypothesis columns (the executor slices once per task, which lets
+        the source skip extracting globally-frozen columns altogether).
+        """
+        if self.single_shot:
+            self._last = self.measure.compute(u_block, h_block)
+            self.col_rows[:] = u_block.shape[0]
+            self.col_converged[:] = True
+            self.records_processed = n_records
+            self.done = True
+            return
+        result, err = self.measure.process_block(self.state, u_block,
+                                                 h_block)
+        self._last = result
+        self.records_processed += n_records
+        self.col_rows[self.active_cols] += u_block.shape[0]
+        if not self.early_stop:
+            return
+        if self.partition:
+            self._freeze_converged()
+        elif err <= self.threshold:
+            result.converged = True
+            self.col_converged[:] = True
+            self.done = True
+
+    def _freeze_converged(self) -> None:
+        if self.state.n_rows < self.partition_min_rows:
+            return
+        errors = self.state.column_errors()
+        if errors is None:  # state opted out at runtime: scalar fallback
+            if self.state.error() <= self.threshold:
+                self._last.converged = True
+                self.col_converged[:] = True
+                self.done = True
+            return
+        # NaN marks a vacuous column (score pinned at a default but not
+        # final, e.g. a hypothesis with no contrast yet): never freeze it --
+        # later blocks may revive it -- but don't let it keep the task alive
+        # once every informative column has converged.
+        with np.errstate(invalid="ignore"):
+            ready = errors <= self.threshold
+        vacuous = np.isnan(errors)
+        if ready.any():
+            scores = self.state.unit_scores()
+            group = self.state.group_scores()
+            if self._frozen_unit is None:
+                self._frozen_unit = np.zeros(
+                    (self.group.n_units, self.n_hyps))
+                if group is not None:
+                    self._frozen_group = np.zeros(self.n_hyps)
+            frozen_global = self.active_cols[ready]
+            self._frozen_unit[:, frozen_global] = scores[:, ready]
+            if group is not None and self._frozen_group is not None:
+                self._frozen_group[frozen_global] = group[ready]
+            self.col_converged[frozen_global] = True
+            keep = ~ready
+            self.active_cols = self.active_cols[keep]
+            if self.active_cols.shape[0]:
+                self.state.restrict_columns(np.flatnonzero(keep))
+            vacuous = vacuous[keep]
+        if self.active_cols.shape[0] == 0:
+            self.done = True
+        elif vacuous.all():
+            # only vacuous columns remain: the task is converged the same
+            # way the scalar criterion treats an all-degenerate state; their
+            # live (pinned) scores are stitched into the result
+            self.col_converged[self.active_cols] = True
+            if self._last is not None:
+                self._last.converged = True
+            self.done = True
+
+    # ------------------------------------------------------------------
+    def outcome(self, names: list[str]) -> GroupMeasureOutcome:
+        if self._frozen_unit is not None:
+            result = self._stitched_result()
+        elif self._last is not None:
+            result = self._last
+        else:  # zero blocks processed (empty dataset guard)
+            result = self.state.result()
+        result.col_rows_seen = self.col_rows.copy()
+        result.col_converged = self.col_converged.copy()
+        return GroupMeasureOutcome(
+            group=self.group, measure=self.measure, result=result,
+            hypothesis_names=names,
+            records_processed=self.records_processed)
+
+    def _stitched_result(self) -> MeasureResult:
+        """Merge frozen column snapshots with the live state's columns."""
+        unit = self._frozen_unit.copy()
+        group = (None if self._frozen_group is None
+                 else self._frozen_group.copy())
+        extras = None
+        if self.active_cols.shape[0]:
+            live = self.state.result()
+            unit[:, self.active_cols] = live.unit_scores
+            if group is not None and live.group_scores is not None:
+                group[self.active_cols] = live.group_scores
+            extras = live.extras
+        return MeasureResult(
+            unit_scores=unit, group_scores=group,
+            n_rows_seen=int(self.col_rows.max(initial=0)),
+            converged=bool(self.col_converged.all()),
+            extras=extras)
+
+    def describe(self) -> str:
+        policy = ("single-shot" if self.single_shot
+                  else "per-column" if self.partition
+                  else "scalar" if self.early_stop else "exhaustive")
+        return (f"ScoreTask({self.group.model_id}/{self.group.name} x "
+                f"{self.measure.score_id}, stop={policy})")
+
+
+# ----------------------------------------------------------------------
+# plan
+# ----------------------------------------------------------------------
+@dataclass
+class InspectionPlan:
+    """A compiled inspection run: source + tasks + scheduling policy."""
+
+    groups: list[UnitGroup]
+    dataset: Dataset
+    measures: list[Measure]
+    hypotheses: list[HypothesisFunction]
+    config: InspectConfig
+    order: np.ndarray
+    source: BehaviorSource = field(init=False)
+    tasks: list[ScoreTask] = field(init=False)
+
+    @classmethod
+    def build(cls, groups: list[UnitGroup], dataset: Dataset,
+              measures: list[Measure],
+              hypotheses: list[HypothesisFunction],
+              extractor: Extractor, config: InspectConfig) -> "InspectionPlan":
+        if not groups:
+            raise ValueError("need at least one unit group")
+        if not measures:
+            raise ValueError("need at least one measure")
+        if not hypotheses:
+            raise ValueError("need at least one hypothesis function")
+        rng = new_rng(config.seed)
+        n_records = dataset.n_records
+        if config.max_records is not None:
+            n_records = min(n_records, config.max_records)
+        order = np.arange(n_records)
+        if config.shuffle:
+            rng.shuffle(order)
+        plan = cls(groups=groups, dataset=dataset, measures=measures,
+                   hypotheses=hypotheses, config=config, order=order)
+        plan.source = BehaviorSource(dataset, hypotheses, groups, extractor,
+                                     config, order)
+        n_hyps = len(hypotheses)
+        plan.tasks = [ScoreTask(gi, g, mi, m, n_hyps, config)
+                      for gi, g in enumerate(groups)
+                      for mi, m in enumerate(measures)]
+        return plan
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Readable operator tree (the EXPLAIN of an inspection run)."""
+        sched = self.config.scheduler
+        sched_name = (sched.name if isinstance(sched, Scheduler)
+                      else sched or "serial")
+        lines = [f"InspectionPlan(mode={self.config.mode}, "
+                 f"records={self.source.n_records}, "
+                 f"scheduler={sched_name})",
+                 f"  {self.source.describe()}"]
+        lines += [f"  {task.describe()}" for task in self.tasks]
+        return "\n".join(lines)
+
+    def execute(self) -> list[GroupMeasureOutcome]:
+        scheduler, owned = _resolve_scheduler(self.config.scheduler)
+        try:
+            return self._execute(scheduler)
+        finally:
+            if owned:
+                scheduler.shutdown()
+
+    def _execute(self, scheduler: Scheduler) -> list[GroupMeasureOutcome]:
+        watch = self.config.stopwatch
+        n_hyps = len(self.hypotheses)
+        self.source.prepare(scheduler, watch)
+        for sl in self.source.block_slices():
+            pending = [t for t in self.tasks if not t.done]
+            if not pending:
+                break
+            # hypothesis columns frozen in *every* pending task need no
+            # further extraction (streaming only; materialized already paid)
+            cols_union = None
+            if not self.source.materialize:
+                if any(t.active_cols.shape[0] < n_hyps for t in pending):
+                    cols_union = np.unique(np.concatenate(
+                        [t.active_cols for t in pending]))
+                    if cols_union.shape[0] == n_hyps:
+                        cols_union = None
+            h_block = self.source.hypothesis_block(sl, watch,
+                                                   columns=cols_union)
+
+            def h_for(task):
+                """This task's active columns, positioned within h_block."""
+                if cols_union is None:
+                    if task.active_cols.shape[0] == n_hyps:
+                        return h_block
+                    return h_block[:, task.active_cols]
+                local = np.searchsorted(cols_union, task.active_cols)
+                if local.shape[0] == h_block.shape[1]:
+                    return h_block
+                return h_block[:, local]
+
+            needed: dict[int, UnitGroup] = {}
+            for task in pending:
+                needed.setdefault(task.gi, task.group)
+            u_blocks = self.source.unit_blocks(
+                sl, sorted(needed.items()), scheduler, watch)
+            n_records = sl.stop - sl.start
+            with watch.charge("inspection"):
+                scheduler.map(
+                    lambda task: task.process(u_blocks[task.gi], h_for(task),
+                                              n_records),
+                    pending)
+        names = [h.name for h in self.hypotheses]
+        return [task.outcome(names) for task in self.tasks]
+
+
 def run_inspection(groups: list[UnitGroup], dataset: Dataset,
                    measures: list[Measure],
                    hypotheses: list[HypothesisFunction],
                    extractor: Extractor,
                    config: InspectConfig) -> list[GroupMeasureOutcome]:
     """Execute DNI-General and return one outcome per (group, measure)."""
-    if not groups:
-        raise ValueError("need at least one unit group")
-    if not measures:
-        raise ValueError("need at least one measure")
-    if not hypotheses:
-        raise ValueError("need at least one hypothesis function")
-
-    rng = new_rng(config.seed)
-    n_records = dataset.n_records
-    if config.max_records is not None:
-        n_records = min(n_records, config.max_records)
-    order = np.arange(n_records)
-    if config.shuffle:
-        rng.shuffle(order)
-
-    if config.mode == "streaming":
-        return _run_streaming(groups, dataset, measures, hypotheses,
-                              extractor, config, order)
-    return _run_materialized(groups, dataset, measures, hypotheses,
-                             extractor, config, order)
-
-
-# ----------------------------------------------------------------------
-def _run_streaming(groups, dataset, measures, hypotheses, extractor,
-                   config, order) -> list[GroupMeasureOutcome]:
-    watch = config.stopwatch
-    names = [h.name for h in hypotheses]
-    n_hyps = len(hypotheses)
-    states = {(gi, mi): m.new_state(g.n_units, n_hyps)
-              for gi, g in enumerate(groups) for mi, m in enumerate(measures)}
-    active = set(states)
-    records_done = {key: 0 for key in states}
-    last: dict[tuple[int, int], MeasureResult] = {}
-
-    for block in iter_blocks(order.shape[0], config.block_size):
-        indices = order[block]
-        with watch.charge("hypothesis_extraction"):
-            h_block = _extract_hypotheses(hypotheses, dataset, indices,
-                                          config.cache)
-        # extract each distinct (model, extractor) pair once per block,
-        # narrowed to the units the still-active groups actually need
-        active_groups = [
-            (gi, group) for gi, group in enumerate(groups)
-            if any((gi, mi) in active for mi in range(len(measures)))]
-        u_blocks = _extract_unit_blocks(active_groups, extractor,
-                                        dataset.symbols[indices], watch)
-        for gi, group in active_groups:
-            u_block = u_blocks[gi]
-            for mi, measure in enumerate(measures):
-                skey = (gi, mi)
-                if skey not in active:
-                    continue
-                with watch.charge("inspection"):
-                    result, err = measure.process_block(
-                        states[skey], u_block, h_block)
-                last[skey] = result
-                records_done[skey] += indices.shape[0]
-                if (config.early_stop and measure.supports_early_stop
-                        and err <= config.threshold_for(measure.score_id)):
-                    result.converged = True
-                    active.discard(skey)
-        if not active:
-            break
-
-    return _collect(groups, measures, states, last, records_done, names)
-
-
-def _run_materialized(groups, dataset, measures, hypotheses, extractor,
-                      config, order) -> list[GroupMeasureOutcome]:
-    watch = config.stopwatch
-    names = [h.name for h in hypotheses]
-    n_hyps = len(hypotheses)
-
-    with watch.charge("hypothesis_extraction"):
-        h_all = _extract_hypotheses(hypotheses, dataset, order, config.cache)
-    unit_all = _extract_unit_blocks(list(enumerate(groups)), extractor,
-                                    dataset.symbols[order], watch)
-
-    outcomes: list[GroupMeasureOutcome] = []
-    ns = dataset.n_symbols
-    for gi, group in enumerate(groups):
-        u_full = unit_all[gi]
-        for measure in measures:
-            if config.mode == "full":
-                with watch.charge("inspection"):
-                    result = measure.compute(u_full, h_all)
-                outcomes.append(GroupMeasureOutcome(
-                    group=group, measure=measure, result=result,
-                    hypothesis_names=names,
-                    records_processed=order.shape[0]))
-                continue
-            state = measure.new_state(group.n_units, n_hyps)
-            result = None
-            records = 0
-            rows_per_block = config.block_size * ns
-            for block in iter_blocks(u_full.shape[0], rows_per_block):
-                with watch.charge("inspection"):
-                    result, err = measure.process_block(
-                        state, u_full[block], h_all[block])
-                records += (block.stop - block.start) // ns
-                if (config.early_stop and measure.supports_early_stop
-                        and err <= config.threshold_for(measure.score_id)):
-                    result.converged = True
-                    break
-            assert result is not None
-            outcomes.append(GroupMeasureOutcome(
-                group=group, measure=measure, result=result,
-                hypothesis_names=names, records_processed=records))
-    return outcomes
-
-
-def _collect(groups, measures, states, last, records_done, names):
-    outcomes = []
-    for gi, group in enumerate(groups):
-        for mi, measure in enumerate(measures):
-            key = (gi, mi)
-            result = last.get(key)
-            if result is None:  # zero blocks processed (empty dataset guard)
-                result = states[key].result()
-            outcomes.append(GroupMeasureOutcome(
-                group=group, measure=measure, result=result,
-                hypothesis_names=names,
-                records_processed=records_done[key]))
-    return outcomes
+    plan = InspectionPlan.build(groups, dataset, measures, hypotheses,
+                                extractor, config)
+    return plan.execute()

@@ -7,6 +7,8 @@ rows, aligned row-for-row so measures can consume them directly.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.data.datasets import Dataset
@@ -30,6 +32,23 @@ def apply_transform(states: np.ndarray, transform: str) -> np.ndarray:
         f"unknown behavior transform {transform!r}; expected {_TRANSFORMS}")
 
 
+#: extractor attributes that never change the extracted behaviors
+_EXECUTION_ONLY_ATTRS = frozenset({"batch_size"})
+
+
+def _attr_identity(value) -> str:
+    """Stable textual identity for a cache-key attribute.
+
+    Arrays are hashed by content — their repr truncates past the print
+    threshold, which would alias two different large unit selectors.
+    """
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(
+            np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
+        return f"ndarray{value.shape}:{digest}"
+    return repr(value)
+
+
 class Extractor:
     """Base class for unit-behavior extractors."""
 
@@ -41,6 +60,20 @@ class Extractor:
     def n_units(self, model) -> int:
         """Total number of inspectable units in the model."""
         raise NotImplementedError
+
+    def cache_key(self) -> str:
+        """Stable identity of the *behaviors* this extractor produces.
+
+        Used by :class:`repro.core.cache.UnitBehaviorCache`: two extractor
+        instances with the same key must extract identical behaviors from the
+        same model.  The default folds in every constructor attribute except
+        execution-only knobs (``batch_size``), so e.g. the ``transform`` and
+        a layer selector are part of the key.
+        """
+        parts = [f"{k}={_attr_identity(v)}"
+                 for k, v in sorted(vars(self).items())
+                 if k not in _EXECUTION_ONLY_ATTRS and not k.startswith("_")]
+        return f"{type(self).__name__}({', '.join(parts)})"
 
 
 class HypothesisExtractor:

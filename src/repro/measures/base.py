@@ -33,6 +33,10 @@ class MeasureResult:
     n_rows_seen: int = 0               # symbols consumed before convergence
     converged: bool = False
     extras: dict | None = None         # measure-specific outputs (see docs)
+    #: per-hypothesis-column accounting, filled by the plan executor when a
+    #: measure supports column partitioning (frozen columns see fewer rows)
+    col_rows_seen: np.ndarray | None = None    # (n_hyps,) int
+    col_converged: np.ndarray | None = None    # (n_hyps,) bool
 
 
 class MeasureState:
@@ -42,6 +46,24 @@ class MeasureState:
         self.n_units = n_units
         self.n_hyps = n_hyps
         self.n_rows = 0
+        self._memo: dict = {}
+
+    def _memoized(self, name: str, compute):
+        """Cache a derived quantity until (n_rows, n_hyps) changes.
+
+        One block typically triggers several score/error reads (result,
+        error, per-column convergence check); the sufficient statistics only
+        change with ``update`` (which bumps ``n_rows``) or
+        ``restrict_columns`` (which shrinks ``n_hyps``), so those two values
+        key the cache.  Only safe for states that do NOT read scores inside
+        ``update`` (``n_rows`` is bumped after update returns).
+        """
+        key = (self.n_rows, self.n_hyps)
+        hit = self._memo.get(name)
+        if hit is None or hit[0] != key:
+            hit = (key, compute())
+            self._memo[name] = hit
+        return hit[1]
 
     def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
         raise NotImplementedError
@@ -55,6 +77,30 @@ class MeasureState:
     def error(self) -> float:
         """Upper estimate of the current score error (inf until defined)."""
         return float("inf")
+
+    def column_errors(self) -> np.ndarray | None:
+        """Per-hypothesis-column error estimates, shape (n_hyps,).
+
+        Measures whose sufficient statistics factor across hypothesis columns
+        return one error bound per column so the engine can freeze converged
+        columns individually; the default (None) keeps the scalar criterion.
+        A ``NaN`` entry marks a *vacuous* column (its score is pinned but
+        could still change, e.g. a hypothesis that has not fired yet): the
+        engine never freezes it, but it does not block task convergence.
+        The max over non-NaN entries must equal :meth:`error` (0.0 when all
+        entries are NaN).
+        """
+        return None
+
+    def restrict_columns(self, keep: np.ndarray) -> None:
+        """Drop all hypothesis columns except ``keep`` (positional indices).
+
+        Called by the engine after converged columns are frozen; subsequent
+        :meth:`update` calls receive hypothesis blocks restricted to the kept
+        columns.  Only measures with ``supports_partition`` implement this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support column partitioning")
 
     def extras(self) -> dict | None:
         return None
@@ -76,6 +122,9 @@ class Measure:
     joint: bool = False
     #: whether process_block errors are meaningful for early stopping
     supports_early_stop: bool = True
+    #: whether states factor across hypothesis columns (column_errors /
+    #: restrict_columns), enabling per-hypothesis early stopping
+    supports_partition: bool = False
 
     # ------------------------------------------------------------------
     def new_state(self, n_units: int, n_hyps: int) -> MeasureState:

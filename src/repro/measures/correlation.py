@@ -49,6 +49,9 @@ class _CorrState(MeasureState):
         self.sum_uh += units.T @ hyps
 
     def unit_scores(self) -> np.ndarray:
+        return self._memoized("unit_scores", self._unit_scores)
+
+    def _unit_scores(self) -> np.ndarray:
         n = max(self.n_rows, 1)
         cov = self.sum_uh / n - np.outer(self.sum_u / n, self.sum_h / n)
         var_u = np.maximum(self.sum_uu / n - (self.sum_u / n)**2, 0.0)
@@ -58,12 +61,25 @@ class _CorrState(MeasureState):
             r = np.where(denom > 1e-12, cov / denom, 0.0)
         return np.clip(r, -1.0, 1.0)
 
-    def error(self) -> float:
+    def column_errors(self) -> np.ndarray:
+        return self._memoized("column_errors", self._column_errors)
+
+    def _column_errors(self) -> np.ndarray:
         if self.n_rows <= 3:
-            return float("inf")
-        # the widest CI across all pairs bounds every score's error
+            return np.full(self.n_hyps, np.inf)
+        # the widest CI across the column's units bounds its scores' error
         halfwidths = fisher_ci_halfwidth(self.unit_scores(), self.n_rows)
-        return float(halfwidths.max())
+        return halfwidths.max(axis=0)
+
+    def restrict_columns(self, keep: np.ndarray) -> None:
+        keep = np.asarray(keep, dtype=int)
+        self.sum_h = self.sum_h[keep]
+        self.sum_hh = self.sum_hh[keep]
+        self.sum_uh = self.sum_uh[:, keep]
+        self.n_hyps = int(keep.shape[0])
+
+    def error(self) -> float:
+        return float(self.column_errors().max())
 
 
 class CorrelationScore(Measure):
@@ -73,6 +89,7 @@ class CorrelationScore(Measure):
     """
 
     joint = False
+    supports_partition = True
 
     def __init__(self, method: str = "pearson"):
         if method not in ("pearson",):
@@ -94,6 +111,7 @@ class SpearmanCorrelationScore(Measure):
     """
 
     joint = False
+    supports_partition = True
     score_id = "corr:spearman"
 
     def new_state(self, n_units: int, n_hyps: int) -> _CorrState:

@@ -45,6 +45,9 @@ class _DiffMeansState(MeasureState):
         return mean_pos, mean_neg, var_pos, var_neg, n_pos, n_neg
 
     def unit_scores(self) -> np.ndarray:
+        return self._memoized("unit_scores", self._unit_scores)
+
+    def _unit_scores(self) -> np.ndarray:
         mean_pos, mean_neg, var_pos, var_neg, n_pos, n_neg = self._moments()
         pooled = np.sqrt((var_pos * n_pos + var_neg * n_neg)
                          / (n_pos + n_neg))
@@ -56,24 +59,45 @@ class _DiffMeansState(MeasureState):
         scores[:, degenerate] = 0.0
         return scores
 
-    def error(self) -> float:
+    def column_errors(self) -> np.ndarray:
+        return self._memoized("column_errors", self._column_errors)
+
+    def _column_errors(self) -> np.ndarray:
         if self.n_rows < 8:
-            return float("inf")
+            return np.full(self.n_hyps, np.inf)
         _, _, var_pos, var_neg, n_pos, n_neg = self._moments()
+        # hypotheses that never (or always) fired have scores pinned at 0:
+        # their error is *vacuous* (NaN) -- the engine must not freeze them
+        # (a contrast may still appear), but they don't block convergence
         valid = (self.n_pos >= 2) & (self.n_neg >= 2)
-        if not valid.any():
-            # no informative hypothesis yet -- scores are pinned at 0 and
-            # will not change, so the estimate is vacuously converged
-            return 0.0
         se = np.sqrt(var_pos / np.maximum(n_pos, 1)
                      + var_neg / np.maximum(n_neg, 1))
-        return float((Z_95 * se[:, valid]).max())
+        return np.where(valid, (Z_95 * se).max(axis=0), np.nan)
+
+    def restrict_columns(self, keep: np.ndarray) -> None:
+        keep = np.asarray(keep, dtype=int)
+        self.n_pos = self.n_pos[keep]
+        self.n_neg = self.n_neg[keep]
+        self.sum_pos = self.sum_pos[:, keep]
+        self.sum_neg = self.sum_neg[:, keep]
+        self.sumsq_pos = self.sumsq_pos[:, keep]
+        self.sumsq_neg = self.sumsq_neg[:, keep]
+        self.n_hyps = int(keep.shape[0])
+
+    def error(self) -> float:
+        errors = self.column_errors()
+        informative = ~np.isnan(errors)
+        if not informative.any():
+            # no contrast anywhere yet -- vacuously converged
+            return 0.0
+        return float(errors[informative].max())
 
 
 class DiffMeansScore(Measure):
     """Standardized mean-activation difference, active vs. inactive symbols."""
 
     joint = False
+    supports_partition = True
     score_id = "diff_means"
 
     def new_state(self, n_units: int, n_hyps: int) -> _DiffMeansState:
