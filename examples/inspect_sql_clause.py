@@ -1,11 +1,21 @@
-"""The INSPECT SQL extension (Appendix B).
+"""The INSPECT SQL extension (Appendix B): an epoch-sweep query.
 
 Registers models, units, hypotheses and a dataset as catalog relations,
 then runs the paper's example query: correlate layer-0 units with keyword
-hypotheses, grouped by training epoch, keeping only high-affinity units.
+hypotheses, grouped by training epoch, keeping only high-affinity units,
+best-first.
+
+The statement compiles into ONE shared inspection plan: the WHERE clause
+pushes into columnar catalog scans, all GROUP BY groups share extraction
+through the session caches (each snapshot's behavior is extracted once, and
+the hypothesis behaviors once in total), and HAVING / ORDER BY / LIMIT run
+vectorized over the materialized score relation.  Re-running a query in the
+same session costs almost nothing -- that is the interactive loop.
 
 Run:  python examples/inspect_sql_clause.py
 """
+
+import time
 
 from repro.core.pipeline import InspectConfig
 from repro.data import generate_sql_workload
@@ -17,6 +27,8 @@ from repro.nn import CharLSTMModel, TrainConfig, train_model
 from repro.nn.serialize import clone_model
 from repro.util.rng import new_rng
 
+SNAPSHOT_EPOCHS = (0, 1, 2, 3)
+
 
 def main() -> None:
     workload = generate_sql_workload("default", n_queries=40, seed=1)
@@ -26,11 +38,12 @@ def main() -> None:
     snapshots = {}
 
     def capture(epoch, trained):
-        if epoch in (0, 3):
+        if epoch in SNAPSHOT_EPOCHS:
             snapshots[epoch] = clone_model(trained)
 
     train_model(model, workload.dataset.symbols, workload.targets,
-                TrainConfig(epochs=4, lr=3e-3, patience=99),
+                TrainConfig(epochs=max(SNAPSHOT_EPOCHS) + 1, lr=3e-3,
+                            patience=99),
                 snapshot_hook=capture)
 
     hyps = sql_keyword_hypotheses(("SELECT", "FROM", "WHERE"))
@@ -61,13 +74,33 @@ def main() -> None:
         WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
         GROUP BY M.epoch
         HAVING S.unit_score > 0.25
+        ORDER BY S.unit_score DESC
+        LIMIT 15
     """
     print("running:\n" + sql)
+    t0 = time.perf_counter()
     frame = run_inspect_sql(context, sql)
-    print(f"\n{len(frame)} high-affinity (epoch, unit, hypothesis) rows:")
-    print(frame.sort("S.unit_score", reverse=True).to_string(max_rows=15))
-    print("\nEpoch 3 should expose more high-scoring keyword detectors than "
-          "epoch 0, since the model learns clause structure during training.")
+    cold = time.perf_counter() - t0
+    print(f"\ntop {len(frame)} high-affinity (epoch, unit, hypothesis) rows:")
+    print(frame.to_string(max_rows=15))
+
+    stats = context.unit_cache.stats()
+    print(f"\nshared plan: {stats['extractions']} unit extractions for "
+          f"{len(snapshots)} snapshots across {len(snapshots)} GROUP BY "
+          f"groups (once per model), "
+          f"{context.hyp_cache.stats()['extractions']} hypothesis "
+          f"extractions for {len(hyps)} hypotheses (once each).")
+
+    t0 = time.perf_counter()
+    run_inspect_sql(context, sql)
+    warm = time.perf_counter() - t0
+    print(f"cold query: {cold:.3f}s; same query warm in this session: "
+          f"{warm:.3f}s (caches serve every behavior).")
+
+    print("\nLater epochs should expose more high-scoring keyword "
+          "detectors than epoch 0, since the model learns clause "
+          "structure during training.")
+    context.close()
 
 
 if __name__ == "__main__":

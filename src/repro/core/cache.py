@@ -90,8 +90,9 @@ class _ByteBoundedLRU:
         self._entries: OrderedDict = OrderedDict()
         self._bytes = 0  # running total of entry.nbytes
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0      # records served from cached rows
+        self.misses = 0    # records that had to be extracted
+        self.extractions = 0  # underlying extractor invocations
 
     def _get_or_create(self, key, factory):
         entry = self._entries.get(key)
@@ -110,6 +111,7 @@ class _ByteBoundedLRU:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
+                "extractions": self.extractions,
                 "entries": len(self._entries),
                 "bytes": self._bytes}
 
@@ -119,6 +121,7 @@ class _ByteBoundedLRU:
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.extractions = 0
 
 
 class HypothesisCache(_ByteBoundedLRU):
@@ -142,6 +145,7 @@ class HypothesisCache(_ByteBoundedLRU):
         if missing.shape[0]:
             rows = hypothesis.extract(dataset, missing)
             with self._lock:
+                self.extractions += 1
                 entry.matrix[missing] = rows
                 entry.filled[missing] = True
         with self._lock:
@@ -227,6 +231,7 @@ class UnitBehaviorCache(_ByteBoundedLRU):
                     f"({missing.shape[0]} records x {ns} symbols), "
                     f"got {block.shape[0]}")
             with self._lock:
+                self.extractions += 1
                 # the entry may have been evicted (or even displaced) by a
                 # concurrent insert while we extracted without the lock;
                 # re-account bytes against the map's actual contents

@@ -29,6 +29,7 @@ Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -98,7 +99,9 @@ class ThreadPoolScheduler(Scheduler):
 
     def map(self, fn, items: list) -> list:
         items = list(items)
-        if len(items) <= 1:  # no parallelism to exploit; skip dispatch cost
+        # no parallelism to exploit (single item or single worker):
+        # skip dispatch cost and GIL contention, run inline
+        if len(items) <= 1 or self.max_workers <= 1:
             return [fn(item) for item in items]
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
@@ -108,6 +111,18 @@ class ThreadPoolScheduler(Scheduler):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+def default_scheduler() -> Scheduler:
+    """The scheduler a session should run with on this machine.
+
+    Thread-pool parallelism only pays when there is more than one core; on
+    a single-core host the GIL contention makes it strictly slower, so the
+    serial scheduler is returned instead.
+    """
+    if (os.cpu_count() or 1) > 1:
+        return ThreadPoolScheduler()
+    return SerialScheduler()
 
 
 _SCHEDULERS = {"serial": SerialScheduler, "threads": ThreadPoolScheduler}
@@ -155,6 +170,25 @@ class InspectConfig:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.stopwatch is None:
             self.stopwatch = Stopwatch()
+
+    def with_session_defaults(
+            self, cache: HypothesisCache | None = None,
+            unit_cache: UnitBehaviorCache | None = None,
+            scheduler: Scheduler | str | None = None) -> "InspectConfig":
+        """A copy with unset sharing knobs filled from session defaults.
+
+        The SQL frontend keeps per-session caches and a thread-pool
+        scheduler; a config that did not pin those fields inherits them, so
+        repeated queries in one session share extracted behaviors, while an
+        explicitly-configured run is left untouched.
+        """
+        return dataclasses.replace(
+            self,
+            cache=self.cache if self.cache is not None else cache,
+            unit_cache=(self.unit_cache if self.unit_cache is not None
+                        else unit_cache),
+            scheduler=(self.scheduler if self.scheduler is not None
+                       else scheduler))
 
     def threshold_for(self, score_id: str) -> float:
         if isinstance(self.error_threshold, (int, float)):

@@ -18,12 +18,15 @@ from repro.db.aggregates import AGGREGATES
 from repro.db.engine import Database, Table
 from repro.db.executor import (DEFAULT_ENGINE, ENGINES, SelectQuery,
                                execute_select)
-from repro.db.inspect_clause import InspectQuery, run_inspect_sql
+from repro.db.expr import AmbiguousColumnError
+from repro.db.inspect_clause import (InspectQuery, run_inspect_spec,
+                                     run_inspect_sql)
 from repro.db.madlib import logregr_predict, logregr_train
 from repro.db.sqlparser import parse_sql
 
 __all__ = [
     "AGGREGATES",
+    "AmbiguousColumnError",
     "DEFAULT_ENGINE",
     "ENGINES",
     "Database",
@@ -34,5 +37,6 @@ __all__ = [
     "logregr_predict",
     "logregr_train",
     "parse_sql",
+    "run_inspect_spec",
     "run_inspect_sql",
 ]

@@ -84,10 +84,10 @@ def execute_select(db: Database, query: SelectQuery,
             f"target list has {len(query.items)} expressions; the engine "
             f"limit is {MAX_EXPRESSIONS} (batch your query)")
     if engine == "row":
-        rows = _execute_row(db, query)
+        rows, presorted = _execute_row(db, query), False
     else:
-        rows = _execute_columnar(db, query)
-    return _finalize(rows, query)
+        rows, presorted = _execute_columnar(db, query)
+    return _finalize(rows, query, skip_order=presorted)
 
 
 # ----------------------------------------------------------------------
@@ -129,11 +129,14 @@ def _having_passes(having: Expr, row: Row) -> bool:
         raise
 
 
-def _finalize(rows: list[Row], query: SelectQuery) -> list[Row]:
+def _finalize(rows: list[Row], query: SelectQuery,
+              skip_order: bool = False) -> list[Row]:
     if not rows and _has_aggregates(query) and not query.group_by:
         rows = [_empty_aggregate_row(query)]
     if query.having is not None:
         rows = [r for r in rows if _having_passes(query.having, r)]
+    if skip_order:  # the columnar engine already ordered + limited
+        return rows
     if query.order_by is not None:
         rows.sort(key=_null_safe_key(query.order_by),
                   reverse=query.descending)
@@ -168,7 +171,7 @@ def _nan_positions(values: np.ndarray) -> np.ndarray | None:
     return nan if nan.any() else None
 
 
-def _equi_match(lvals: np.ndarray,
+def equi_match(lvals: np.ndarray,
                 rvals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Index pairs (li, ri) with lvals[li] == rvals[ri], left-major order.
 
@@ -182,7 +185,7 @@ def _equi_match(lvals: np.ndarray,
             else np.arange(lvals.shape[0])
         r_keep = np.flatnonzero(~r_nan) if r_nan is not None \
             else np.arange(rvals.shape[0])
-        li, ri = _equi_match(lvals[l_keep], rvals[r_keep])
+        li, ri = equi_match(lvals[l_keep], rvals[r_keep])
         return l_keep[li], r_keep[ri]
     try:
         allv = np.concatenate([lvals, rvals])
@@ -213,7 +216,7 @@ def _equi_match(lvals: np.ndarray,
     return left_idx, right_idx
 
 
-def _gather(cols: dict[str, np.ndarray], idx) -> dict[str, np.ndarray]:
+def gather(cols: dict[str, np.ndarray], idx) -> dict[str, np.ndarray]:
     """Apply one index/mask to every column, deduplicating shared arrays."""
     memo: dict[int, np.ndarray] = {}
     return {k: memo.setdefault(id(v), v[idx]) for k, v in cols.items()}
@@ -227,8 +230,8 @@ def _join_columnar(db: Database, cols: dict[str, np.ndarray],
     if lvals is None:
         lvals = cols[join.left_col.split(".")[-1]]
     rvals = right.column(join.right_col.split(".")[-1])
-    left_idx, right_idx = _equi_match(lvals, rvals)
-    out = _gather(cols, left_idx)
+    left_idx, right_idx = equi_match(lvals, rvals)
+    out = gather(cols, left_idx)
     for name, arr in zip(right.columns, right.column_arrays()):
         gathered = arr[right_idx]
         out[f"{join.alias}.{name}"] = gathered
@@ -245,7 +248,32 @@ def _broadcast(value, n: int) -> np.ndarray:
     return arr
 
 
-def _execute_columnar(db: Database, query: SelectQuery) -> list[Row]:
+def sort_indices(values: np.ndarray,
+                 descending: bool = False) -> np.ndarray | None:
+    """Stable ORDER BY permutation over one output column, or None.
+
+    Returns None when the column needs the row-at-a-time NULL-safe sort
+    (object dtype that may hold None / mixed types, or float NaNs, whose
+    ordering the shared ``_finalize`` path defines); plain numeric and
+    string columns sort vectorized.  Ties keep first-occurrence order under
+    both directions, matching Python's stable ``list.sort``.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return None
+    if _nan_positions(arr) is not None:
+        return None
+    if descending:
+        # stable descending: argsort the reversed array, map indices back,
+        # reverse the order -- equal keys keep their original relative
+        # order, like list.sort(reverse=True)
+        rev = np.argsort(arr[::-1], kind="stable")
+        return (arr.shape[0] - 1 - rev)[::-1]
+    return np.argsort(arr, kind="stable")
+
+
+def _execute_columnar(db: Database,
+                      query: SelectQuery) -> tuple[list[Row], bool]:
     cols, n = _scan_cols(db, query.table, query.alias or query.table)
     for join in query.joins:
         cols, n = _join_columnar(db, cols, join)
@@ -255,20 +283,36 @@ def _execute_columnar(db: Database, query: SelectQuery) -> list[Row]:
         if mask.ndim == 0:
             mask = np.full(n, bool(mask))
         mask = mask.astype(bool)
-        cols = _gather(cols, mask)
+        cols = gather(cols, mask)
         n = int(mask.sum())
 
     if query.group_by or _has_aggregates(query):
-        return _group_aggregate_columnar(cols, n, query)
+        return _group_aggregate_columnar(cols, n, query), False
 
-    out_lists = []
-    for it in query.items:
-        out_lists.append(_broadcast(it.expr.eval_batch(cols), n).tolist())
-    return [dict(zip([it.alias for it in query.items], vals))
-            for vals in zip(*out_lists)]
+    aliases = [it.alias for it in query.items]
+    out_arrays = [_broadcast(it.expr.eval_batch(cols), n)
+                  for it in query.items]
+
+    # ORDER BY + LIMIT push down into the columnar path: sort the column
+    # arrays and slice before materializing dict rows, so a LIMIT k query
+    # builds k rows instead of n.  HAVING (applied to projected rows in
+    # _finalize) must run first, so the push-down is skipped when present.
+    presorted = False
+    if query.order_by is not None and query.having is None \
+            and query.order_by in aliases:
+        order = sort_indices(out_arrays[aliases.index(query.order_by)],
+                             query.descending)
+        if order is not None:
+            if query.limit is not None:
+                order = order[:query.limit]
+            out_arrays = [a[order] for a in out_arrays]
+            presorted = True
+
+    out_lists = [a.tolist() for a in out_arrays]
+    return [dict(zip(aliases, vals)) for vals in zip(*out_lists)], presorted
 
 
-def _group_ids(key_cols: list[np.ndarray], n: int) -> tuple[np.ndarray, int]:
+def group_ids(key_cols: list[np.ndarray], n: int) -> tuple[np.ndarray, int]:
     """Factorize multi-column keys into group ids in first-seen order.
 
     NaN keys each get their own group: np.unique collapses NaNs, but the
@@ -308,7 +352,7 @@ def _group_aggregate_columnar(cols: dict[str, np.ndarray], n: int,
 
     if query.group_by:
         key_cols = [_broadcast(e.eval_batch(cols), n) for e in query.group_by]
-        gids, n_groups = _group_ids(key_cols, n)
+        gids, n_groups = group_ids(key_cols, n)
     else:
         gids = np.zeros(n, dtype=np.int64)
         n_groups = 1

@@ -39,6 +39,15 @@ _ARITHMETIC = {
 }
 
 
+class AmbiguousColumnError(ValueError):
+    """An unqualified column reference matches more than one relation.
+
+    Raised during name resolution (the INSPECT frontend resolves every
+    column to its owning relation before execution) instead of silently
+    binding the reference to whichever FROM table happens to come first.
+    """
+
+
 class Expr:
     """Base expression node."""
 

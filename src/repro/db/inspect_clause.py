@@ -15,36 +15,71 @@ A query like the paper's::
     WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
     GROUP BY M.epoch
     HAVING S.unit_score > 0.8
+    ORDER BY S.unit_score DESC LIMIT 20
 
-is evaluated by (1) joining/filtering the catalog, (2) grouping the surviving
-(model, unit) rows per GROUP BY key, (3) running one DNI inspection per
-group, and (4) flattening the temporary relation
-``S(uid, hid, mid, group_score, unit_score)`` through HAVING and the SELECT
-projection.
+compiles through three planning stages, each executed by the columnar
+engine rather than interpreted row-at-a-time:
+
+1. **Catalog plan** -- every column reference is resolved against the FROM
+   schema (ambiguous unqualified names raise
+   :class:`~repro.db.expr.AmbiguousColumnError`), the WHERE conjunction is
+   split into per-table predicates (pushed into the scans), equi-join edges
+   (executed as vectorized hash joins) and residual predicates; unjoined
+   relations fall back to a columnar cross product.
+2. **Shared inspection plan** -- GROUP BY keys are factorized over the
+   joined relation, the per-group (model, unit-set, hypothesis) workloads
+   are deduplicated across groups, and ONE plan-engine run
+   (:func:`repro.core.pipeline.run_inspection`) scores everything, wired to
+   the session's :class:`~repro.core.cache.HypothesisCache` /
+   :class:`~repro.core.cache.UnitBehaviorCache` and thread-pool scheduler.
+   A ``GROUP BY M.epoch`` sweep therefore extracts each model's behavior
+   once, and the hypothesis behaviors once in total.
+3. **Columnar S relation** -- scores are materialized as a temporary
+   columnar table ``S(uid, hid, mid, score_id, group_score, unit_score)``
+   joined with the surviving catalog columns, and HAVING, the SELECT
+   projection, ORDER BY and LIMIT run through
+   :func:`repro.db.executor.execute_select`.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from itertools import product
 from typing import Any
 
 import numpy as np
 
+from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup
-from repro.core.pipeline import InspectConfig, run_inspection
+from repro.core.pipeline import (InspectConfig, Scheduler, default_scheduler,
+                                 run_inspection)
 from repro.data.datasets import Dataset
-from repro.db.engine import Database
+from repro.db.engine import Database, Table
+from repro.db.executor import (SelectItem, SelectQuery, _broadcast,
+                               equi_match, execute_select, gather, group_ids)
+from repro.db.expr import (AggregateRef, AmbiguousColumnError, Arith, BoolOp,
+                           Column, Compare, Expr)
 from repro.db.sqlparser import InspectSpec, parse_sql
 from repro.extract.base import Extractor
 from repro.hypotheses.base import HypothesisFunction
 from repro.measures.registry import get_measure
 from repro.util.frame import Frame
 
+#: schema of the temporary score relation produced by the INSPECT clause
+S_COLUMNS = ("uid", "hid", "mid", "score_id", "group_score", "unit_score")
+
+_TMP_TABLE = "__inspect_s__"
+
 
 @dataclass
 class InspectQuery:
-    """Binding context: catalog database + live Python objects."""
+    """Binding context: catalog database + live Python objects.
+
+    The context doubles as the *session*: unless the supplied
+    :class:`InspectConfig` pins them, queries share a hypothesis-behavior
+    cache, a unit-behavior cache and a thread-pool scheduler across calls,
+    so a repeated or refined query only pays for what changed.
+    """
 
     db: Database
     models: dict[str, Any]                       # mid -> model object
@@ -52,6 +87,35 @@ class InspectQuery:
     datasets: dict[str, Dataset]                 # did -> dataset object
     extractor: Extractor
     config: InspectConfig = field(default_factory=InspectConfig)
+    hyp_cache: HypothesisCache | None = None
+    unit_cache: UnitBehaviorCache | None = None
+    scheduler: Scheduler | str | None = None
+    session_defaults: bool = True   # False: run with config exactly as given
+
+    def __post_init__(self) -> None:
+        if self.session_defaults:
+            if self.hyp_cache is None and self.config.cache is None:
+                self.hyp_cache = HypothesisCache()
+            if self.unit_cache is None and self.config.unit_cache is None:
+                self.unit_cache = UnitBehaviorCache()
+            if self.scheduler is None and self.config.scheduler is None:
+                self.scheduler = default_scheduler()
+                # the session owns this scheduler: release its worker pool
+                # when the context is collected, not only on close()
+                weakref.finalize(self, self.scheduler.shutdown)
+
+    def effective_config(self) -> InspectConfig:
+        """The per-run config with session defaults filled in."""
+        if not self.session_defaults:
+            return self.config
+        return self.config.with_session_defaults(
+            cache=self.hyp_cache, unit_cache=self.unit_cache,
+            scheduler=self.scheduler)
+
+    def close(self) -> None:
+        """Release the session scheduler's thread pool."""
+        if isinstance(self.scheduler, Scheduler):
+            self.scheduler.shutdown()
 
     # ------------------------------------------------------------------
     def register_model(self, mid: str, model, **attrs) -> None:
@@ -63,30 +127,307 @@ class InspectQuery:
         table.insert([mid] + [attrs[c] for c in table.columns[1:]])
 
 
-def _catalog_rows(db: Database, tables: list[tuple[str, str]],
-                  where) -> list[dict[str, Any]]:
-    """Filtered cross product of the catalog relations (they are small)."""
-    per_table: list[list[dict[str, Any]]] = []
+# ----------------------------------------------------------------------
+# stage 1a: name resolution
+# ----------------------------------------------------------------------
+class Schema:
+    """Column namespace over a set of relations (alias -> column names)."""
+
+    def __init__(self) -> None:
+        self.qualified: set[str] = set()
+        self.owners: dict[str, list[str]] = {}  # unqualified name -> aliases
+
+    def add(self, alias: str, columns: list[str]) -> None:
+        for col in columns:
+            self.qualified.add(f"{alias}.{col}")
+            owners = self.owners.setdefault(col, [])
+            if alias not in owners:
+                owners.append(alias)
+
+    def copy(self) -> "Schema":
+        out = Schema()
+        out.qualified = set(self.qualified)
+        out.owners = {name: list(aliases)
+                      for name, aliases in self.owners.items()}
+        return out
+
+    def resolve(self, name: str) -> str:
+        """Qualified form of a reference; ambiguity is an error."""
+        if "." in name:
+            if name not in self.qualified:
+                raise KeyError(f"unbound column {name!r}")
+            return name
+        owners = self.owners.get(name)
+        if not owners:
+            raise KeyError(f"unbound column {name!r}")
+        if len(owners) > 1:
+            raise AmbiguousColumnError(
+                f"column reference {name!r} is ambiguous: it appears in "
+                f"{sorted(owners)}; qualify it, e.g. {owners[0]}.{name}")
+        return f"{owners[0]}.{name}"
+
+
+def resolve_expr(expr: Expr, schema: Schema) -> Expr:
+    """Rewrite an expression so every column reference is qualified."""
+    if isinstance(expr, Column):
+        return Column(schema.resolve(expr.name))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, resolve_expr(expr.left, schema),
+                       resolve_expr(expr.right, schema))
+    if isinstance(expr, Arith):
+        return Arith(expr.op, resolve_expr(expr.left, schema),
+                     resolve_expr(expr.right, schema))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, [resolve_expr(o, schema)
+                                for o in expr.operands])
+    if isinstance(expr, AggregateRef):
+        raise ValueError(
+            "aggregate functions are not supported in INSPECT queries; "
+            "aggregate over the returned frame instead")
+    return expr
+
+
+def _catalog_schema(db: Database, tables: list[tuple[str, str]]) -> Schema:
+    schema = Schema()
+    seen: set[str] = set()
     for name, alias in tables:
+        if alias in seen:
+            raise ValueError(f"duplicate table alias {alias!r} in FROM")
+        seen.add(alias)
+        schema.add(alias, db.table(name).columns)
+    return schema
+
+
+# ----------------------------------------------------------------------
+# stage 1b: catalog access plan
+# ----------------------------------------------------------------------
+@dataclass
+class CatalogPlan:
+    """Access plan for the FROM/WHERE part of an INSPECT statement."""
+
+    tables: list[tuple[str, str]]
+    pushed: dict[str, list[Expr]]       # alias -> scan predicates
+    edges: list[tuple[str, str]]        # equi-join (qualified, qualified)
+    residual: list[Expr]                # applied after all joins
+
+    def describe(self) -> str:
+        lines = ["CatalogPlan("]
+        for name, alias in self.tables:
+            preds = " AND ".join(map(str, self.pushed.get(alias, []))) \
+                or "true"
+            lines.append(f"  scan {name} {alias} [{preds}]")
+        for left, right in self.edges:
+            lines.append(f"  join {left} = {right}")
+        for pred in self.residual:
+            lines.append(f"  filter {pred}")
+        return "\n".join(lines + [")"])
+
+
+def _flatten_and(pred: Expr) -> list[Expr]:
+    if isinstance(pred, BoolOp) and pred.op == "and":
+        out: list[Expr] = []
+        for operand in pred.operands:
+            out += _flatten_and(operand)
+        return out
+    return [pred]
+
+
+def plan_catalog(tables: list[tuple[str, str]],
+                 where: Expr | None) -> CatalogPlan:
+    """Classify the (resolved) WHERE conjunction for pushdown and joins."""
+    pushed: dict[str, list[Expr]] = {}
+    edges: list[tuple[str, str]] = []
+    residual: list[Expr] = []
+    for conj in (_flatten_and(where) if where is not None else []):
+        aliases = {c.split(".")[0] for c in conj.columns()}
+        if len(aliases) == 1:
+            pushed.setdefault(aliases.pop(), []).append(conj)
+        elif (len(aliases) == 2 and isinstance(conj, Compare)
+              and conj.op == "=" and isinstance(conj.left, Column)
+              and isinstance(conj.right, Column)):
+            edges.append((conj.left.name, conj.right.name))
+        else:
+            residual.append(conj)
+    return CatalogPlan(tables=tables, pushed=pushed, edges=edges,
+                       residual=residual)
+
+
+def _and_mask(preds: list[Expr], cols: dict[str, np.ndarray],
+              n: int) -> np.ndarray:
+    mask = np.ones(n, dtype=bool)
+    for pred in preds:
+        m = np.asarray(pred.eval_batch(cols))
+        if m.ndim == 0:
+            m = np.full(n, bool(m))
+        mask &= m.astype(bool)
+    return mask
+
+
+def _edge_endpoints(edge: tuple[str, str], left: dict[str, np.ndarray],
+                    right: dict[str, np.ndarray]) -> tuple[str, str] | None:
+    a, b = edge
+    if a in left and b in right:
+        return a, b
+    if b in left and a in right:
+        return b, a
+    return None
+
+
+def execute_catalog_plan(
+        db: Database, plan: CatalogPlan) -> tuple[dict[str, np.ndarray], int]:
+    """Run the access plan on the columnar engine.
+
+    Returns the joined catalog relation as qualified-name column arrays.
+    Scans push their predicates before any join; connected relations are
+    folded with vectorized equi-joins (left-major order, so row order
+    follows the FROM list); relations with no join edge are appended as a
+    columnar cross product, matching SQL's comma-join semantics.
+    """
+    scanned: dict[str, tuple[dict[str, np.ndarray], int]] = {}
+    for name, alias in plan.tables:
         table = db.table(name)
-        rows = []
-        for row in db.scan(name):
-            env: dict[str, Any] = {}
-            for col, val in zip(table.columns, row):
-                env[f"{alias}.{col}"] = val
-                env.setdefault(col, val)
-            rows.append(env)
-        per_table.append(rows)
-    out: list[dict[str, Any]] = []
-    for combo in product(*per_table):
-        env: dict[str, Any] = {}
-        for piece in combo:
-            env.update(piece)
-        if where is None or where.eval(env):
-            out.append(env)
-    return out
+        db.full_scans += 1
+        cols = {f"{alias}.{c}": arr
+                for c, arr in zip(table.columns, table.column_arrays())}
+        n = len(table)
+        preds = plan.pushed.get(alias, [])
+        if preds:
+            mask = _and_mask(preds, cols, n)
+            cols = gather(cols, mask)
+            n = int(mask.sum())
+        scanned[alias] = (cols, n)
+
+    remaining = [alias for _, alias in plan.tables]
+    cols, n = scanned[remaining.pop(0)]
+    edges = list(plan.edges)
+    while remaining:
+        pick = next(
+            (alias for alias in remaining
+             if any(_edge_endpoints(e, cols, scanned[alias][0])
+                    for e in edges)), remaining[0])
+        remaining.remove(pick)
+        rcols, rn = scanned[pick]
+        here = [(e, _edge_endpoints(e, cols, rcols)) for e in edges]
+        here = [(e, ends) for e, ends in here if ends is not None]
+        if here:
+            consumed = {e for e, _ in here}
+            edges = [e for e in edges if e not in consumed]
+            lq, rq = here[0][1]
+            li, ri = equi_match(cols[lq], rcols[rq])
+            cols = gather(cols, li)
+            cols.update(gather(rcols, ri))
+            n = int(li.shape[0])
+            for _, (a, b) in here[1:]:  # extra edges: equality filters
+                mask = np.asarray(cols[a] == cols[b]).astype(bool)
+                cols = gather(cols, mask)
+                n = int(mask.sum())
+        else:  # no join edge: columnar cross product
+            cols = gather(cols, np.repeat(np.arange(n), rn))
+            cols.update(gather(rcols, np.tile(np.arange(rn), n)))
+            n = n * rn
+    if plan.residual:
+        mask = _and_mask(plan.residual, cols, n)
+        cols = gather(cols, mask)
+        n = int(mask.sum())
+    return cols, n
 
 
+# ----------------------------------------------------------------------
+# stage 2: the shared inspection plan
+# ----------------------------------------------------------------------
+def _first_seen(values: np.ndarray) -> list:
+    """Distinct values in first-occurrence order."""
+    uniq, first = np.unique(values, return_index=True)
+    return uniq[np.argsort(first, kind="stable")].tolist()
+
+
+@dataclass
+class _GroupWorkload:
+    """Distinct work one GROUP BY group asks for."""
+
+    hyp_names: list[str]
+    # per model (first-seen order): (mid, sorted unit ids, representative
+    # catalog row grid).  The grid is hypothesis-major over the unit ids
+    # (entry j * n_units + i describes hypothesis j x unit i, matching the
+    # S relation's row order): a (unit, hypothesis) pair present in the
+    # catalog points at its own first row, so hypothesis-table columns
+    # agree with the row's S.hid; pairs the cross product adds fall back
+    # to the unit's first row.
+    models: list[tuple[str, np.ndarray, np.ndarray]]
+    did: str = ""   # dataset this group targets (filled after collection)
+
+
+def _collect_workloads(gids: np.ndarray, n_groups: int, mid_arr: np.ndarray,
+                       uid_arr: np.ndarray,
+                       hyp_arr: np.ndarray) -> list[_GroupWorkload]:
+    workloads: list[_GroupWorkload] = []
+    for g in range(n_groups):
+        rows_g = np.flatnonzero(gids == g)
+        hyp_names = [str(h) for h in _first_seen(hyp_arr[rows_g])]
+        hyp_code = {h: j for j, h in enumerate(hyp_names)}
+        models: list[tuple[str, np.ndarray, np.ndarray]] = []
+        for mid in _first_seen(mid_arr[rows_g]):
+            rows_m = rows_g[mid_arr[rows_g] == mid]
+            m_uids = uid_arr[rows_m].astype(np.int64)
+            uids, first = np.unique(m_uids, return_index=True)
+            nu = uids.shape[0]
+            rep_grid = np.tile(rows_m[first], len(hyp_names))
+            hcodes = np.fromiter(
+                (hyp_code[h] for h in hyp_arr[rows_m].tolist()),
+                dtype=np.int64, count=rows_m.shape[0])
+            pair = hcodes * nu + np.searchsorted(uids, m_uids)
+            present, pfirst = np.unique(pair, return_index=True)
+            rep_grid[present] = rows_m[pfirst]
+            models.append((str(mid), uids, rep_grid))
+        workloads.append(_GroupWorkload(hyp_names=hyp_names, models=models))
+    return workloads
+
+
+def _model_column(spec: InspectSpec, schema: Schema) -> str:
+    """The column naming each unit row's model: the unit table's ``mid``."""
+    if "." in spec.unit_ref:
+        qualified = f"{spec.unit_ref.split('.')[0]}.mid"
+        if qualified in schema.qualified:
+            return qualified
+    return schema.resolve("mid")
+
+
+def _group_datasets(context: InspectQuery, spec: InspectSpec,
+                    schema: Schema, cols: dict[str, np.ndarray],
+                    gids: np.ndarray, n_groups: int) -> list[str]:
+    """The dataset id each GROUP BY group targets.
+
+    Every group must resolve to exactly one dataset, but different groups
+    may target different datasets (``GROUP BY D.did`` sweeps): the shared
+    plan is partitioned per dataset downstream.
+    """
+    did_col: np.ndarray | None = None
+    if "." in spec.dataset_ref:
+        qualified = f"{spec.dataset_ref.split('.')[0]}.did"
+        if qualified in schema.qualified:
+            did_col = cols[qualified]
+    if did_col is None and "did" in schema.owners:
+        did_col = cols[schema.resolve("did")]  # ambiguity raises here
+    if did_col is None:
+        if len(context.datasets) != 1:
+            raise ValueError(
+                "cannot determine the INSPECT dataset: no catalog relation "
+                "exposes a 'did' column and the context registers "
+                f"{len(context.datasets)} datasets")
+        return [next(iter(context.datasets))] * n_groups
+    dids: list[str] = []
+    for g in range(n_groups):
+        group_dids = set(np.unique(did_col[gids == g]).tolist())
+        if len(group_dids) != 1:
+            raise ValueError(f"INSPECT must target one dataset per group, "
+                             f"got {sorted(group_dids)}")
+        dids.append(group_dids.pop())
+    return dids
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
 def run_inspect_sql(context: InspectQuery, sql: str) -> Frame:
     """Parse and execute a SQL statement with an INSPECT clause."""
     spec = parse_sql(sql)
@@ -96,89 +437,187 @@ def run_inspect_sql(context: InspectQuery, sql: str) -> Frame:
 
 
 def run_inspect_spec(context: InspectQuery, spec: InspectSpec) -> Frame:
-    envs = _catalog_rows(context.db, spec.tables, spec.where)
-    if not envs:
-        return Frame.from_records([], columns=[i.alias
-                                               for i in spec.select_items])
+    db = context.db
+    if any(alias == spec.inspect_alias for _, alias in spec.tables):
+        raise ValueError(f"INSPECT alias {spec.inspect_alias!r} collides "
+                         f"with a FROM table alias")
+    catalog_schema = _catalog_schema(db, spec.tables)
 
+    # the post-inspection scope adds the S relation's columns
+    out_schema = catalog_schema.copy()
+    out_schema.add(spec.inspect_alias, list(S_COLUMNS))
+
+    where = (resolve_expr(spec.where, catalog_schema)
+             if spec.where is not None else None)
+    group_by = [resolve_expr(e, catalog_schema) for e in spec.group_by]
+    select_items = [SelectItem(expr=resolve_expr(item.expr, out_schema),
+                               alias=item.alias)
+                    for item in spec.select_items]
+    having = (resolve_expr(spec.having, out_schema)
+              if spec.having is not None else None)
+
+    out_columns = [item.alias for item in select_items]
+    cols, n = execute_catalog_plan(db, plan_catalog(spec.tables, where))
+    if n == 0:
+        return Frame.from_records([], columns=out_columns)
+
+    # factorize GROUP BY keys over the joined relation
+    if group_by:
+        key_cols = [_broadcast(e.eval_batch(cols), n) for e in group_by]
+        gids, n_groups = group_ids(key_cols, n)
+    else:
+        gids, n_groups = np.zeros(n, dtype=np.int64), 1
+
+    mid_arr = cols[_model_column(spec, catalog_schema)]
+    uid_arr = cols[catalog_schema.resolve(spec.unit_ref)]
+    hyp_arr = cols[catalog_schema.resolve(spec.hyp_ref)]
+    group_dids = _group_datasets(context, spec, catalog_schema, cols,
+                                 gids, n_groups)
     measures = [get_measure(name) for name in spec.measures]
-    alias = spec.inspect_alias
+    workloads = _collect_workloads(gids, n_groups, mid_arr, uid_arr, hyp_arr)
+    for workload, did in zip(workloads, group_dids):
+        workload.did = did
 
-    # group catalog rows by the GROUP BY key
-    grouped: dict[tuple, list[dict[str, Any]]] = {}
-    for env in envs:
-        key = tuple(expr.eval(env) for expr in spec.group_by)
-        grouped.setdefault(key, []).append(env)
-
-    out_rows: list[dict[str, Any]] = []
-    for key, group_envs in grouped.items():
-        frame_rows = _inspect_one_group(context, spec, measures, group_envs)
-        for row in frame_rows:
-            env = dict(row.pop("_env"))
-            env.update({f"{alias}.{k}": v for k, v in row.items()})
-            env.update(row)
-            if spec.having is not None and not spec.having.eval(env):
-                continue
-            projected = {item.alias: item.expr.eval(env)
-                         for item in spec.select_items}
-            out_rows.append(projected)
-
-    return Frame.from_records(
-        out_rows, columns=[i.alias for i in spec.select_items])
-
-
-def _inspect_one_group(context: InspectQuery, spec: InspectSpec, measures,
-                       group_envs) -> list[dict[str, Any]]:
-    unit_col = spec.unit_ref.split(".")[-1]
-    hyp_col = spec.hyp_ref.split(".")[-1]
-
-    # distinct unit rows per model, distinct hypotheses, one dataset
-    units_by_model: dict[str, list[int]] = {}
-    env_by_unit: dict[tuple[str, int], dict] = {}
+    # dedupe (dataset, model, unit-set) work and union hypotheses across
+    # groups: everything targeting one dataset runs as ONE plan, so shared
+    # extraction happens once per (model, dataset)
+    runs: dict[str, list[UnitGroup]] = {}
+    plan_index: dict[tuple[str, str, bytes], int] = {}
     hyp_names: list[str] = []
-    dataset_ids: set[str] = set()
-    for env in group_envs:
-        mid = env["mid"]
-        uid = env[unit_col] if unit_col in env else env[spec.unit_ref]
-        hname = env[hyp_col] if hyp_col in env else env[spec.hyp_ref]
-        if uid not in units_by_model.setdefault(mid, []):
-            units_by_model[mid].append(uid)
-        if hname not in hyp_names:
-            hyp_names.append(hname)
-        env_by_unit.setdefault((mid, uid), env)
-        dataset_ids.add(env.get("did", next(iter(context.datasets))))
-    if len(dataset_ids) != 1:
-        raise ValueError(f"INSPECT must target one dataset, got {dataset_ids}")
-    dataset = context.datasets[dataset_ids.pop()]
-    hyp_objs = [context.hypotheses[h] for h in hyp_names]
+    for workload in workloads:
+        for name in workload.hyp_names:
+            if name not in hyp_names:
+                hyp_names.append(name)
+        for mid, uids, _ in workload.models:
+            key = (workload.did, mid, uids.tobytes())
+            if key in plan_index:
+                continue
+            try:
+                model = context.models[mid]
+            except KeyError:
+                raise KeyError(f"model {mid!r} is not registered with the "
+                               f"InspectQuery context") from None
+            groups_d = runs.setdefault(workload.did, [])
+            plan_index[key] = len(groups_d)
+            groups_d.append(UnitGroup(model=model, unit_ids=uids,
+                                      name=f"mid={mid}"))
+    try:
+        hyp_objs = [context.hypotheses[name] for name in hyp_names]
+    except KeyError as exc:
+        raise KeyError(f"hypothesis {exc.args[0]!r} is not registered with "
+                       f"the InspectQuery context") from None
+    hyp_col_of = {name: j for j, name in enumerate(hyp_names)}
 
-    groups = [UnitGroup(model=context.models[mid],
-                        unit_ids=np.asarray(sorted(uids), dtype=int),
-                        name=f"mid={mid}")
-              for mid, uids in units_by_model.items()]
+    config = context.effective_config()
+    outcomes_by_did: dict[str, list] = {}
+    for did, groups_d in runs.items():
+        try:
+            dataset = context.datasets[did]
+        except KeyError:
+            raise KeyError(f"dataset {did!r} is not registered with the "
+                           f"InspectQuery context") from None
+        outcomes_by_did[did] = run_inspection(
+            groups_d, dataset, measures, hyp_objs, context.extractor, config)
 
-    outcomes = run_inspection(groups, dataset, measures, hyp_objs,
-                              context.extractor, context.config)
+    # only catalog columns the SELECT/HAVING/ORDER BY actually reference
+    # are replicated into the S relation
+    needed: set[str] = set()
+    for item in select_items:
+        needed |= item.expr.columns()
+    if having is not None:
+        needed |= having.columns()
+    if spec.order_by is not None and spec.order_by not in out_columns:
+        needed.add(out_schema.resolve(spec.order_by))
+    catalog_keep = {q: arr for q, arr in cols.items() if q in needed}
 
-    rows: list[dict[str, Any]] = []
-    for outcome in outcomes:
-        mid = next(m for m, g in zip(units_by_model, groups)
-                   if g is outcome.group)
-        sorted_units = sorted(units_by_model[mid])
-        for j, hname in enumerate(outcome.hypothesis_names):
-            group_score = (float(outcome.result.group_scores[j])
-                           if outcome.result.group_scores is not None
-                           else None)
-            for i, uid in enumerate(sorted_units):
-                unit_score = float(outcome.result.unit_scores[i, j])
-                if group_score is None:
-                    group_score_val = unit_score  # independent measures
+    s_cols = _materialize_s(catalog_keep, workloads, outcomes_by_did,
+                            plan_index, hyp_col_of, len(measures),
+                            spec.inspect_alias)
+    return _finish_columnar(db, s_cols, select_items, having, spec,
+                            out_schema, out_columns)
+
+
+def _materialize_s(cols: dict[str, np.ndarray],
+                   workloads: list[_GroupWorkload],
+                   outcomes_by_did: dict[str, list],
+                   plan_index: dict[tuple[str, str, bytes], int],
+                   hyp_col_of: dict[str, int], n_measures: int,
+                   alias: str) -> dict[str, np.ndarray]:
+    """Assemble the temporary S relation as column arrays.
+
+    Row order is group-major, then model, then measure, then
+    hypothesis-major over that model's units -- the seed frontend's
+    flattening order, produced with repeat/tile instead of per-row loops.
+    Each row also carries a representative catalog row (first row of its
+    (model, unit, hypothesis) triple when present, of the (model, unit)
+    pair otherwise), so SELECT/HAVING can reference catalog columns.
+    """
+    chunks: dict[str, list[np.ndarray]] = {q: [] for q in cols}
+    for name in S_COLUMNS:
+        chunks[f"{alias}.{name}"] = []
+
+    def emit(name: str, values: np.ndarray) -> None:
+        chunks[f"{alias}.{name}"].append(values)
+
+    for workload in workloads:
+        hyps = workload.hyp_names
+        hcols = np.asarray([hyp_col_of[h] for h in hyps], dtype=np.int64)
+        nh = len(hyps)
+        hid_cycle = np.asarray(hyps, dtype=object)
+        outcomes = outcomes_by_did[workload.did]
+        for mid, uids, rep_grid in workload.models:
+            nu = uids.shape[0]
+            pgi = plan_index[(workload.did, mid, uids.tobytes())]
+            for mi in range(n_measures):
+                outcome = outcomes[pgi * n_measures + mi]
+                result = outcome.result
+                unit_scores = result.unit_scores[:, hcols].T.reshape(-1)
+                if result.group_scores is None:  # independent measures
+                    group_scores = unit_scores
                 else:
-                    group_score_val = group_score
-                rows.append({
-                    "uid": uid, "hid": hname, "mid": mid,
-                    "group_score": group_score_val,
-                    "unit_score": unit_score,
-                    "_env": env_by_unit[(mid, uid)],
-                })
-    return rows
+                    group_scores = np.repeat(result.group_scores[hcols], nu)
+                emit("uid", np.tile(uids, nh))
+                emit("hid", np.repeat(hid_cycle, nu))
+                emit("mid", _fill_object(nu * nh, mid))
+                emit("score_id", _fill_object(nu * nh,
+                                              outcome.measure.score_id))
+                emit("group_score", group_scores.astype(np.float64))
+                emit("unit_score", unit_scores.astype(np.float64))
+                for qname, arr in cols.items():
+                    chunks[qname].append(arr[rep_grid])
+    # parts of one column share a dtype (np.concatenate keeps object dtype)
+    return {qname: np.concatenate(parts)
+            for qname, parts in chunks.items()}
+
+
+def _fill_object(n: int, value) -> np.ndarray:
+    out = np.empty(n, dtype=object)
+    out[:] = value
+    return out
+
+
+def _finish_columnar(db: Database, s_cols: dict[str, np.ndarray],
+                     select_items: list[SelectItem], having: Expr | None,
+                     spec: InspectSpec, out_schema: Schema,
+                     out_columns: list[str]) -> Frame:
+    """HAVING + projection + ORDER BY/LIMIT through the columnar executor."""
+    order_by = spec.order_by
+    items = list(select_items)
+    if order_by is not None and order_by not in out_columns:
+        # ORDER BY a column that is not projected: carry it as a hidden
+        # output column, dropped when the frame is assembled
+        items.append(SelectItem(expr=Column(out_schema.resolve(order_by)),
+                                alias="__order__"))
+        order_by = "__order__"
+
+    # the S relation lives in a throwaway catalog: the user's Database is
+    # never mutated, so queries are re-entrant and cannot clobber (or drop)
+    # a real table; scan accounting is mirrored onto the shared counter
+    tmp_db = Database()
+    tmp_db.tables[_TMP_TABLE] = Table.from_columns(_TMP_TABLE, s_cols)
+    rows = execute_select(tmp_db, SelectQuery(
+        items=items, table=_TMP_TABLE, where=having,
+        order_by=order_by, descending=spec.descending,
+        limit=spec.limit))
+    db.full_scans += tmp_db.full_scans
+    return Frame.from_records(rows, columns=out_columns)

@@ -82,6 +82,9 @@ class InspectSpec:
     where: Expr | None = None
     group_by: list[Expr] = field(default_factory=list)
     having: Expr | None = None
+    order_by: str | None = None              # an output-column alias
+    descending: bool = False
+    limit: int | None = None
 
 
 class _Parser:
@@ -165,7 +168,8 @@ class _Parser:
                 select_items=items, unit_ref=unit_ref, hyp_ref=hyp_ref,
                 measures=measures, dataset_ref=dataset_ref,
                 inspect_alias=alias, tables=tables, where=where,
-                group_by=group_by or [], having=having)
+                group_by=group_by or [], having=having,
+                order_by=order_by, descending=descending, limit=limit)
 
         # plain SELECT: express FROM list as base table + equi-joins
         base_table, base_alias = tables[0]

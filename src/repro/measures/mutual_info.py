@@ -31,6 +31,42 @@ def _quantile_edges(sample: np.ndarray, n_bins: int) -> np.ndarray:
     return np.quantile(sample, qs, axis=0)
 
 
+#: bin-grid size above which the flat scatter-add beats BLAS mask matmuls
+#: (measured crossover ~144 cells on one core)
+_SCATTER_MIN_CELLS = 128
+
+
+def _scatter_counts(joint: np.ndarray, u_bins: np.ndarray,
+                    h_bins: np.ndarray) -> None:
+    """``joint[i, j, u_bins[r, i], h_bins[r, j]] += 1`` for every row r.
+
+    Two strategies, picked by bin-grid size.  Small grids keep one dense
+    0/1-mask matmul per (u_bin, h_bin) cell -- BLAS wins while the cell
+    count is tiny (masks are precomputed once per axis).  Larger grids use
+    a flat ``bincount`` scatter-add (``np.add.at`` semantics) whose cost is
+    O(rows x units x hyps) *regardless* of the bin count, instead of
+    scaling quadratically with ``n_bins``; chunking keeps the intermediate
+    code matrix small for wide unit/hypothesis blocks.
+    """
+    n_units, n_hyps, nb_u, nb_h = joint.shape
+    if nb_u * nb_h <= _SCATTER_MIN_CELLS:
+        masks_u = [(u_bins == b).astype(np.float64).T for b in range(nb_u)]
+        masks_h = [(h_bins == b).astype(np.float64) for b in range(nb_h)]
+        for bu in range(nb_u):
+            for bh in range(nb_h):
+                joint[:, :, bu, bh] += masks_u[bu] @ masks_h[bh]
+        return
+    cell_base = (np.arange(n_units)[:, None] * n_hyps
+                 + np.arange(n_hyps)[None, :]) * (nb_u * nb_h)
+    chunk = max(1, 4_000_000 // max(1, n_units * n_hyps))
+    for start in range(0, u_bins.shape[0], chunk):
+        codes = (cell_base[None, :, :]
+                 + u_bins[start:start + chunk, :, None] * nb_h
+                 + h_bins[start:start + chunk, None, :])
+        joint += np.bincount(codes.reshape(-1),
+                             minlength=joint.size).reshape(joint.shape)
+
+
 def _mi_from_joint(joint: np.ndarray) -> float:
     """MI in nats from a 2-D contingency table of counts."""
     total = joint.sum()
@@ -62,6 +98,7 @@ class _MiState(MeasureState, DeltaWindowMixin):
         self.normalize = normalize
         self._buffer: list[tuple[np.ndarray, np.ndarray]] = []
         self._buffered_rows = 0
+        self._provisional: tuple[int, np.ndarray] | None = None
         self.u_edges: np.ndarray | None = None
         self.h_edges: np.ndarray | None = None
         # joint histogram: (n_units, n_hyps, u_bin, h_bin)
@@ -77,43 +114,72 @@ class _MiState(MeasureState, DeltaWindowMixin):
         for u_blk, h_blk in self._buffer:
             self._accumulate(u_blk, h_blk)
         self._buffer = []
+        self._provisional = None  # drop the snapshot memo with the buffer
 
     def _accumulate(self, units: np.ndarray, hyps: np.ndarray) -> None:
         assert self.joint is not None
-        u_bins = _digitize(units, self.u_edges)
-        h_bins = _digitize(hyps, self.h_edges)
-        for bu in range(self.n_bins):
-            mask_u = (u_bins == bu).astype(np.float64)
-            for bh in range(self.n_bins):
-                mask_h = (h_bins == bh).astype(np.float64)
-                self.joint[:, :, bu, bh] += mask_u.T @ mask_h
+        _scatter_counts(self.joint, _digitize(units, self.u_edges),
+                        _digitize(hyps, self.h_edges))
 
     def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
         if self.joint is None:
+            # buffer until enough rows exist to estimate the bin edges;
+            # scoring stays lazy so a mid-stream result read cannot force
+            # calibration from an undersized sample
             self._buffer.append((units.copy(), hyps.copy()))
             self._buffered_rows += units.shape[0]
             if self._buffered_rows >= self.calibration_rows:
                 self._calibrate_and_flush()
         else:
             self._accumulate(units, hyps)
-        self.push_score(self.unit_scores().max(axis=0))
+        if self.joint is not None:
+            # no score history accumulates while calibrating: convergence
+            # cannot be judged from provisional bin edges
+            self.push_score(self.unit_scores().max(axis=0))
+
+    def _scores_from_joint(self, joint: np.ndarray) -> np.ndarray:
+        scores = np.zeros((self.n_units, self.n_hyps))
+        for i in range(self.n_units):
+            for j in range(self.n_hyps):
+                mi = _mi_from_joint(joint[i, j])
+                if self.normalize:
+                    h_u = _entropy(joint[i, j].sum(axis=1))
+                    h_h = _entropy(joint[i, j].sum(axis=0))
+                    denom = np.sqrt(h_u * h_h)
+                    mi = mi / denom if denom > 1e-12 else 0.0
+                scores[i, j] = mi
+        return scores
+
+    def _provisional_joint(self) -> np.ndarray:
+        """Histograms over the calibration buffer, without mutating state.
+
+        Serves result reads while still buffering (including end-of-stream
+        on datasets smaller than ``calibration_rows``): edges are estimated
+        from whatever is buffered, but the state keeps calibrating.
+        Memoized per buffer size -- the buffer is append-only, so repeated
+        reads between blocks cost one computation.
+        """
+        if self._provisional is not None \
+                and self._provisional[0] == self._buffered_rows:
+            return self._provisional[1]
+        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
+        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
+        joint = np.zeros(
+            (self.n_units, self.n_hyps, self.n_bins, self.n_bins))
+        _scatter_counts(joint,
+                        _digitize(sample_u,
+                                  _quantile_edges(sample_u, self.n_bins)),
+                        _digitize(sample_h,
+                                  _quantile_edges(sample_h, self.n_bins)))
+        self._provisional = (self._buffered_rows, joint)
+        return joint
 
     def unit_scores(self) -> np.ndarray:
         if self.joint is None:
             if not self._buffer:
                 return np.zeros((self.n_units, self.n_hyps))
-            self._calibrate_and_flush()
-        scores = np.zeros((self.n_units, self.n_hyps))
-        for i in range(self.n_units):
-            for j in range(self.n_hyps):
-                mi = _mi_from_joint(self.joint[i, j])
-                if self.normalize:
-                    h_u = _entropy(self.joint[i, j].sum(axis=1))
-                    h_h = _entropy(self.joint[i, j].sum(axis=0))
-                    denom = np.sqrt(h_u * h_h)
-                    mi = mi / denom if denom > 1e-12 else 0.0
-                scores[i, j] = mi
-        return scores
+            return self._scores_from_joint(self._provisional_joint())
+        return self._scores_from_joint(self.joint)
 
     def error(self) -> float:
         return self.delta_error()
@@ -152,6 +218,7 @@ class _MultiMiState(MeasureState, DeltaWindowMixin):
         self.calibration_rows = calibration_rows
         self._buffer: list[tuple[np.ndarray, np.ndarray]] = []
         self._buffered_rows = 0
+        self._prov: tuple[int, tuple[np.ndarray, np.ndarray]] | None = None
         self.u_medians: np.ndarray | None = None
         self.selected: np.ndarray | None = None  # (n_hyps, top_k)
         # per-hypothesis joint histogram over patterns x binary hypothesis
@@ -160,11 +227,11 @@ class _MultiMiState(MeasureState, DeltaWindowMixin):
         self.unit_joint = np.zeros((n_units, n_hyps, 2, 2))
 
     # -- calibration: pick each hypothesis's most correlated units ------
-    def _calibrate_and_flush(self) -> None:
-        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
-        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
-        self.u_medians = np.median(sample_u, axis=0)
-        bits = sample_u > self.u_medians[None, :]
+    def _select_units(self, sample_u: np.ndarray,
+                      sample_h: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(medians, per-hypothesis selected unit ids) from a sample."""
+        u_medians = np.median(sample_u, axis=0)
+        bits = sample_u > u_medians[None, :]
         h_act = sample_h > 0
         # |corr| of binarized signals selects the informative units
         bu = bits - bits.mean(axis=0, keepdims=True)
@@ -173,52 +240,93 @@ class _MultiMiState(MeasureState, DeltaWindowMixin):
                  * np.sqrt((bh**2).sum(axis=0))[None, :])
         with np.errstate(divide="ignore", invalid="ignore"):
             corr = np.where(denom > 1e-12, np.abs(bu.T @ bh) / denom, 0.0)
-        self.selected = np.argsort(-corr, axis=0)[:self.top_k].T.copy()
+        selected = np.argsort(-corr, axis=0)[:self.top_k].T.copy()
+        return u_medians, selected
+
+    def _calibrate_and_flush(self) -> None:
+        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
+        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
+        self.u_medians, self.selected = self._select_units(sample_u, sample_h)
         self.pattern_joint = np.zeros((self.n_hyps, 2**self.top_k, 2))
         for u_blk, h_blk in self._buffer:
             self._accumulate(u_blk, h_blk)
         self._buffer = []
+        self._prov = None  # drop the snapshot memo with the buffer
+
+    def _accumulate_into(self, pattern_joint: np.ndarray,
+                         unit_joint: np.ndarray, u_medians: np.ndarray,
+                         selected: np.ndarray, units: np.ndarray,
+                         hyps: np.ndarray) -> None:
+        bits = (units > u_medians[None, :]).astype(np.int64)
+        h_act = (hyps > 0).astype(np.int64)
+        powers = 1 << np.arange(self.top_k)
+        for j in range(hyps.shape[1]):
+            patterns = bits[:, selected[j]] @ powers
+            np.add.at(pattern_joint[j], (patterns, h_act[:, j]), 1.0)
+        # individual unit contingency tables, via the flat scatter-add
+        _scatter_counts(unit_joint, bits, h_act)
 
     def _accumulate(self, units: np.ndarray, hyps: np.ndarray) -> None:
         assert self.selected is not None and self.pattern_joint is not None
-        bits = (units > self.u_medians[None, :]).astype(np.int64)
-        h_act = (hyps > 0).astype(np.int64)
-        powers = 1 << np.arange(self.top_k)
-        for j in range(self.n_hyps):
-            patterns = bits[:, self.selected[j]] @ powers
-            np.add.at(self.pattern_joint[j], (patterns, h_act[:, j]), 1.0)
-        # individual unit contingency tables
-        for bu in (0, 1):
-            mask_u = (bits == bu).astype(np.float64)
-            for bh in (0, 1):
-                mask_h = (h_act == bh).astype(np.float64)
-                self.unit_joint[:, :, bu, bh] += mask_u.T @ mask_h
+        self._accumulate_into(self.pattern_joint, self.unit_joint,
+                              self.u_medians, self.selected, units, hyps)
 
     def update(self, units: np.ndarray, hyps: np.ndarray) -> None:
         if self.pattern_joint is None:
+            # buffer until the unit-selection sample is large enough;
+            # scoring stays lazy so a mid-stream result read cannot force
+            # selection from an undersized sample
             self._buffer.append((units.copy(), hyps.copy()))
             self._buffered_rows += units.shape[0]
             if self._buffered_rows >= self.calibration_rows:
                 self._calibrate_and_flush()
         else:
             self._accumulate(units, hyps)
-        group = self.group_scores()
-        if group is not None:
-            self.push_score(group)
+        if self.pattern_joint is not None:
+            self.push_score(self.group_scores())
+
+    def _provisional(self) -> tuple[np.ndarray, np.ndarray]:
+        """(pattern_joint, unit_joint) over the calibration buffer.
+
+        Computed without mutating state, so mid-stream result reads (and
+        end-of-stream reads on datasets smaller than ``calibration_rows``)
+        cannot cut the selection sample short.  Memoized per buffer size --
+        a result read touches both histograms, and the buffer is
+        append-only, so each block pays one computation.
+        """
+        if self._prov is not None and self._prov[0] == self._buffered_rows:
+            return self._prov[1]
+        sample_u = np.concatenate([u for u, _ in self._buffer], axis=0)
+        sample_h = np.concatenate([h for _, h in self._buffer], axis=0)
+        u_medians, selected = self._select_units(sample_u, sample_h)
+        pattern_joint = np.zeros((self.n_hyps, 2**self.top_k, 2))
+        unit_joint = np.zeros((self.n_units, self.n_hyps, 2, 2))
+        self._accumulate_into(pattern_joint, unit_joint, u_medians, selected,
+                              sample_u, sample_h)
+        self._prov = (self._buffered_rows, (pattern_joint, unit_joint))
+        return pattern_joint, unit_joint
 
     def unit_scores(self) -> np.ndarray:
+        if self.pattern_joint is None:
+            if not self._buffer:
+                return np.zeros((self.n_units, self.n_hyps))
+            unit_joint = self._provisional()[1]
+        else:
+            unit_joint = self.unit_joint
         scores = np.zeros((self.n_units, self.n_hyps))
         for i in range(self.n_units):
             for j in range(self.n_hyps):
-                scores[i, j] = _mi_from_joint(self.unit_joint[i, j])
+                scores[i, j] = _mi_from_joint(unit_joint[i, j])
         return scores
 
     def group_scores(self) -> np.ndarray | None:
         if self.pattern_joint is None:
             if not self._buffer:
                 return None
-            self._calibrate_and_flush()
-        return np.array([_mi_from_joint(self.pattern_joint[j])
+            pattern_joint = self._provisional()[0]
+        else:
+            pattern_joint = self.pattern_joint
+        return np.array([_mi_from_joint(pattern_joint[j])
                          for j in range(self.n_hyps)])
 
     def error(self) -> float:

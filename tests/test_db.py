@@ -286,6 +286,15 @@ class TestSqlParser:
                       "FROM units U, hypotheses H, inputs D")
         assert q.measures == ["corr"]
 
+    def test_inspect_keeps_order_by_and_limit(self):
+        q = parse_sql("SELECT S.uid INSPECT U.uid AND H.h OVER D.seq AS S "
+                      "FROM units U, hypotheses H, inputs D "
+                      "ORDER BY S.unit_score DESC LIMIT 7")
+        assert isinstance(q, InspectSpec)
+        assert q.order_by == "S.unit_score"
+        assert q.descending
+        assert q.limit == 7
+
     def test_inspect_multiple_measures(self):
         q = parse_sql("SELECT S.uid INSPECT U.uid AND H.h "
                       "USING corr, logreg OVER D.seq AS S "

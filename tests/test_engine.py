@@ -472,8 +472,8 @@ class TestUnitBehaviorCache:
         cache.extract(trained_sql_model, RnnActivationExtractor(),
                       sql_workload.dataset, np.arange(2))
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0,
-                                 "bytes": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "extractions": 0,
+                                 "entries": 0, "bytes": 0}
 
 
 class TestPlanIntrospection:

@@ -367,3 +367,151 @@ class TestRegistry:
 
     def test_case_insensitive(self):
         assert get_measure("CORR").score_id == "corr:pearson"
+
+
+class TestCalibrationBuffering:
+    """Regression tests: mid-stream result reads must not flush the
+    calibration buffer.  Quantile thresholds / bin edges / unit selection
+    must be estimated from >= calibration_rows rows (the first blocks only
+    buffer), not from whatever the first block happened to hold."""
+
+    @staticmethod
+    def _data(n=1500, n_units=3, n_hyps=2, seed=9):
+        rng = new_rng(seed)
+        units = rng.standard_normal((n, n_units))
+        hyps = (rng.random((n, n_hyps)) > 0.6).astype(float)
+        return units, hyps
+
+    @staticmethod
+    def _feed(measure, state, units, hyps, block):
+        for start in range(0, units.shape[0], block):
+            measure.process_block(state, units[start:start + block],
+                                  hyps[start:start + block])
+
+    def test_jaccard_thresholds_use_full_calibration_sample(self):
+        units, hyps = self._data()
+        measure = JaccardScore(quantile=0.9, calibration_rows=1000)
+        state = measure.new_state(3, 2)
+        measure.process_block(state, units[:400], hyps[:400])
+        # process_block already read state.result(); reading again must
+        # also leave the buffer intact
+        state.unit_scores()
+        state.error()
+        assert state.thresholds is None
+        measure.process_block(state, units[400:800], hyps[400:800])
+        assert state.thresholds is None  # 800 < 1000: still buffering
+        measure.process_block(state, units[800:1200], hyps[800:1200])
+        assert state.thresholds is not None  # calibrated at 1200 >= 1000
+        np.testing.assert_allclose(
+            state.thresholds, np.quantile(units[:1200], 0.9, axis=0))
+
+    def test_jaccard_streaming_matches_single_shot(self):
+        units, hyps = self._data(n=1200)
+        measure = JaccardScore(quantile=0.9, calibration_rows=1000)
+        full = measure.compute(units, hyps)
+        state = measure.new_state(3, 2)
+        self._feed(measure, state, units, hyps, block=300)
+        np.testing.assert_allclose(state.unit_scores(), full.unit_scores)
+
+    def test_mutual_info_edges_use_full_calibration_sample(self):
+        units, hyps = self._data()
+        measure = MutualInfoScore(n_bins=4, calibration_rows=1000)
+        state = measure.new_state(3, 2)
+        measure.process_block(state, units[:400], hyps[:400])
+        state.unit_scores()
+        state.error()
+        assert state.u_edges is None
+        measure.process_block(state, units[400:800], hyps[400:800])
+        assert state.u_edges is None
+        measure.process_block(state, units[800:1200], hyps[800:1200])
+        assert state.u_edges is not None
+        from repro.measures.mutual_info import _quantile_edges
+        np.testing.assert_allclose(state.u_edges,
+                                   _quantile_edges(units[:1200], 4))
+
+    def test_multi_mi_selection_uses_full_calibration_sample(self):
+        units, hyps = self._data(n_units=5, n_hyps=1)
+        measure = MultivariateMutualInfoScore(top_k=2, calibration_rows=1000)
+        state = measure.new_state(5, 1)
+        measure.process_block(state, units[:400], hyps[:400])
+        state.unit_scores()
+        state.group_scores()
+        state.error()
+        assert state.selected is None
+        measure.process_block(state, units[400:800], hyps[400:800])
+        assert state.selected is None
+        measure.process_block(state, units[800:1200], hyps[800:1200])
+        assert state.selected is not None
+        np.testing.assert_allclose(state.u_medians,
+                                   np.median(units[:1200], axis=0))
+
+    def test_small_dataset_provisional_scores_match_calibrated(self):
+        """End-of-stream below calibration_rows: provisional scores equal a
+        state whose calibration target is exactly the dataset size."""
+        units, hyps = self._data(n=300)
+        lazy = JaccardScore(quantile=0.9,
+                            calibration_rows=10_000).compute(units, hyps)
+        exact = JaccardScore(quantile=0.9,
+                             calibration_rows=300).compute(units, hyps)
+        np.testing.assert_allclose(lazy.unit_scores, exact.unit_scores)
+        lazy_mi = MutualInfoScore(calibration_rows=10_000).compute(units,
+                                                                   hyps)
+        exact_mi = MutualInfoScore(calibration_rows=300).compute(units, hyps)
+        np.testing.assert_allclose(lazy_mi.unit_scores,
+                                   exact_mi.unit_scores)
+
+    def test_no_convergence_during_buffering(self):
+        units, hyps = self._data(n=900)
+        measure = JaccardScore(calibration_rows=10_000, window=1)
+        state = measure.new_state(3, 2)
+        for start in range(0, 900, 100):
+            _, err = measure.process_block(state, units[start:start + 100],
+                                           hyps[start:start + 100])
+            assert err == float("inf")  # provisional scores never converge
+
+
+class TestScatterCounts:
+    """The flat-bincount scatter must equal the dense-mask reference."""
+
+    @staticmethod
+    def _reference(u_bins, h_bins, shape):
+        joint = np.zeros(shape)
+        for bu in range(shape[2]):
+            mask_u = (u_bins == bu).astype(np.float64)
+            for bh in range(shape[3]):
+                mask_h = (h_bins == bh).astype(np.float64)
+                joint[:, :, bu, bh] += mask_u.T @ mask_h
+        return joint
+
+    def test_small_grid_matches(self):
+        # 5 x 3 = 15 cells: the dense-mask branch
+        from repro.measures.mutual_info import _scatter_counts
+        rng = new_rng(4)
+        u_bins = rng.integers(0, 5, (200, 7))
+        h_bins = rng.integers(0, 3, (200, 4))
+        joint = np.zeros((7, 4, 5, 3))
+        _scatter_counts(joint, u_bins, h_bins)
+        np.testing.assert_array_equal(
+            joint, self._reference(u_bins, h_bins, joint.shape))
+
+    def test_large_grid_matches(self):
+        # 16 x 16 = 256 cells: the flat bincount scatter branch
+        from repro.measures.mutual_info import _scatter_counts
+        rng = new_rng(4)
+        u_bins = rng.integers(0, 16, (150, 6))
+        h_bins = rng.integers(0, 16, (150, 3))
+        joint = np.zeros((6, 3, 16, 16))
+        _scatter_counts(joint, u_bins, h_bins)
+        np.testing.assert_array_equal(
+            joint, self._reference(u_bins, h_bins, joint.shape))
+
+    def test_chunked_scatter_matches(self):
+        from repro.measures.mutual_info import _scatter_counts
+        rng = new_rng(5)
+        n_units, n_hyps = 300, 70  # chunk = 4M // 21k = 190 < 400 rows
+        u_bins = rng.integers(0, 12, (400, n_units))
+        h_bins = rng.integers(0, 12, (400, n_hyps))
+        joint = np.zeros((n_units, n_hyps, 12, 12))  # 144 cells: scatter
+        _scatter_counts(joint, u_bins, h_bins)
+        np.testing.assert_array_equal(
+            joint, self._reference(u_bins, h_bins, joint.shape))
