@@ -1,0 +1,148 @@
+"""Persistent-store scaling: cold vs. disk-warm vs. memory-warm, plus
+fused vs. unfused multi-transform extraction.
+
+Three tiers of the same inspection workload:
+
+* ``cold``        -- empty store, empty memory tiers: every behavior is
+  extracted from the model and written through to mmap'd shards.
+* ``disk_warm``   -- a *fresh process* configuration: new store handle,
+  new (empty) memory caches over the same directory.  Zero forward passes;
+  behaviors stream back out of the memory-mapped shards.
+* ``memory_warm`` -- the same session runs again with its caches intact.
+
+The fusion benchmark runs K extractors that differ only by behavior
+transform over one model: the raw-sweep engine runs one forward pass and
+derives each transform as a read-time view (``fused``), versus one
+inspection per transform the way the pre-store engine had to (``unfused``).
+
+Results are printed and written to ``BENCH_store.json`` so CI can smoke
+check that disk-warm reruns beat cold extraction >= 5x and fusion actually
+collapses the forward passes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro import (DiskBehaviorStore, HypothesisCache, InspectConfig,
+                   UnitBehaviorCache, UnitGroup, inspect)
+from repro.extract import RnnActivationExtractor
+from repro.measures import CorrelationScore, DiffMeansScore
+from repro.util.testing import CountingForwardModel
+from benchmarks.conftest import SETTING, print_table
+
+OUTPUT = "BENCH_store.json"
+
+#: the acceptance gate: serving behaviors from mmap'd shards must beat
+#: re-running the model clearly, even on shared CI runners
+DISK_WARM_WIN = 5.0
+#: fused multi-transform extraction must beat one-run-per-transform
+FUSED_WIN = 1.5
+#: generous slack for shared CI runners
+NOT_SLOWER = 1.35
+
+TRANSFORMS = ("activation", "abs", "gradient")
+
+
+def _store_config(root) -> InspectConfig:
+    return InspectConfig(mode="streaming", early_stop=False, block_size=128,
+                         seed=0, store=DiskBehaviorStore(root))
+
+
+def _run(model, dataset, hyps, config) -> float:
+    t0 = time.perf_counter()
+    inspect([model], dataset, [CorrelationScore(), DiffMeansScore()], hyps,
+            config=config)
+    return time.perf_counter() - t0
+
+
+def test_store_tiers_report(benchmark, bench_model, bench_workload,
+                            bench_hypotheses, tmp_path):
+    def _report():
+        dataset = bench_workload.dataset
+        hyps = bench_hypotheses
+        root = tmp_path / "behavior_store"
+
+        timings: dict[str, float] = {}
+        timings["cold"] = _run(bench_model, dataset, hyps,
+                               _store_config(root))
+        # fresh process configuration: new store handle, new memory tiers
+        store = DiskBehaviorStore(root)
+        unit_cache = UnitBehaviorCache(store=store)
+        hyp_cache = HypothesisCache(store=store)
+        warm_cfg = InspectConfig(mode="streaming", early_stop=False,
+                                 block_size=128, seed=0, store=store,
+                                 unit_cache=unit_cache, cache=hyp_cache)
+        timings["disk_warm"] = _run(bench_model, dataset, hyps, warm_cfg)
+        disk_stats = {"unit": unit_cache.stats(), "hyp": hyp_cache.stats()}
+        # same session again: memory tiers already hold everything
+        timings["memory_warm"] = _run(bench_model, dataset, hyps, warm_cfg)
+
+        # fused vs unfused multi-transform extraction (no caches: this
+        # isolates the shared forward sweep itself)
+        counting = CountingForwardModel(bench_model)
+        fused_groups = [
+            UnitGroup(model=counting, unit_ids=np.arange(SETTING.n_units),
+                      name=t, extractor=RnnActivationExtractor(transform=t))
+            for t in TRANSFORMS]
+        t0 = time.perf_counter()
+        inspect(None, dataset, [CorrelationScore()], hyps,
+                unit_groups=fused_groups,
+                config=InspectConfig(mode="streaming", early_stop=False,
+                                     block_size=128, seed=0))
+        timings["fused_transforms"] = time.perf_counter() - t0
+        fused_sweeps = counting.forward_calls
+
+        unfused = CountingForwardModel(bench_model)
+        t0 = time.perf_counter()
+        for t in TRANSFORMS:
+            inspect(None, dataset, [CorrelationScore()], hyps,
+                    unit_groups=[UnitGroup(
+                        model=unfused, unit_ids=np.arange(SETTING.n_units),
+                        name=t,
+                        extractor=RnnActivationExtractor(transform=t))],
+                    config=InspectConfig(mode="streaming", early_stop=False,
+                                         block_size=128, seed=0))
+        timings["unfused_transforms"] = time.perf_counter() - t0
+        unfused_sweeps = unfused.forward_calls
+
+        cold = timings["cold"]
+        rows = [{"config": name, "seconds": secs,
+                 "speedup_vs_cold": cold / max(secs, 1e-9)}
+                for name, secs in timings.items()]
+        print_table("Persistent store tiers (streaming, early_stop=off)",
+                    rows)
+        print(f"forward sweeps: fused={fused_sweeps} "
+              f"unfused={unfused_sweeps}")
+
+        payload = {
+            "setting": {"n_records": dataset.n_records,
+                        "n_units": SETTING.n_units,
+                        "n_hypotheses": len(hyps),
+                        "store_stats": store.stats(),
+                        "disk_warm_cache_stats": disk_stats},
+            "timings_s": timings,
+            "speedup_vs_cold": {r["config"]: r["speedup_vs_cold"]
+                                for r in rows},
+            "forward_sweeps": {"fused": fused_sweeps,
+                               "unfused": unfused_sweeps},
+        }
+        with open(OUTPUT, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {OUTPUT}")
+
+        # smoke gates
+        assert disk_stats["unit"]["extractions"] == 0, \
+            "disk-warm rerun must not touch the model"
+        assert disk_stats["hyp"]["extractions"] == 0, \
+            "disk-warm rerun must not re-evaluate hypotheses"
+        assert timings["disk_warm"] * DISK_WARM_WIN <= cold
+        assert timings["memory_warm"] <= timings["disk_warm"] * NOT_SLOWER
+        assert fused_sweeps * len(TRANSFORMS) == unfused_sweeps
+        assert timings["fused_transforms"] * FUSED_WIN <= \
+            timings["unfused_transforms"]
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

@@ -29,11 +29,13 @@ from repro.core.inspect import InspectConfig, inspect, top_units
 from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
                                  ThreadPoolScheduler)
 from repro.core.saliency import saliency_frame, top_symbols
+from repro.store import DiskBehaviorStore
 from repro.util.frame import Frame
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "DiskBehaviorStore",
     "Frame",
     "HypothesisCache",
     "InspectConfig",

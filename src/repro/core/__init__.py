@@ -17,8 +17,10 @@ from repro.core.groups import UnitGroup, all_units_group, layer_groups
 from repro.core.inspect import InspectConfig, inspect
 from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
                                  ThreadPoolScheduler)
+from repro.store import DiskBehaviorStore
 
 __all__ = [
+    "DiskBehaviorStore",
     "HypothesisCache",
     "InspectConfig",
     "InspectionPlan",

@@ -1,4 +1,4 @@
-"""LRU caches for behavior matrices (Section 5.1.2 / Figure 9).
+"""Tiered behavior caches (Section 5.1.2 / Figure 9).
 
 During model development one side of the inspection workload is usually
 fixed while the other changes, so behaviors can be extracted once and reused
@@ -8,13 +8,23 @@ across inspection runs:
   are retrained.  Entries are keyed by (dataset content hash, hypothesis
   name).
 * :class:`UnitBehaviorCache` — the model is fixed while hypotheses, measures
-  or thresholds change (interactive debugging).  Entries are keyed by
-  (model parameter fingerprint, extractor identity incl. the behavior
-  transform, dataset content hash, selected unit ids).
+  or thresholds change (interactive debugging).  Entries hold the **raw**
+  (untransformed, full-width) activations keyed by (model parameter
+  fingerprint, raw extractor identity, dataset content hash); the behavior
+  transform, layer views and ``hid_units`` selection are applied lazily on
+  read via :meth:`repro.extract.base.Extractor.finalize_rows`.  K extractors
+  that differ only in those view attributes therefore trigger exactly one
+  forward sweep and share one entry.
 
-Both caches fill at record granularity, so streaming runs that stopped early
-still contribute partial cache contents, and both are byte-bounded LRUs.
-They are lock-protected so the thread-pool scheduler can share them.
+Both caches are *memory tiers* over a common store protocol: give them a
+:class:`repro.store.DiskBehaviorStore` and every extraction is written
+through to memory-mapped shards on disk, while misses consult the disk tier
+before running the extractor — a second process (or a restarted session)
+serves previously-inspected workloads with zero model forward passes and
+zero hypothesis evaluations.  Both tiers fill at record granularity, so
+streaming runs that stopped early still contribute partial contents, and
+the memory tiers are byte-bounded, lock-protected LRUs the thread-pool
+scheduler can share.
 """
 
 from __future__ import annotations
@@ -27,13 +37,28 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.extract.base import Extractor
+from repro.extract.base import (Extractor, finalize_rows_of, raw_key_of,
+                                raw_rows_of)
 from repro.hypotheses.base import HypothesisFunction
+from repro.store import DiskBehaviorStore
 
 
 #: process-unique tokens for parameter-less models (id() can be recycled
 #: after garbage collection, so raw id() may alias two different models)
 _FALLBACK_TOKENS = itertools.count()
+
+
+def _compact(identity: str, max_len: int = 64) -> str:
+    """Bound an identity string for use inside persistent store keys.
+
+    Long content identities (recursive attribute walks) keep a readable
+    prefix plus a content digest, so manifests stay small without losing
+    exactness.
+    """
+    if len(identity) <= max_len:
+        return identity
+    digest = hashlib.sha1(identity.encode()).hexdigest()[:16]
+    return f"{identity[:40]}...{digest}"
 
 
 def model_fingerprint(model) -> str:
@@ -72,26 +97,32 @@ class _Entry:
     """Per-record behavior rows plus a fill mask."""
 
     def __init__(self, n_records: int, n_symbols: int):
-        self.matrix = np.zeros((n_records, n_symbols))
+        self.matrix: np.ndarray | None = np.zeros((n_records, n_symbols))
         self.filled = np.zeros(n_records, dtype=bool)
 
     @property
     def nbytes(self) -> int:
-        return self.matrix.nbytes + self.filled.nbytes
+        matrix_bytes = 0 if self.matrix is None else self.matrix.nbytes
+        return matrix_bytes + self.filled.nbytes
 
 
 class _ByteBoundedLRU:
     """Shared plumbing for the two behavior caches: a lock-protected,
-    byte-bounded LRU with hit/miss accounting.  Subclass helpers must be
-    called while holding ``self._lock``."""
+    byte-bounded LRU memory tier with hit/miss accounting and an optional
+    persistent tier underneath.  Subclass helpers must be called while
+    holding ``self._lock``."""
 
-    def __init__(self, max_bytes: int):
+    def __init__(self, max_bytes: int,
+                 store: DiskBehaviorStore | None = None):
         self.max_bytes = max_bytes
+        self.store = store
         self._entries: OrderedDict = OrderedDict()
         self._bytes = 0  # running total of entry.nbytes
         self._lock = threading.Lock()
-        self.hits = 0      # records served from cached rows
-        self.misses = 0    # records that had to be extracted
+        self.hits = 0      # records served from memory-tier rows
+        self.misses = 0    # records absent from the memory tier
+        self.disk_hits = 0    # records served from the disk tier
+        self.disk_misses = 0  # records absent from both tiers
         self.extractions = 0  # underlying extractor invocations
 
     def _get_or_create(self, key, factory):
@@ -109,51 +140,128 @@ class _ByteBoundedLRU:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
 
+    def _commit_rows(self, key, entry, rows_idx: np.ndarray,
+                     rows: np.ndarray) -> None:
+        """Write per-record rows into an entry, re-accounting bytes.
+
+        The entry may have been evicted (or even displaced) by a concurrent
+        insert while rows were produced without the lock, so bytes are
+        re-accounted against the map's actual contents.
+        """
+        mapped = self._entries.get(key) is entry
+        if mapped:
+            self._bytes -= entry.nbytes
+        if entry.matrix is None:
+            entry.matrix = np.zeros((entry.filled.shape[0], rows.shape[1]),
+                                    dtype=rows.dtype)
+        entry.matrix[rows_idx] = rows
+        entry.filled[rows_idx] = True
+        if not mapped:
+            displaced = self._entries.get(key)
+            if displaced is not None:
+                self._bytes -= displaced.nbytes
+            self._entries[key] = entry
+        self._bytes += entry.nbytes
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def _fill_from_store(self, store_key: str, key, entry,
+                         missing: np.ndarray,
+                         row_width: int | None = None) -> np.ndarray:
+        """Serve ``missing`` records from the disk tier where possible.
+
+        Returns the still-missing indices.  Counts every consulted record
+        as a disk hit or miss; a width mismatch (stale or foreign entry)
+        is treated as wholly absent rather than served.
+        """
+        if self.store is None or missing.shape[0] == 0:
+            return missing
+        reader = self.store.reader(store_key)
+        if reader is not None and (row_width is None
+                                   or reader.row_width == row_width):
+            have = reader.filled_mask(missing)
+            if have.any():
+                rows = reader.rows(missing[have])
+                with self._lock:
+                    self.disk_hits += int(have.sum())
+                    self._commit_rows(key, entry, missing[have], rows)
+                missing = missing[~have]
+        with self._lock:
+            self.disk_misses += int(missing.shape[0])
+        return missing
+
+    def _write_through(self, store_key: str, indices: np.ndarray,
+                       rows: np.ndarray, n_records: int) -> None:
+        if self.store is not None:
+            self.store.append(store_key, indices, rows, n_records)
+
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
                 "extractions": self.extractions,
                 "entries": len(self._entries),
                 "bytes": self._bytes}
 
     def clear(self) -> None:
+        """Drop the memory tier (the disk tier, if any, is untouched)."""
         with self._lock:
             self._entries.clear()
             self._bytes = 0
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.disk_misses = 0
             self.extractions = 0
 
 
 class HypothesisCache(_ByteBoundedLRU):
     """Byte-bounded LRU over (dataset, hypothesis) behavior matrices."""
 
-    def __init__(self, max_bytes: int = 512 * 1024 * 1024):
-        super().__init__(max_bytes)
+    def __init__(self, max_bytes: int = 512 * 1024 * 1024,
+                 store: DiskBehaviorStore | None = None):
+        super().__init__(max_bytes, store=store)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _hypothesis_identity(hypothesis) -> str:
+        """Content identity when exposed; the bare name otherwise.
+
+        Persisting under the name alone would let an edited hypothesis
+        silently serve a previous session's behaviors.
+        """
+        key_of = getattr(hypothesis, "cache_key", None)
+        if callable(key_of):
+            return key_of()
+        return getattr(hypothesis, "name", type(hypothesis).__name__)
+
     def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
                 indices: np.ndarray) -> np.ndarray:
         """Behavior rows for ``indices``, computing only the missing ones."""
         indices = np.asarray(indices, dtype=int)
-        key = (dataset.cache_key(), hypothesis.name)
+        key = (dataset.cache_key(), self._hypothesis_identity(hypothesis))
+        store_key = f"hyp/{key[0]}/{_compact(key[1])}"
         with self._lock:
             entry = self._get_or_create(
                 key, lambda: _Entry(dataset.n_records, dataset.n_symbols))
             missing = indices[~entry.filled[indices]]
             self.hits += int(indices.shape[0] - missing.shape[0])
             self.misses += int(missing.shape[0])
+        missing = self._fill_from_store(store_key, key, entry, missing,
+                                        row_width=dataset.n_symbols)
         if missing.shape[0]:
-            rows = hypothesis.extract(dataset, missing)
+            rows = np.asarray(hypothesis.extract(dataset, missing))
             with self._lock:
                 self.extractions += 1
-                entry.matrix[missing] = rows
-                entry.filled[missing] = True
+                self._commit_rows(key, entry, missing, rows)
+            self._write_through(store_key, missing, rows, dataset.n_records)
         with self._lock:
             return entry.matrix[indices]
 
 
 class _UnitEntry:
-    """Record-major unit behaviors: row r holds the (ns * n_units) block."""
+    """Record-major raw unit behaviors: row r is the (ns * raw_width)
+    block; dtype follows the first committed rows (the model's dtype)."""
 
     def __init__(self, n_records: int, n_symbols: int):
         self.n_symbols = n_symbols
@@ -167,90 +275,73 @@ class _UnitEntry:
 
 
 class UnitBehaviorCache(_ByteBoundedLRU):
-    """Byte-bounded LRU over extracted unit behaviors.
+    """Byte-bounded LRU over extracted raw unit behaviors.
 
     The mirror image of :class:`HypothesisCache` for the other half of the
     Figure 9 story: repeated inspection runs against the *same* model (new
-    hypotheses, different measures or thresholds) skip the forward passes
-    entirely.  Keys carry the model's parameter fingerprint, the extractor's
-    :meth:`~repro.extract.base.Extractor.cache_key` (which includes the
-    behavior transform), the dataset content hash and the selected unit ids,
-    so a retrained model or a different layer/transform never aliases.
+    hypotheses, different measures, thresholds, transforms or unit subsets)
+    skip the forward passes entirely.  Keys carry the model's parameter
+    fingerprint, the extractor's
+    :meth:`~repro.extract.base.Extractor.raw_key` and the dataset content
+    hash — deliberately *not* the transform or unit selection, which are
+    read-time views — so a retrained model or a different architecture
+    never aliases, while every view over one sweep shares one entry.
 
-    An entry's matrix spans the whole dataset at the extraction width (the
-    fill mask is what makes partial streaming runs reusable), so
-    ``max_bytes`` is accounted at full-matrix size; zero pages stay virtual
-    until rows are actually written.
+    An entry's matrix spans the whole dataset at raw width (the fill mask
+    is what makes partial streaming runs reusable), so ``max_bytes`` is
+    accounted at full-matrix size; zero pages stay virtual until rows are
+    actually written.
     """
 
-    def __init__(self, max_bytes: int = 1024 * 1024 * 1024):
-        super().__init__(max_bytes)
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _units_key(hid_units: np.ndarray | list[int] | None) -> str:
-        if hid_units is None:
-            return "all"
-        ids = np.asarray(hid_units, dtype=int)
-        digest = hashlib.sha1(ids.tobytes()).hexdigest()[:16]
-        return f"{ids.shape[0]}:{digest}"
+    def __init__(self, max_bytes: int = 1024 * 1024 * 1024,
+                 store: DiskBehaviorStore | None = None):
+        super().__init__(max_bytes, store=store)
 
     # ------------------------------------------------------------------
     def extract(self, model, extractor: Extractor, dataset: Dataset,
                 indices: np.ndarray,
                 hid_units: np.ndarray | list[int] | None = None,
-                model_key: str | None = None) -> np.ndarray:
+                model_key: str | None = None,
+                raw_key: str | None = None) -> np.ndarray:
         """Unit behaviors for ``indices``: (len(indices) * ns, width).
 
-        Only records without cached rows are run through the extractor; the
-        result is always served from the cache matrix so repeated runs cost
-        one slice.  ``model_key`` lets callers that fingerprint the model
-        once per run (the plan executor) skip re-hashing its parameters on
-        every block.
+        Only records without cached raw rows are run through the extractor
+        (one full-width sweep covers every transform and unit subset); the
+        result is always derived from the cached raw matrix, so repeated
+        runs cost one slice plus the read-time view.  ``model_key`` /
+        ``raw_key`` let callers that fingerprint once per run (the plan
+        executor) skip re-hashing parameters and attributes per block.
         """
         indices = np.asarray(indices, dtype=int)
         if model_key is None:
             model_key = model_fingerprint(model)
-        key = (model_key, extractor.cache_key(),
-               dataset.cache_key(), self._units_key(hid_units))
+        if raw_key is None:
+            raw_key = raw_key_of(extractor)
+        ns = dataset.n_symbols
+        key = (model_key, raw_key, dataset.cache_key())
+        store_key = f"unit/{key[0]}/{_compact(key[1])}/{key[2]}"
         with self._lock:
             entry = self._get_or_create(
-                key,
-                lambda: _UnitEntry(dataset.n_records, dataset.n_symbols))
+                key, lambda: _UnitEntry(dataset.n_records, ns))
             missing = indices[~entry.filled[indices]]
             self.hits += int(indices.shape[0] - missing.shape[0])
             self.misses += int(missing.shape[0])
+        missing = self._fill_from_store(
+            store_key, key, entry, missing,
+            row_width=self._expected_width(extractor, model, entry, ns))
         if missing.shape[0]:
-            block = extractor.extract(model, dataset.symbols[missing],
-                                      hid_units=hid_units)
-            ns = entry.n_symbols
+            block = raw_rows_of(extractor, model, dataset.symbols[missing])
             if block.shape[0] != missing.shape[0] * ns:
                 raise ValueError(
                     f"extractor row mismatch: expected "
                     f"{missing.shape[0] * ns} rows "
                     f"({missing.shape[0]} records x {ns} symbols), "
                     f"got {block.shape[0]}")
+            flat = np.ascontiguousarray(block).reshape(missing.shape[0], -1)
             with self._lock:
                 self.extractions += 1
-                # the entry may have been evicted (or even displaced) by a
-                # concurrent insert while we extracted without the lock;
-                # re-account bytes against the map's actual contents
-                mapped = self._entries.get(key) is entry
-                if mapped:
-                    self._bytes -= entry.nbytes
-                if entry.matrix is None:
-                    entry.matrix = np.zeros(
-                        (entry.filled.shape[0], ns * block.shape[1]))
-                entry.matrix[missing] = block.reshape(missing.shape[0], -1)
-                entry.filled[missing] = True
-                if not mapped:
-                    displaced = self._entries.get(key)
-                    if displaced is not None:
-                        self._bytes -= displaced.nbytes
-                    self._entries[key] = entry
-                self._bytes += entry.nbytes
-                self._entries.move_to_end(key)
-                self._evict()
+                self._commit_rows(key, entry, missing, flat)
+            self._write_through(store_key, missing, flat, dataset.n_records)
         if entry.matrix is None:
             # only reachable for an empty index set (nothing was ever
             # filled); let the extractor produce the correctly-shaped
@@ -258,6 +349,22 @@ class UnitBehaviorCache(_ByteBoundedLRU):
             return extractor.extract(model, dataset.symbols[indices],
                                      hid_units=hid_units)
         with self._lock:
-            width = entry.matrix.shape[1] // entry.n_symbols
-            return entry.matrix[indices].reshape(
-                indices.shape[0] * entry.n_symbols, width)
+            # explicit width: -1 cannot be inferred for an empty index set
+            width = entry.matrix.shape[1] // ns
+            raw = entry.matrix[indices].reshape(indices.shape[0] * ns, width)
+        return finalize_rows_of(extractor, model, raw, ns,
+                                hid_units=hid_units)
+
+    @staticmethod
+    def _expected_width(extractor, model, entry: _UnitEntry,
+                        ns: int) -> int | None:
+        """Disk-tier row width the entry must carry, when knowable."""
+        if entry.matrix is not None:
+            return int(entry.matrix.shape[1])
+        width_of = getattr(extractor, "raw_width", None)
+        if callable(width_of):
+            try:
+                return int(width_of(model)) * ns
+            except (NotImplementedError, AttributeError, TypeError):
+                return None
+        return None

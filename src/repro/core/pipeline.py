@@ -29,6 +29,7 @@ Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
 from concurrent.futures import ThreadPoolExecutor
@@ -40,9 +41,12 @@ from repro.core.cache import (HypothesisCache, UnitBehaviorCache,
                               model_fingerprint)
 from repro.core.groups import UnitGroup
 from repro.data.datasets import Dataset
-from repro.extract.base import Extractor, HypothesisExtractor
+from repro.extract.base import (Extractor, HypothesisExtractor,
+                                apply_transform, finalize_rows_of,
+                                raw_key_of, raw_rows_of)
 from repro.hypotheses.base import HypothesisFunction
 from repro.measures.base import Measure, MeasureResult
+from repro.store import DiskBehaviorStore
 from repro.util.blocks import iter_blocks
 from repro.util.rng import new_rng
 from repro.util.timing import Stopwatch
@@ -72,6 +76,13 @@ class Scheduler:
 
     def shutdown(self) -> None:
         pass
+
+    # schedulers own worker threads: support explicit lifecycle scoping
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
 
 class SerialScheduler(Scheduler):
@@ -159,6 +170,7 @@ class InspectConfig:
     seed: int = 0
     cache: HypothesisCache | None = None     # hypothesis-behavior cache
     unit_cache: UnitBehaviorCache | None = None
+    store: DiskBehaviorStore | None = None   # persistent disk tier
     scheduler: Scheduler | str | None = None  # None -> serial
     partition: bool = True      # per-hypothesis-column early stopping
     partition_min_rows: int = 0  # rows a state must see before freezing
@@ -174,21 +186,41 @@ class InspectConfig:
     def with_session_defaults(
             self, cache: HypothesisCache | None = None,
             unit_cache: UnitBehaviorCache | None = None,
-            scheduler: Scheduler | str | None = None) -> "InspectConfig":
+            scheduler: Scheduler | str | None = None,
+            store: DiskBehaviorStore | None = None) -> "InspectConfig":
         """A copy with unset sharing knobs filled from session defaults.
 
-        The SQL frontend keeps per-session caches and a thread-pool
-        scheduler; a config that did not pin those fields inherits them, so
-        repeated queries in one session share extracted behaviors, while an
-        explicitly-configured run is left untouched.
+        The SQL frontend keeps per-session caches, a persistent behavior
+        store and a thread-pool scheduler; a config that did not pin those
+        fields inherits them, so repeated queries in one session share
+        extracted behaviors (and across sessions, through the store), while
+        an explicitly-configured run is left untouched.
         """
         return dataclasses.replace(
             self,
             cache=self.cache if self.cache is not None else cache,
             unit_cache=(self.unit_cache if self.unit_cache is not None
                         else unit_cache),
+            store=self.store if self.store is not None else store,
             scheduler=(self.scheduler if self.scheduler is not None
                        else scheduler))
+
+    def with_store_tiers(self) -> "InspectConfig":
+        """A copy whose caches sit on top of ``store``, when one is set.
+
+        A configured disk tier implies caching: runs that did not pin their
+        own memory tiers get fresh ones backed by the store, so behaviors
+        persist (and warm reads come back) even across processes that never
+        share a cache object.
+        """
+        if self.store is None or (self.cache is not None
+                                  and self.unit_cache is not None):
+            return self
+        return dataclasses.replace(
+            self,
+            cache=self.cache or HypothesisCache(store=self.store),
+            unit_cache=self.unit_cache or UnitBehaviorCache(
+                store=self.store))
 
     def threshold_for(self, score_id: str) -> float:
         if isinstance(self.error_threshold, (int, float)):
@@ -257,9 +289,11 @@ class BehaviorSource:
         self.materialize = config.mode in ("materialized", "full")
         self._h_all: np.ndarray | None = None
         self._u_all: dict[int, np.ndarray] | None = None
-        # fingerprints are stable for the lifetime of one plan execution;
-        # memoize so warm cache hits don't re-hash model parameters per block
+        # fingerprints and raw keys are stable for the lifetime of one plan
+        # execution; memoize so warm cache hits don't re-hash model
+        # parameters (or large extractor attributes) on every block
         self._model_keys: dict[int, str] = {}
+        self._raw_keys: dict[int, str] = {}
 
     def _model_key(self, model) -> str:
         key = self._model_keys.get(id(model))
@@ -267,6 +301,21 @@ class BehaviorSource:
             key = model_fingerprint(model)
             self._model_keys[id(model)] = key
         return key
+
+    def _raw_key(self, extractor) -> str | None:
+        """Stable raw identity, or None when the extractor has none.
+
+        None keeps the extractor groupable per-instance; attempting to
+        *cache or persist* under it still fails loudly downstream, exactly
+        as calling ``extractor.cache_key()`` always did.
+        """
+        if id(extractor) not in self._raw_keys:
+            try:
+                key = raw_key_of(extractor)
+            except AttributeError:
+                key = None
+            self._raw_keys[id(extractor)] = key
+        return self._raw_keys[id(extractor)]
 
     # -- plumbing ------------------------------------------------------
     @property
@@ -282,39 +331,108 @@ class BehaviorSource:
 
     def _extract_units_for_pair(self, members: list[tuple[int, UnitGroup]],
                                 indices: np.ndarray) -> dict[int, np.ndarray]:
-        """One extraction for all groups sharing a (model, extractor) pair."""
+        """One forward sweep for all groups sharing a (model, raw-key) pair.
+
+        Members may carry *different* extractors — the grouping key is the
+        raw sweep identity, so extractors differing only in transform,
+        layer view or unit subset are fused here: the model runs once and
+        each member's behaviors are derived as read-time views.
+        """
         _, first = members[0]
-        ext = first.extractor or self.default_extractor
+        model = first.model
         out: dict[int, np.ndarray] = {}
         if self.config.unit_cache is not None:
-            # cache at full width: entry keys stay independent of which
-            # groups happen to be active, so warm hits survive different
-            # convergence trajectories; columns are sliced on read
-            block = self.config.unit_cache.extract(
-                first.model, ext, self.dataset, indices, hid_units=None,
-                model_key=self._model_key(first.model))
+            # cache raw behaviors at full width: entry keys stay independent
+            # of the transform, the unit subset and which groups happen to
+            # be active, so warm hits survive different views and
+            # convergence trajectories; views are applied on read.  The
+            # first extractor's miss runs the sweep; the rest hit memory.
+            by_ext: dict[int, tuple[Extractor, list]] = {}
             for gi, group in members:
-                out[gi] = block[:, group.unit_ids]
+                ext = group.extractor or self.default_extractor
+                by_ext.setdefault(id(ext), (ext, []))[1].append((gi, group))
+            for ext, ext_members in by_ext.values():
+                block = self.config.unit_cache.extract(
+                    model, ext, self.dataset, indices, hid_units=None,
+                    model_key=self._model_key(model),
+                    raw_key=self._raw_key(ext))
+                for gi, group in ext_members:
+                    out[gi] = block[:, group.unit_ids]
             return out
-        union = np.unique(np.concatenate([g.unit_ids for _, g in members]))
-        total = _total_units(ext, first.model)
-        narrow = total is not None and union.shape[0] < total
-        block = ext.extract(first.model, self.dataset.symbols[indices],
-                            hid_units=union if narrow else None)
+        extractors = {}
+        for _, group in members:
+            ext = group.extractor or self.default_extractor
+            extractors.setdefault(id(ext), ext)
+        if len(extractors) == 1:
+            # single behavior definition: narrow extraction to the union of
+            # requested units, so behaviors nobody asked for are never
+            # materialized
+            ext = next(iter(extractors.values()))
+            union = np.unique(
+                np.concatenate([g.unit_ids for _, g in members]))
+            total = _total_units(ext, model)
+            narrow = total is not None and union.shape[0] < total
+            block = ext.extract(model, self.dataset.symbols[indices],
+                                hid_units=union if narrow else None)
+            for gi, group in members:
+                cols = (np.searchsorted(union, group.unit_ids) if narrow
+                        else group.unit_ids)
+                out[gi] = block[:, cols]
+            return out
+        # several views over one sweep, no cache to share through: extract
+        # raw once and finalize per member
+        rep = next(iter(extractors.values()))
+        ns = self.dataset.n_symbols
+        if not all(getattr(ext, "supports_raw", False)
+                   for ext in extractors.values()):
+            # duck-typed members: full-width sweep, plain column views
+            raw = raw_rows_of(rep, model, self.dataset.symbols[indices])
+            for gi, group in members:
+                ext = group.extractor or self.default_extractor
+                out[gi] = finalize_rows_of(ext, model, raw, ns,
+                                           hid_units=group.unit_ids)
+            return out
+        # narrow the shared sweep to the union of *raw* columns the
+        # members read (each member's unit ids mapped through its layer
+        # view), so behaviors nobody asked for are never materialized —
+        # the fused mirror of the single-extractor union path above
+        raw_cols: dict[int, np.ndarray] = {}
         for gi, group in members:
-            cols = (np.searchsorted(union, group.unit_ids) if narrow
-                    else group.unit_ids)
-            out[gi] = block[:, cols]
+            ext = group.extractor or self.default_extractor
+            view = ext.view_columns(model)
+            raw_cols[gi] = (np.asarray(view)[group.unit_ids]
+                            if view is not None
+                            else np.asarray(group.unit_ids))
+        union = np.unique(np.concatenate(list(raw_cols.values())))
+        try:
+            total = int(rep.raw_width(model))
+        except (AttributeError, NotImplementedError, TypeError):
+            total = None
+        narrow = total is not None and union.shape[0] < total
+        raw = raw_rows_of(rep, model, self.dataset.symbols[indices],
+                          columns=union if narrow else None)
+        states = raw.reshape(-1, ns, raw.shape[-1])
+        for gi, group in members:
+            ext = group.extractor or self.default_extractor
+            cols = (np.searchsorted(union, raw_cols[gi]) if narrow
+                    else raw_cols[gi])
+            block = apply_transform(
+                states[:, :, cols],
+                getattr(ext, "transform", "activation"))
+            out[gi] = block.reshape(-1, block.shape[-1])
         return out
 
     def _extract_unit_blocks(self, groups: list[tuple[int, UnitGroup]],
                              indices: np.ndarray,
                              scheduler: Scheduler) -> dict[int, np.ndarray]:
-        by_pair: dict[tuple[int, int], list[tuple[int, UnitGroup]]] = {}
+        by_pair: dict[tuple[int, str], list[tuple[int, UnitGroup]]] = {}
         for gi, group in groups:
             ext = group.extractor or self.default_extractor
-            by_pair.setdefault((id(group.model), id(ext)), []).append(
-                (gi, group))
+            # identity-less extractors group per instance: they can still
+            # run, they just never fuse (or cache) with anything else
+            raw_key = self._raw_key(ext) or f"@{id(ext):x}"
+            by_pair.setdefault((id(group.model), raw_key),
+                               []).append((gi, group))
         results = scheduler.map(
             lambda members: self._extract_units_for_pair(members, indices),
             list(by_pair.values()))
@@ -369,7 +487,8 @@ class BehaviorSource:
         parts = [f"materialize={self.materialize}",
                  f"block_size={self.config.block_size}",
                  f"hyp_cache={'on' if self.config.cache else 'off'}",
-                 f"unit_cache={'on' if self.config.unit_cache else 'off'}"]
+                 f"unit_cache={'on' if self.config.unit_cache else 'off'}",
+                 f"store={'on' if self.config.store else 'off'}"]
         return f"BehaviorSource({', '.join(parts)})"
 
 
@@ -554,6 +673,7 @@ class InspectionPlan:
             raise ValueError("need at least one measure")
         if not hypotheses:
             raise ValueError("need at least one hypothesis function")
+        config = config.with_store_tiers()
         rng = new_rng(config.seed)
         n_records = dataset.n_records
         if config.max_records is not None:
@@ -586,8 +706,15 @@ class InspectionPlan:
 
     def execute(self) -> list[GroupMeasureOutcome]:
         scheduler, owned = _resolve_scheduler(self.config.scheduler)
+        # one manifest commit per run, not one per (entry, block): shard
+        # files still land (fsynced) as they are extracted, they just
+        # become visible together when the run's scope closes
+        store_scope = (self.config.store.deferred_commits()
+                       if self.config.store is not None
+                       else contextlib.nullcontext())
         try:
-            return self._execute(scheduler)
+            with store_scope:
+                return self._execute(scheduler)
         finally:
             if owned:
                 scheduler.shutdown()

@@ -43,6 +43,7 @@ engine rather than interpreted row-at-a-time:
 
 from __future__ import annotations
 
+import dataclasses
 import weakref
 from dataclasses import dataclass, field
 from typing import Any
@@ -51,8 +52,8 @@ import numpy as np
 
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup
-from repro.core.pipeline import (InspectConfig, Scheduler, default_scheduler,
-                                 run_inspection)
+from repro.core.pipeline import (InspectConfig, Scheduler, _resolve_scheduler,
+                                 default_scheduler, run_inspection)
 from repro.data.datasets import Dataset
 from repro.db.engine import Database, Table
 from repro.db.executor import (SelectItem, SelectQuery, _broadcast,
@@ -63,6 +64,7 @@ from repro.db.sqlparser import InspectSpec, parse_sql
 from repro.extract.base import Extractor
 from repro.hypotheses.base import HypothesisFunction
 from repro.measures.registry import get_measure
+from repro.store import DiskBehaviorStore
 from repro.util.frame import Frame
 
 #: schema of the temporary score relation produced by the INSPECT clause
@@ -78,7 +80,12 @@ class InspectQuery:
     The context doubles as the *session*: unless the supplied
     :class:`InspectConfig` pins them, queries share a hypothesis-behavior
     cache, a unit-behavior cache and a thread-pool scheduler across calls,
-    so a repeated or refined query only pays for what changed.
+    so a repeated or refined query only pays for what changed.  Point
+    ``store_path`` (or ``store``) at a directory and the session caches
+    become memory tiers over a persistent
+    :class:`~repro.store.DiskBehaviorStore`: a new process opening a
+    context on the same path serves previously-inspected queries without
+    re-running any model.
     """
 
     db: Database
@@ -90,14 +97,20 @@ class InspectQuery:
     hyp_cache: HypothesisCache | None = None
     unit_cache: UnitBehaviorCache | None = None
     scheduler: Scheduler | str | None = None
+    store: DiskBehaviorStore | None = None
+    store_path: str | None = None
     session_defaults: bool = True   # False: run with config exactly as given
 
     def __post_init__(self) -> None:
+        if self.store is None and self.store_path is not None:
+            self.store = DiskBehaviorStore(self.store_path)
+        if self.store is None:
+            self.store = self.config.store
         if self.session_defaults:
             if self.hyp_cache is None and self.config.cache is None:
-                self.hyp_cache = HypothesisCache()
+                self.hyp_cache = HypothesisCache(store=self.store)
             if self.unit_cache is None and self.config.unit_cache is None:
-                self.unit_cache = UnitBehaviorCache()
+                self.unit_cache = UnitBehaviorCache(store=self.store)
             if self.scheduler is None and self.config.scheduler is None:
                 self.scheduler = default_scheduler()
                 # the session owns this scheduler: release its worker pool
@@ -110,12 +123,18 @@ class InspectQuery:
             return self.config
         return self.config.with_session_defaults(
             cache=self.hyp_cache, unit_cache=self.unit_cache,
-            scheduler=self.scheduler)
+            scheduler=self.scheduler, store=self.store)
 
     def close(self) -> None:
         """Release the session scheduler's thread pool."""
         if isinstance(self.scheduler, Scheduler):
             self.scheduler.shutdown()
+
+    def __enter__(self) -> "InspectQuery":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def register_model(self, mid: str, model, **attrs) -> None:
@@ -508,16 +527,27 @@ def run_inspect_spec(context: InspectQuery, spec: InspectSpec) -> Frame:
                        f"the InspectQuery context") from None
     hyp_col_of = {name: j for j, name in enumerate(hyp_names)}
 
+    # resolve the scheduler once for the whole statement (a GROUP BY D.did
+    # sweep runs one plan per dataset) and release its worker pool before
+    # returning when this statement created it — repeated queries must not
+    # leak pools, nor rebuild one per dataset
     config = context.effective_config()
+    scheduler, owned = _resolve_scheduler(config.scheduler)
     outcomes_by_did: dict[str, list] = {}
-    for did, groups_d in runs.items():
-        try:
-            dataset = context.datasets[did]
-        except KeyError:
-            raise KeyError(f"dataset {did!r} is not registered with the "
-                           f"InspectQuery context") from None
-        outcomes_by_did[did] = run_inspection(
-            groups_d, dataset, measures, hyp_objs, context.extractor, config)
+    try:
+        run_config = dataclasses.replace(config, scheduler=scheduler)
+        for did, groups_d in runs.items():
+            try:
+                dataset = context.datasets[did]
+            except KeyError:
+                raise KeyError(f"dataset {did!r} is not registered with the "
+                               f"InspectQuery context") from None
+            outcomes_by_did[did] = run_inspection(
+                groups_d, dataset, measures, hyp_objs, context.extractor,
+                run_config)
+    finally:
+        if owned:
+            scheduler.shutdown()
 
     # only catalog columns the SELECT/HAVING/ORDER BY actually reference
     # are replicated into the S relation

@@ -1,14 +1,14 @@
 """Activation extraction for recurrent models (the Keras-extractor analogue).
 
 Evaluates the model over record batches and returns per-symbol hidden-state
-behaviors.  Batch size defaults to the paper's 512.
+behaviors.  Batch size defaults to the paper's 512.  The behavior transform
+is a read-time view over the raw sweep (see :mod:`repro.extract.base`), so
+extractors differing only in ``transform`` share one forward pass.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.extract.base import Extractor, apply_transform
+from repro.extract.base import Extractor
 
 
 class RnnActivationExtractor(Extractor):
@@ -21,19 +21,5 @@ class RnnActivationExtractor(Extractor):
     def n_units(self, model) -> int:
         return model.n_units
 
-    def extract(self, model, records: np.ndarray,
-                hid_units: np.ndarray | list[int] | None = None) -> np.ndarray:
-        if hid_units is not None:
-            hid_units = np.asarray(hid_units, dtype=int)
-        chunks: list[np.ndarray] = []
-        for start in range(0, records.shape[0], self.batch_size):
-            batch = records[start:start + self.batch_size]
-            states = model.hidden_states(batch)          # (b, ns, units)
-            states = apply_transform(states, self.transform)
-            if hid_units is not None:
-                states = states[:, :, hid_units]
-            chunks.append(states.reshape(-1, states.shape[-1]))
-        if not chunks:
-            width = model.n_units if hid_units is None else len(hid_units)
-            return np.empty((0, width))
-        return np.concatenate(chunks, axis=0)
+    def raw_states(self, model, records):
+        return model.hidden_states(records)          # (b, ns, units)

@@ -3,14 +3,16 @@ analogue of Section 6.3: a custom extractor for the OpenNMT model).
 
 ``layer`` selects which encoder LSTM layer to read (the paper inspects
 layer 0 and layer 1 separately, and both concatenated for the
-"all 1000 units" analysis).
+"all 1000 units" analysis).  The raw sweep always captures every layer —
+``layer`` is a read-time column view, so per-layer extractors over one
+model share a single ``encoder_states`` pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.extract.base import Extractor, apply_transform
+from repro.extract.base import Extractor
 
 
 class EncoderActivationExtractor(Extractor):
@@ -19,6 +21,8 @@ class EncoderActivationExtractor(Extractor):
     ``layer=None`` concatenates every encoder layer's units (layer-major
     column order); an integer selects a single layer.
     """
+
+    view_attrs = frozenset({"transform", "layer"})
 
     def __init__(self, layer: int | None = None, batch_size: int = 256,
                  transform: str = "activation"):
@@ -31,23 +35,23 @@ class EncoderActivationExtractor(Extractor):
             return model.n_units * model.n_layers
         return model.n_units
 
-    def extract(self, model, records: np.ndarray,
-                hid_units: np.ndarray | list[int] | None = None) -> np.ndarray:
-        if hid_units is not None:
-            hid_units = np.asarray(hid_units, dtype=int)
-        chunks: list[np.ndarray] = []
-        for start in range(0, records.shape[0], self.batch_size):
-            batch = records[start:start + self.batch_size]
-            layer_states = model.encoder_states(batch)   # list of (b, t, u)
-            if self.layer is None:
-                states = np.concatenate(layer_states, axis=2)
-            else:
-                states = layer_states[self.layer]
-            states = apply_transform(states, self.transform)
-            if hid_units is not None:
-                states = states[:, :, hid_units]
-            chunks.append(states.reshape(-1, states.shape[-1]))
-        if not chunks:
-            width = self.n_units(model) if hid_units is None else len(hid_units)
-            return np.empty((0, width))
-        return np.concatenate(chunks, axis=0)
+    def raw_width(self, model) -> int:
+        return model.n_units * model.n_layers
+
+    def raw_states(self, model, records):
+        layer_states = model.encoder_states(records)   # list of (b, t, u)
+        return np.concatenate(layer_states, axis=2)
+
+    def view_states(self, model, records):
+        # direct extraction of a pinned layer skips the all-layer concat
+        # copy; the full-width concat only happens on the raw (store) path
+        layer_states = model.encoder_states(records)
+        if self.layer is None:
+            return np.concatenate(layer_states, axis=2)
+        return layer_states[self.layer]
+
+    def view_columns(self, model) -> np.ndarray | None:
+        if self.layer is None:
+            return None
+        width = model.n_units
+        return np.arange(self.layer * width, (self.layer + 1) * width)

@@ -13,6 +13,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.util.identity import attr_identity
 
 
 def validate_hypothesis_output(name: str, behavior: np.ndarray,
@@ -45,6 +46,26 @@ class HypothesisFunction:
     def behavior(self, dataset: Dataset, index: int) -> np.ndarray:
         """Behavior vector (length ``ns``) for record ``index``."""
         raise NotImplementedError
+
+    def cache_key(self) -> str:
+        """Stable *content* identity of the behaviors this hypothesis emits.
+
+        Used by :class:`repro.core.cache.HypothesisCache` and its disk
+        tier: the name alone is not safe to persist under, because an
+        edited hypothesis with the same name would silently serve stale
+        stored behaviors in a later session.  The default folds in every
+        constructor attribute — arrays by content hash, wrapped callables
+        by bytecode + closure (see :mod:`repro.util.identity`) — and is
+        memoized, since hypotheses are treated as immutable once built.
+        """
+        key = getattr(self, "_cache_key_memo", None)
+        if key is None:
+            parts = [f"{k}={attr_identity(v)}"
+                     for k, v in sorted(vars(self).items())
+                     if not k.startswith("_")]
+            key = f"{type(self).__name__}({', '.join(parts)})"
+            self._cache_key_memo = key
+        return key
 
     def extract(self, dataset: Dataset,
                 indices: np.ndarray | list[int] | None = None) -> np.ndarray:

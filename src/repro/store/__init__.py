@@ -1,0 +1,12 @@
+"""Persistent behavior storage (the disk tier under the memory caches).
+
+The in-memory LRUs in :mod:`repro.core.cache` die with the process and cap
+out at RAM.  :class:`DiskBehaviorStore` persists extracted behaviors as
+memory-mapped, append-only ``.npy`` shards under a JSON manifest, so a
+second process — or a restarted session — serves ``inspect()`` and INSPECT
+SQL without re-running the model.
+"""
+
+from repro.store.disk import DiskBehaviorStore, StoreEntryReader
+
+__all__ = ["DiskBehaviorStore", "StoreEntryReader"]

@@ -1,0 +1,538 @@
+"""On-disk, memory-mapped behavior store.
+
+Layout under the store root::
+
+    manifest.json            -- committed entry metadata (atomic rename)
+    .lock                    -- advisory inter-process write lock
+    shards/<hash>-<seq>.npy      -- row block: (k, row_width) array
+    shards/<hash>-<seq>.idx.npy  -- record ids the block's rows belong to
+
+An *entry* holds behaviors for one logical key (e.g. one
+(model fingerprint, raw extractor identity, dataset hash) triple) as a
+sequence of append-only shards.  :meth:`DiskBehaviorStore.append` queues
+rows; :meth:`DiskBehaviorStore.flush` coalesces everything queued into one
+rows shard + record-index shard per entry, fsyncs them, and then commits
+by atomically rewriting the manifest — once per flush, not per append.
+Standalone appends flush immediately; the plan engine wraps a whole run in
+:meth:`DiskBehaviorStore.deferred_commits` so a cold streaming inspection
+pays one shard per entry and one manifest rewrite in total.  The manifest
+is the single commit point — a crash before it renames leaves at most
+orphan files that garbage collection removes, never a half-visible entry.
+
+Reads go through :class:`StoreEntryReader`, which memory-maps every shard
+(``np.load(mmap_mode="r")``) and gathers requested record rows directly out
+of the maps, so serving a block slice touches only the pages that block
+needs.  A shard whose on-disk size or header shape disagrees with the
+manifest (truncated write, torn copy) invalidates the whole entry: it is
+dropped and re-extracted, never served.
+
+Eviction is byte-budgeted and least-recently-used at entry granularity,
+mirroring the in-memory tiers; ``max_bytes=None`` disables automatic GC
+(``gc(max_bytes)`` can still be called explicitly).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+
+import numpy as np
+
+try:  # POSIX: real inter-process advisory locking
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+MANIFEST = "manifest.json"
+SHARD_DIR = "shards"
+_VERSION = 1
+
+
+class CorruptEntryError(Exception):
+    """A shard disagrees with its manifest record (truncation, torn write)."""
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _save_array(path: Path, array: np.ndarray) -> int:
+    """np.save through a temp file + rename; returns the final byte size."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as f:
+        np.save(f, array)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return os.path.getsize(path)
+
+
+#: bits of a packed location reserved for the row-within-shard part
+_ROW_BITS = 40
+_ROW_MASK = (1 << _ROW_BITS) - 1
+
+
+class StoreEntryReader:
+    """Memory-mapped view over one entry's shards.
+
+    Builds a record -> (shard, row) location table once, then serves
+    ``rows(indices)`` by fancy-indexing each shard's mmap — only the pages
+    holding the requested records are faulted in.
+
+    Concurrency: readers run lock-free while :meth:`extend` may add shards
+    from another thread.  The location table is therefore a *single*
+    packed array — ``shard << _ROW_BITS | row`` — published by reference
+    swap after the shard list has grown, so a concurrent gather can never
+    pair a new shard index with a stale row offset (no torn reads), and
+    whichever snapshot it captures only references shards already present
+    in its shard list.
+    """
+
+    def __init__(self, root: Path, key: str, meta: dict):
+        self.key = key
+        self.n_records = int(meta["n_records"])
+        self.row_width = int(meta["row_width"])
+        self.dtype = np.dtype(meta["dtype"])
+        self._maps: list[np.ndarray] = []
+        self._loc = np.full(self.n_records, -1, dtype=np.int64)
+        self.extend(root, meta, from_shard=0)
+
+    def extend(self, root: Path, meta: dict, from_shard: int) -> None:
+        """Map shards ``meta['shards'][from_shard:]`` into this reader.
+
+        Appends are the common case across a session, so a cached reader
+        picks up just the new shards instead of re-validating and
+        re-loading every index it already holds.
+        """
+        maps = list(self._maps)
+        loc = self._loc.copy()
+        for si, shard in enumerate(meta["shards"][from_shard:], from_shard):
+            data_path = root / SHARD_DIR / shard["data"]
+            index_path = root / SHARD_DIR / shard["index"]
+            self._check_size(data_path, shard["data_bytes"])
+            self._check_size(index_path, shard["index_bytes"])
+            try:
+                block = np.load(data_path, mmap_mode="r")
+                idx = np.load(index_path)
+            except Exception as exc:  # unreadable header / short mmap
+                raise CorruptEntryError(f"{self.key}: {exc}") from exc
+            if (block.ndim != 2 or block.shape[0] != idx.shape[0]
+                    or block.shape[1] != self.row_width
+                    or block.dtype != self.dtype):
+                raise CorruptEntryError(
+                    f"{self.key}: shard {shard['data']} shape/dtype "
+                    f"{block.shape}/{block.dtype} disagrees with manifest")
+            if idx.shape[0] and (idx.min() < 0
+                                 or idx.max() >= self.n_records):
+                raise CorruptEntryError(
+                    f"{self.key}: shard {shard['index']} records out of "
+                    f"range for n_records={self.n_records}")
+            maps.append(block)
+            loc[idx] = (np.int64(si) << _ROW_BITS) | np.arange(
+                idx.shape[0], dtype=np.int64)
+        # publish shards before locations: a reader capturing the new
+        # table is guaranteed to find every shard it references
+        self._maps = maps
+        self._loc = loc
+        self.n_shards = len(meta["shards"])
+
+    @staticmethod
+    def _check_size(path: Path, expected: int) -> None:
+        try:
+            actual = os.path.getsize(path)
+        except OSError as exc:
+            raise CorruptEntryError(f"missing shard file {path}") from exc
+        if actual != expected:
+            raise CorruptEntryError(
+                f"shard {path.name}: {actual} bytes on disk, manifest "
+                f"recorded {expected} (truncated or partial write)")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_filled(self) -> int:
+        return int((self._loc >= 0).sum())
+
+    def filled_mask(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=int)
+        return self._loc[indices] >= 0
+
+    def rows(self, indices: np.ndarray) -> np.ndarray:
+        """Gather per-record rows (every index must be filled)."""
+        indices = np.asarray(indices, dtype=int)
+        # snapshot order mirrors extend()'s publish order (see class doc):
+        # capture the location table first, the shard list second
+        loc_table = self._loc
+        maps = self._maps
+        loc = loc_table[indices]
+        if loc.shape[0] and loc.min() < 0:
+            raise KeyError(f"{self.key}: some requested records are not in "
+                           f"the store")
+        shard_of = loc >> _ROW_BITS
+        row_of = loc & _ROW_MASK
+        out = np.empty((indices.shape[0], self.row_width), dtype=self.dtype)
+        for si in np.unique(shard_of):
+            sel = shard_of == si
+            out[sel] = maps[si][row_of[sel]]
+        return out
+
+
+class DiskBehaviorStore:
+    """Append-only behavior store shared by caches across processes.
+
+    Thread-safe within a process (one lock around manifest state) and
+    crash/concurrency-safe across processes: writers serialize on an
+    advisory file lock and commit via atomic manifest replacement, readers
+    only ever observe committed manifests.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 max_bytes: int | None = None):
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        (self.root / SHARD_DIR).mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._manifest: dict | None = None
+        self._manifest_sig: tuple | None = None
+        # key -> (entry creation token, reader); the token pins the entry
+        # *incarnation*, so a cross-process drop-and-recreate can never be
+        # confused with an append, even at the same shard count
+        self._readers: dict[str, tuple[int | None, StoreEntryReader]] = {}
+        # read-time recency bumps not yet persisted (manifest commits only
+        # happen on writes); merged back in whenever the manifest reloads
+        self._pending_touches: dict[str, int] = {}
+        # rows appended but not yet flushed: the plan engine defers for
+        # the duration of a run, so a cold streaming inspection writes ONE
+        # coalesced shard per entry and ONE manifest rewrite instead of
+        # one of each per (entry, block).  Unflushed rows are invisible to
+        # every reader (a crash simply loses them — the records re-extract
+        # next session), so the manifest stays the single commit point;
+        # ``max_pending_bytes`` bounds the buffer even inside a scope.
+        self._pending_rows: list[tuple] = []
+        self._pending_bytes = 0
+        self._defer_depth = 0
+        self.max_pending_bytes = 128 * 1024 * 1024
+        # observability: served/attempted record reads and dropped entries
+        self.appends = 0
+        self.evictions = 0
+        self.invalid_dropped = 0
+
+    # -- manifest plumbing ---------------------------------------------
+    @property
+    def _manifest_path(self) -> Path:
+        return self.root / MANIFEST
+
+    def _stat_sig(self) -> tuple | None:
+        try:
+            st = os.stat(self._manifest_path)
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+    def _load_manifest(self) -> dict:
+        try:
+            with open(self._manifest_path, "rb") as f:
+                manifest = json.load(f)
+            if manifest.get("version") != _VERSION:
+                raise ValueError(f"unsupported manifest version "
+                                 f"{manifest.get('version')}")
+            return manifest
+        except (OSError, ValueError):
+            return {"version": _VERSION, "clock": 0, "entries": {}}
+
+    def _refresh(self) -> dict:
+        """Re-read the manifest if another process committed (lock held)."""
+        sig = self._stat_sig()
+        if self._manifest is None or sig != self._manifest_sig:
+            self._manifest = self._load_manifest()
+            self._manifest_sig = sig
+            entries = self._manifest["entries"]
+            # keep mmap'd readers for the same entry incarnation (they can
+            # be extended with any appended shards); drop the rest
+            for key in list(self._readers):
+                meta = entries.get(key)
+                created, cached = self._readers[key]
+                if (meta is None or meta.get("created") != created
+                        or cached.n_shards > len(meta["shards"])):
+                    del self._readers[key]
+            # replay recency observed since the last commit
+            for key, last_used in self._pending_touches.items():
+                meta = entries.get(key)
+                if meta is not None:
+                    meta["last_used"] = max(meta["last_used"], last_used)
+                self._manifest["clock"] = max(self._manifest["clock"],
+                                              last_used)
+        return self._manifest
+
+    def _commit(self, manifest: dict) -> None:
+        """Atomically publish the manifest (lock held)."""
+        payload = json.dumps(manifest, indent=0).encode()
+        _atomic_write_bytes(self._manifest_path, payload)
+        self._manifest = manifest
+        self._manifest_sig = self._stat_sig()
+        self._pending_touches.clear()
+
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Inter-process advisory lock serializing append/gc commits."""
+        with open(self.root / ".lock", "a+b") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    # -- reads ----------------------------------------------------------
+    def reader(self, key: str) -> StoreEntryReader | None:
+        """A mmap'd reader for ``key``, or None when absent/invalid.
+
+        An entry whose shards fail validation (truncated or missing file)
+        is dropped from the store so the caller re-extracts — partial data
+        is never served.
+        """
+        with self._lock:
+            manifest = self._refresh()
+            meta = manifest["entries"].get(key)
+            if meta is None:
+                return None
+            created = meta.get("created")
+            cached = self._readers.get(key)
+            entry_reader = (cached[1] if cached is not None
+                            and cached[0] == created else None)
+            try:
+                if entry_reader is None:
+                    entry_reader = StoreEntryReader(self.root, key, meta)
+                elif entry_reader.n_shards < len(meta["shards"]):
+                    entry_reader.extend(self.root, meta,
+                                        entry_reader.n_shards)
+            except CorruptEntryError:
+                self.invalid_dropped += 1
+                self._readers.pop(key, None)
+            else:
+                self._readers[key] = (created, entry_reader)
+                self._touch(manifest, key, meta)
+                return entry_reader
+        # invalid: remove the entry (and its files) under the write lock
+        self.drop(key)
+        return None
+
+    def _touch(self, manifest: dict, key: str, meta: dict) -> None:
+        """Bump recency in memory; persisted on the next commit."""
+        manifest["clock"] += 1
+        meta["last_used"] = manifest["clock"]
+        self._pending_touches[key] = meta["last_used"]
+
+    # -- writes ---------------------------------------------------------
+    def append(self, key: str, indices: np.ndarray, rows: np.ndarray,
+               n_records: int) -> None:
+        """Persist ``rows`` (one row per entry record in ``indices``).
+
+        Shard files are written (and fsynced) immediately, but only become
+        visible when the manifest commits — immediately by default, or at
+        the end of a :meth:`deferred_commits` scope.  Width and dtype are
+        pinned by the entry's first shard; an append that disagrees
+        replaces the entry wholesale (the identity key should have changed
+        — a mismatch means the old bytes are stale).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        rows = np.ascontiguousarray(rows)
+        if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
+            raise ValueError(f"rows must be (len(indices), row_width), got "
+                             f"{rows.shape} for {indices.shape[0]} indices")
+        if indices.shape[0] == 0:
+            return
+        with self._lock:
+            self._pending_rows.append(
+                (key, int(n_records), int(rows.shape[1]), rows.dtype.str,
+                 indices, rows))
+            self._pending_bytes += rows.nbytes + indices.nbytes
+            self.appends += 1
+            defer = (self._defer_depth > 0
+                     and self._pending_bytes < self.max_pending_bytes)
+        if not defer:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write pending rows — one coalesced shard per entry — and
+        publish them in one manifest rewrite."""
+        with self._lock:
+            if not self._pending_rows:
+                return
+            pending = self._pending_rows
+            self._pending_rows = []
+            self._pending_bytes = 0
+            # coalesce per entry: within one scope the cache only appends
+            # records it found missing, so parts are disjoint
+            grouped: dict[tuple, list[tuple]] = {}
+            for key, n_records, width, dtype_str, indices, rows in pending:
+                grouped.setdefault((key, n_records, width, dtype_str),
+                                   []).append((indices, rows))
+            shard_dir = self.root / SHARD_DIR
+            with self._write_lock():
+                # always merge against the latest committed manifest:
+                # another process may have appended since we last read it
+                self._manifest_sig = None
+                manifest = self._refresh()
+                touched: set[str] = set()
+                for (key, n_records, width, dtype_str), parts \
+                        in grouped.items():
+                    indices = np.concatenate([p[0] for p in parts])
+                    rows = (parts[0][1] if len(parts) == 1
+                            else np.concatenate([p[1] for p in parts]))
+                    manifest["clock"] += 1
+                    seq = manifest["clock"]
+                    # the (flock-serialized, monotonic) clock makes stems
+                    # unique for the directory's whole history — a counter
+                    # or pid alone recycles and could clobber a committed
+                    # shard via os.replace
+                    stem = (f"{hashlib.sha1(key.encode()).hexdigest()[:16]}"
+                            f"-{seq}-{os.getpid()}")
+                    data_name = f"{stem}.npy"
+                    index_name = f"{stem}.idx.npy"
+                    data_bytes = _save_array(shard_dir / data_name, rows)
+                    index_bytes = _save_array(shard_dir / index_name,
+                                              indices)
+                    meta = manifest["entries"].get(key)
+                    if meta is not None and (
+                            meta["row_width"] != width
+                            or np.dtype(meta["dtype"]) != np.dtype(dtype_str)
+                            or meta["n_records"] != n_records):
+                        self._delete_entry_files(meta)
+                        meta = None
+                    if meta is None:
+                        meta = {"n_records": n_records, "row_width": width,
+                                "dtype": dtype_str,
+                                "created": seq,  # incarnation token
+                                "nbytes": 0, "last_used": seq, "shards": []}
+                        manifest["entries"][key] = meta
+                    meta["shards"].append(
+                        {"data": data_name, "index": index_name,
+                         "rows": int(rows.shape[0]),
+                         "data_bytes": data_bytes,
+                         "index_bytes": index_bytes})
+                    meta["nbytes"] += data_bytes + index_bytes
+                    meta["last_used"] = seq
+                    touched.add(key)
+                if self.max_bytes is not None:
+                    self._evict(manifest, self.max_bytes, protect=touched)
+                self._commit(manifest)
+                # cached readers survive appends: the same incarnation
+                # extends itself with the new shards on the next read
+
+    @contextlib.contextmanager
+    def deferred_commits(self):
+        """Scope within which appends share one manifest commit.
+
+        The plan engine wraps a whole inspection run in this, turning
+        per-(entry, block) commits into a single rewrite.  Nesting is
+        allowed; the outermost exit flushes.  A crash inside the scope
+        loses only uncommitted shards (orphans, swept by gc) — those
+        records simply re-extract next session.
+        """
+        with self._lock:
+            self._defer_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._defer_depth -= 1
+                outermost = self._defer_depth == 0
+            if outermost:
+                self.flush()
+
+    def drop(self, key: str) -> None:
+        """Remove one entry and its shard files."""
+        self.flush()
+        with self._lock, self._write_lock():
+            self._manifest_sig = None
+            manifest = self._refresh()
+            meta = manifest["entries"].pop(key, None)
+            self._readers.pop(key, None)
+            if meta is None:
+                return
+            self._delete_entry_files(meta)
+            self._commit(manifest)
+
+    def _delete_entry_files(self, meta: dict) -> None:
+        for shard in meta["shards"]:
+            for name in (shard["data"], shard["index"]):
+                with contextlib.suppress(OSError):
+                    os.unlink(self.root / SHARD_DIR / name)
+
+    # -- garbage collection ---------------------------------------------
+    def _evict(self, manifest: dict, budget: int,
+               protect: frozenset | set = frozenset()) -> list[str]:
+        """Drop least-recently-used entries until the byte budget holds.
+
+        ``protect`` (the keys a flush just appended to) is never evicted —
+        the newest data must survive its own commit.
+        """
+        entries = manifest["entries"]
+        evicted: list[str] = []
+        while True:
+            total = sum(meta["nbytes"] for meta in entries.values())
+            if total <= budget:
+                break
+            candidates = [k for k in entries if k not in protect]
+            if not candidates:
+                break
+            victim = min(candidates,
+                         key=lambda k: entries[k]["last_used"])
+            self._delete_entry_files(entries.pop(victim))
+            self._readers.pop(victim, None)
+            evicted.append(victim)
+            self.evictions += 1
+        return evicted
+
+    def gc(self, max_bytes: int | None = None) -> dict:
+        """Apply a byte budget and clean orphan shard files.
+
+        Returns ``{"evicted": [keys...], "orphans_removed": n}``.  Orphans
+        (shards written but never committed, e.g. after a crash) can only
+        exist outside the write lock's critical section, so removing them
+        here is safe.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        self.flush()  # pending shards would otherwise look like orphans
+        with self._lock, self._write_lock():
+            self._manifest_sig = None
+            manifest = self._refresh()
+            evicted = ([] if budget is None
+                       else self._evict(manifest, budget))
+            live = {name for meta in manifest["entries"].values()
+                    for shard in meta["shards"]
+                    for name in (shard["data"], shard["index"])}
+            orphans = 0
+            for path in (self.root / SHARD_DIR).iterdir():
+                if path.name not in live:
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                        orphans += 1
+            self._commit(manifest)
+        return {"evicted": evicted, "orphans_removed": orphans}
+
+    # -- introspection ---------------------------------------------------
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._refresh()["entries"])
+
+    def stats(self) -> dict:
+        with self._lock:
+            manifest = self._refresh()
+            entries = manifest["entries"]
+            return {"entries": len(entries),
+                    "bytes": sum(m["nbytes"] for m in entries.values()),
+                    "shards": sum(len(m["shards"]) for m in entries.values()),
+                    "appends": self.appends,
+                    "evictions": self.evictions,
+                    "invalid_dropped": self.invalid_dropped}

@@ -1,0 +1,155 @@
+"""Stable content identities for cache keys.
+
+Repr-based keys fail in both directions: numpy truncates large array reprs
+(two different selectors alias), and object/function reprs embed
+process-local addresses (the same hypothesis re-built in a new process
+never matches, defeating the persistent store).  :func:`attr_identity`
+renders a value as a string that is stable across processes and changes
+whenever the *content* changes:
+
+* arrays hash by bytes, containers recurse;
+* plain functions hash their bytecode, constants, defaults and closed-over
+  values — editing a hypothesis function's body invalidates behaviors
+  persisted under its name;
+* other objects use ``obj.cache_key()`` when they define one, and
+  otherwise a depth-capped walk over their public attributes (never their
+  repr).  Beyond the depth cap an object contributes only its type name —
+  a deliberate trade: deep helper graphs stay cheap and address-free,
+  while the enclosing dataset hash pins the data they were built from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+#: how many levels of plain-object attributes contribute content
+_OBJECT_DEPTH = 3
+
+_PRIMITIVES = (str, bytes, int, float, complex, bool, type(None))
+
+
+def attr_identity(value, depth: int = _OBJECT_DEPTH) -> str:
+    """Stable textual identity for a cache-key attribute."""
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(
+            np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
+        return f"ndarray{value.shape}:{value.dtype}:{digest}"
+    if isinstance(value, (_PRIMITIVES, np.generic)):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(attr_identity(v, depth) for v in value)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{attr_identity(k, depth)}: {attr_identity(v, depth)}"
+            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0])))
+        return f"dict({inner})"
+    if isinstance(value, (set, frozenset)):
+        inner = ", ".join(sorted(attr_identity(v, depth) for v in value))
+        return f"{type(value).__name__}({inner})"
+    if callable(value):
+        return _callable_identity(value)
+    return _object_identity(value, depth)
+
+
+def _object_identity(value, depth: int) -> str:
+    """Address-free identity for an arbitrary object."""
+    key_of = getattr(value, "cache_key", None)
+    if callable(key_of):
+        return key_of()
+    name = type(value).__name__
+    attrs = getattr(value, "__dict__", None)
+    if attrs is None:
+        # C-implemented values (np.dtype, Path, datetime, ...) carry
+        # meaningful address-free reprs; only the default object repr
+        # (which embeds the address) is unsafe
+        if type(value).__repr__ is not object.__repr__:
+            return repr(value)
+        return f"obj:{name}"
+    if depth <= 0:
+        return f"obj:{name}"
+    inner = ", ".join(
+        f"{k}={attr_identity(v, depth - 1)}"
+        for k, v in sorted(attrs.items()) if not k.startswith("_"))
+    return f"obj:{name}({inner})"
+
+
+#: how many levels of referenced global helper functions get folded in
+_HELPER_DEPTH = 3
+
+
+def _callable_identity(value, _seen: frozenset = frozenset(),
+                       _depth: int = _HELPER_DEPTH) -> str:
+    """Content identity of a callable: bytecode, constants, closure,
+    defaults, and referenced global helpers.
+
+    Two processes constructing the same function get the same identity; an
+    edited body — including the body of a module-level helper the function
+    calls, up to ``_HELPER_DEPTH`` levels deep — or a different
+    closed-over value gets a new one.  Callables without introspectable
+    code fall back to their qualified name.
+    """
+    code = getattr(value, "__code__", None)
+    if code is None:  # bound methods / partials / callable objects
+        func = getattr(value, "__func__", None)
+        code = getattr(func, "__code__", None)
+    name = getattr(value, "__qualname__", type(value).__name__)
+    if code is None:
+        return f"callable:{name}"
+    digest = hashlib.sha1()
+    _hash_code(digest, code)
+    for cell in getattr(value, "__closure__", None) or ():
+        try:
+            digest.update(attr_identity(cell.cell_contents).encode())
+        except ValueError:  # empty cell
+            digest.update(b"<empty>")
+    for default in getattr(value, "__defaults__", None) or ():
+        digest.update(attr_identity(default).encode())
+    for key, default in sorted(
+            (getattr(value, "__kwdefaults__", None) or {}).items()):
+        digest.update(f"{key}={attr_identity(default)}".encode())
+    # fold in global helper *functions* the bytecode references by name:
+    # editing a helper's body must invalidate callers' identities too
+    if _depth > 0 and id(code) not in _seen:
+        seen = _seen | {id(code)}
+        helpers = getattr(value, "__globals__", None) or {}
+        for referenced in code.co_names:
+            helper = helpers.get(referenced)
+            if helper is not None and hasattr(helper, "__code__"):
+                digest.update(f"{referenced}->".encode())
+                digest.update(_callable_identity(
+                    helper, _seen=seen, _depth=_depth - 1).encode())
+    return f"fn:{name}:{digest.hexdigest()[:16]}"
+
+
+def _hash_code(digest, code) -> None:
+    """Fold a code object into ``digest`` by content.
+
+    Nested code objects (inner defs, lambdas, comprehensions) appear in
+    ``co_consts``, and *their* repr embeds a memory address — they must be
+    recursed into, not repr'd, or the identity breaks across processes.
+    """
+    digest.update(code.co_code)
+    for const in code.co_consts:
+        if hasattr(const, "co_code"):
+            _hash_code(digest, const)
+        else:
+            digest.update(_const_identity(const).encode())
+    digest.update(",".join(code.co_names).encode())
+
+
+def _const_identity(const) -> str:
+    """Order-normalized identity for a code constant.
+
+    Set literals compile to frozenset constants whose repr order follows
+    hash randomization — sorting the element identities keeps the digest
+    stable across processes.
+    """
+    if isinstance(const, frozenset):
+        inner = ", ".join(sorted(_const_identity(c) for c in const))
+        return f"frozenset({inner})"
+    if isinstance(const, tuple):
+        return f"({', '.join(_const_identity(c) for c in const)})"
+    return repr(const)

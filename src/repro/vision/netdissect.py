@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.extract.base import Extractor
 from repro.util.rng import new_rng
 from repro.vision.cnn_model import ShapeCnn, pixel_behaviors
 from repro.vision.shapes import ShapeDataset
@@ -60,11 +61,15 @@ def netdissect_scores(model: ShapeCnn, dataset: ShapeDataset,
     return NetDissect(quantile=quantile, seed=seed).run(model, dataset)
 
 
-class CnnPixelExtractor:
+class CnnPixelExtractor(Extractor):
     """DeepBase-side extractor: pixels are symbols, channels are units.
 
-    Satisfies the :class:`repro.extract.base.Extractor` protocol so the
-    standard Jaccard measure can score CNN channels against mask hypotheses.
+    Subclasses :class:`repro.extract.base.Extractor` so the standard
+    Jaccard measure can score CNN channels against mask hypotheses and the
+    behavior caches can key its output (the image tensor is content-hashed
+    into the cache key).  It overrides :meth:`extract` wholesale, so it is
+    an *opaque* extractor: behaviors cache at full width per instance key,
+    without a shared raw sweep.
     """
 
     def __init__(self, images: np.ndarray, batch_size: int = 64):

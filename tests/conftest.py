@@ -17,6 +17,11 @@ from repro.nn import CharLSTMModel, SpecializedLSTMModel, TrainConfig, train_mod
 from repro.util.rng import new_rng
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests (subprocess runs)")
+
+
 @pytest.fixture(scope="session")
 def sql_workload():
     return generate_sql_workload("default", n_queries=30, window=30,

@@ -75,7 +75,8 @@ class TestHypothesisCache:
         cache = HypothesisCache()
         cache.extract(hyps[0], sql_workload.dataset, np.arange(2))
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "extractions": 0,
+        assert cache.stats() == {"hits": 0, "misses": 0, "disk_hits": 0,
+                                 "disk_misses": 0, "extractions": 0,
                                  "entries": 0, "bytes": 0}
 
     def test_running_byte_total_matches_entries(self, sql_workload, hyps):

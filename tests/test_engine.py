@@ -356,7 +356,10 @@ class TestUnitBehaviorCache:
         assert cache.misses == 6  # only 3 new records extracted
         assert cache.hits == 3
 
-    def test_keyed_by_unit_selection(self, trained_sql_model, sql_workload):
+    def test_unit_selection_is_a_view_over_one_entry(self, trained_sql_model,
+                                                     sql_workload):
+        """hid_units is a read-time view: narrow and full extraction share
+        one raw entry and one forward sweep."""
         cache = UnitBehaviorCache()
         ext = RnnActivationExtractor()
         idx = np.arange(4)
@@ -364,10 +367,15 @@ class TestUnitBehaviorCache:
                                idx, hid_units=np.array([1, 3]))
         full = cache.extract(trained_sql_model, ext, sql_workload.dataset,
                              idx)
-        assert cache.stats()["entries"] == 2
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["extractions"] == 1
+        assert cache.hits == 4  # the full-width read reused the raw rows
         assert np.allclose(narrow, full[:, [1, 3]])
 
-    def test_keyed_by_transform(self, trained_sql_model, sql_workload):
+    def test_transform_is_a_view_over_one_entry(self, trained_sql_model,
+                                                sql_workload):
+        """The behavior transform is a read-time view: extractors differing
+        only by transform share one raw entry and one forward sweep."""
         cache = UnitBehaviorCache()
         idx = np.arange(4)
         act = cache.extract(trained_sql_model, RnnActivationExtractor(),
@@ -375,8 +383,12 @@ class TestUnitBehaviorCache:
         grad = cache.extract(trained_sql_model,
                              RnnActivationExtractor(transform="gradient"),
                              sql_workload.dataset, idx)
-        assert cache.stats()["entries"] == 2
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["extractions"] == 1
         assert not np.allclose(act, grad)
+        direct = RnnActivationExtractor(transform="gradient").extract(
+            trained_sql_model, sql_workload.dataset.symbols[idx])
+        assert np.array_equal(grad, direct)
 
     def test_batch_size_does_not_split_entries(self, trained_sql_model,
                                                sql_workload):
@@ -457,6 +469,17 @@ class TestUnitBehaviorCache:
                                   [CorrelationScore()], hyps, config=cfg))
         assert _frame_tuples(frames[0]) == _frame_tuples(frames[1])
 
+    def test_empty_indices_after_fill(self, trained_sql_model, sql_workload):
+        """An empty index set against an already-filled entry returns a
+        correctly-shaped (0, width) block."""
+        cache = UnitBehaviorCache()
+        ext = RnnActivationExtractor()
+        cache.extract(trained_sql_model, ext, sql_workload.dataset,
+                      np.arange(4))
+        out = cache.extract(trained_sql_model, ext, sql_workload.dataset,
+                            np.array([], dtype=int))
+        assert out.shape == (0, trained_sql_model.n_units)
+
     def test_empty_dataset_with_unit_cache(self, trained_sql_model,
                                            sql_workload, hyps):
         """Zero records + unit cache must behave like the uncached path."""
@@ -472,7 +495,8 @@ class TestUnitBehaviorCache:
         cache.extract(trained_sql_model, RnnActivationExtractor(),
                       sql_workload.dataset, np.arange(2))
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "extractions": 0,
+        assert cache.stats() == {"hits": 0, "misses": 0, "disk_hits": 0,
+                                 "disk_misses": 0, "extractions": 0,
                                  "entries": 0, "bytes": 0}
 
 

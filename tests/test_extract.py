@@ -5,7 +5,7 @@ import pytest
 
 from repro.extract import (EncoderActivationExtractor, HypothesisExtractor,
                            RnnActivationExtractor)
-from repro.extract.base import apply_transform
+from repro.extract.base import Extractor, _attr_identity, apply_transform
 from repro.hypotheses import CharSetHypothesis, PositionCounterHypothesis
 from repro.util.rng import new_rng
 
@@ -99,6 +99,168 @@ class TestEncoderExtractor:
         l0 = EncoderActivationExtractor(layer=0).extract(model, corpus.src[:5])
         l1 = EncoderActivationExtractor(layer=1).extract(model, corpus.src[:5])
         assert not np.allclose(l0, l1)
+
+    def test_pinned_layer_direct_path_skips_concat(self):
+        """Direct extraction of one layer must not materialize the
+        all-layer concatenation the raw (store) path uses."""
+
+        class _Stub:
+            n_units = 2
+            n_layers = 2
+
+            def encoder_states(self, records):
+                self.last = [np.zeros((records.shape[0], 3, 2)),
+                             np.ones((records.shape[0], 3, 2))]
+                return self.last
+
+        model = _Stub()
+        ext = EncoderActivationExtractor(layer=1)
+        states = ext.view_states(model, np.zeros((2, 3), dtype=int))
+        assert states is model.last[1]  # the layer itself, no concat copy
+
+
+class _Float32Model:
+    """Minimal model carrying float32 parameters and activations."""
+
+    model_id = "f32"
+    n_units = 3
+
+    def __init__(self):
+        self._w = np.zeros((2, 2), dtype=np.float32)
+
+    def parameters(self):
+        return [self._w]
+
+    def hidden_states(self, ids):
+        return np.ones((ids.shape[0], ids.shape[1], self.n_units),
+                       dtype=np.float32)
+
+
+class TestEmptyExtractionDtype:
+    """Empty extractions must carry the model dtype, so empty and non-empty
+    blocks concatenate and cache consistently."""
+
+    def test_rnn_empty_matches_model_dtype(self):
+        model = _Float32Model()
+        ext = RnnActivationExtractor()
+        records = np.zeros((4, 5), dtype=np.int64)
+        full = ext.extract(model, records)
+        empty = ext.extract(model, records[:0])
+        assert empty.shape == (0, model.n_units)
+        assert empty.dtype == full.dtype == np.float32
+        assert np.concatenate([empty, full]).dtype == np.float32
+
+    def test_raw_rows_empty_matches_model_dtype(self):
+        model = _Float32Model()
+        ext = RnnActivationExtractor()
+        empty = ext.raw_rows(model, np.zeros((0, 5), dtype=np.int64))
+        assert empty.shape == (0, model.n_units)
+        assert empty.dtype == np.float32
+
+    def test_float64_models_unchanged(self, sql_workload, trained_sql_model):
+        ext = RnnActivationExtractor()
+        out = ext.extract(trained_sql_model, sql_workload.dataset.symbols[:0])
+        assert out.dtype == np.float64
+
+
+class TestAttrIdentity:
+    """Container attributes hash by content — large arrays inside a
+    list/tuple/dict must not fall through to the truncating repr."""
+
+    def test_ndarray_in_list_not_aliased(self):
+        a = np.arange(10000)
+        b = a.copy()
+        b[5000] = -1  # differs inside numpy's repr truncation ellipsis
+        assert repr([a]) == repr([b])  # the bug this guards against
+        assert _attr_identity([a]) != _attr_identity([b])
+        assert _attr_identity([a]) == _attr_identity([a.copy()])
+
+    def test_nested_containers(self):
+        a = np.arange(5000)
+        assert _attr_identity({"sel": (a,)}) != \
+            _attr_identity({"sel": (np.arange(5000) + 1,)})
+        assert _attr_identity((a, [a])) == _attr_identity((a.copy(), [a]))
+
+    def test_callable_identity_tracks_body_and_closure(self):
+        from repro.util.identity import attr_identity
+
+        def make(captured):
+            def fn(text):
+                return captured
+            return fn
+
+        # same factory, same captured value: stable across constructions
+        assert attr_identity(make(1)) == attr_identity(make(1))
+        # a different closed-over value is a different hypothesis
+        assert attr_identity(make(1)) != attr_identity(make(2))
+
+    def test_callable_identity_tracks_global_helpers(self):
+        """Editing a module-level helper a function calls must change the
+        caller's identity, or stored behaviors outlive the edit."""
+        from repro.util.identity import attr_identity
+
+        def build(helper_body):
+            ns = {}
+            exec("def helper(x):\n"                      # noqa: S102
+                 f"    return {helper_body}\n"
+                 "def fn(t):\n"
+                 "    return helper(t)\n", ns)
+            return ns["fn"]
+
+        assert attr_identity(build("x + 1")) == attr_identity(build("x + 1"))
+        assert attr_identity(build("x + 1")) != attr_identity(build("x - 1"))
+
+    def test_callable_identity_tracks_kwonly_defaults(self):
+        from repro.util.identity import attr_identity
+
+        def make(captured):
+            def fn(text, *, ch=captured):
+                return ch
+            return fn
+
+        assert attr_identity(make("S")) == attr_identity(make("S"))
+        assert attr_identity(make("S")) != attr_identity(make("F"))
+
+    def test_nested_code_identity_stable_across_processes(self):
+        """Functions containing lambdas/comprehensions hold nested code
+        objects whose repr embeds an address; the identity must hash their
+        content instead, or cross-process store keys never match."""
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+        # the inline set literal compiles to a frozenset constant whose
+        # iteration order follows hash randomization across processes
+        script = (
+            "from repro.util.identity import attr_identity\n"
+            "def f(t):\n"
+            "    g = lambda x: x + 1\n"
+            "    return [g(c) for c in t if c in {'a', 'b', 'c', 'd'}]\n"
+            "print(attr_identity(f))\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(Path(__file__).resolve().parents[1] / "src")
+                             + os.pathsep + env.get("PYTHONPATH", ""))
+        outs = []
+        for _ in range(2):
+            proc = subprocess.run([sys.executable, "-c", script],
+                                  capture_output=True, text=True, env=env,
+                                  timeout=120)
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout.strip())
+        assert outs[0] == outs[1]
+
+    def test_cache_keys_distinguish_container_selectors(self):
+        class _SelectorExtractor(Extractor):
+            def __init__(self, selectors):
+                self.selectors = selectors
+
+        a = np.arange(10000)
+        b = a.copy()
+        b[5000] = -1
+        assert _SelectorExtractor([a]).cache_key() != \
+            _SelectorExtractor([b]).cache_key()
+        assert _SelectorExtractor([a]).cache_key() == \
+            _SelectorExtractor([a.copy()]).cache_key()
 
 
 class TestHypothesisExtractor:

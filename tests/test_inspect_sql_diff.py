@@ -363,6 +363,27 @@ class TestSharedExtraction:
         finally:
             ctx.close()
 
+    def test_store_path_session_serves_fresh_process(self, snapshots,
+                                                     sql_workload, hyps,
+                                                     tmp_path):
+        """A session opened on a store path persists the epoch sweep; a
+        second context (fresh caches, fresh store handle — a restarted
+        process) serves the same sweep from the disk tier with zero
+        extractor invocations and identical scores."""
+        sql = SQL_ALL.format(measures="corr", tail="GROUP BY M.epoch")
+        with make_context(snapshots, sql_workload, hyps,
+                          store_path=str(tmp_path)) as ctx:
+            cold = run_inspect_sql(ctx, sql)
+            assert ctx.unit_cache.stats()["extractions"] == len(snapshots)
+        with make_context(snapshots, sql_workload, hyps,
+                          store_path=str(tmp_path)) as ctx2:
+            warm = run_inspect_sql(ctx2, sql)
+            unit_stats = ctx2.unit_cache.stats()
+            assert unit_stats["extractions"] == 0
+            assert unit_stats["disk_hits"] == len(snapshots) * MAX_RECORDS
+            assert ctx2.hyp_cache.stats()["extractions"] == 0
+        assert cold.rows() == warm.rows()
+
     def test_explicit_config_still_respected(self, snapshots, sql_workload,
                                              hyps):
         """A pinned scheduler/cache config bypasses session defaults."""

@@ -1,0 +1,591 @@
+"""Tests for the persistent behavior store and shared-forward-pass
+extraction: crash safety, GC, cross-session/cross-process warm reads with
+zero model calls, raw-sweep fusion, and scheduler lifecycle."""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import (DiskBehaviorStore, HypothesisCache, InspectConfig,
+                   ThreadPoolScheduler, UnitBehaviorCache, UnitGroup, inspect)
+from repro.extract import RnnActivationExtractor
+from repro.hypotheses import CharSetHypothesis, KeywordHypothesis
+from repro.measures import CorrelationScore, DiffMeansScore
+from repro.util.testing import CountingForwardModel as _CountingForwardModel
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture
+def hyps():
+    return [KeywordHypothesis("SELECT"), CharSetHypothesis("space", " ")]
+
+
+def _frame_tuples(frame):
+    """Comparable row tuples (vals kept at full float precision)."""
+    return list(zip(frame["model_id"], frame["group_id"], frame["score_id"],
+                    frame["hyp_id"], frame["h_unit_id"], frame["val"],
+                    frame["kind"], frame["n_rows_seen"], frame["converged"]))
+
+
+def _marks_char(char):
+    """Factory for closure-carrying hypothesis functions (two closures with
+    different captured chars must get different content identities)."""
+    def fn(text):
+        return np.array([1.0 if c == char else 0.0 for c in text])
+    return fn
+
+
+# ----------------------------------------------------------------------
+# the disk store itself
+# ----------------------------------------------------------------------
+class TestDiskBehaviorStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path)
+        rows = np.arange(12, dtype=np.float64).reshape(3, 4)
+        store.append("k", np.array([0, 2, 5]), rows, n_records=8)
+        reader = store.reader("k")
+        assert reader is not None
+        assert reader.n_filled == 3
+        assert np.array_equal(reader.filled_mask(np.arange(8)),
+                              [True, False, True, False, False, True,
+                               False, False])
+        assert np.array_equal(reader.rows(np.array([5, 0])), rows[[2, 0]])
+
+    def test_appends_accumulate_across_instances(self, tmp_path):
+        """A second store handle (a "restarted session") sees committed
+        shards and can extend the entry at record granularity."""
+        first = DiskBehaviorStore(tmp_path)
+        first.append("k", np.arange(3), np.ones((3, 2)), n_records=10)
+        second = DiskBehaviorStore(tmp_path)
+        second.append("k", np.arange(3, 6), np.full((3, 2), 2.0),
+                      n_records=10)
+        for store in (first, second):
+            reader = store.reader("k")
+            assert reader.n_filled == 6
+            got = reader.rows(np.arange(6))
+            assert np.array_equal(got[:3], np.ones((3, 2)))
+            assert np.array_equal(got[3:], np.full((3, 2), 2.0))
+
+    def test_dtype_and_multi_shard_gather(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path)
+        a = np.arange(4, dtype=np.float32).reshape(2, 2)
+        b = np.arange(10, 14, dtype=np.float32).reshape(2, 2)
+        store.append("k", np.array([1, 3]), a, n_records=5)
+        store.append("k", np.array([0, 4]), b, n_records=5)
+        reader = store.reader("k")
+        got = reader.rows(np.array([0, 1, 3, 4]))
+        assert got.dtype == np.float32
+        assert np.array_equal(got, np.stack([b[0], a[0], a[1], b[1]]))
+
+    def test_unfilled_read_raises(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path)
+        store.append("k", np.array([0]), np.zeros((1, 2)), n_records=4)
+        with pytest.raises(KeyError):
+            store.reader("k").rows(np.array([0, 3]))
+
+    def test_truncated_shard_detected_and_dropped(self, tmp_path):
+        """A partial (truncated) shard invalidates the entry: it is never
+        served, and the entry is dropped so callers re-extract."""
+        store = DiskBehaviorStore(tmp_path)
+        store.append("k", np.arange(4), np.ones((4, 8)), n_records=4)
+        (data_file,) = [p for p in glob.glob(str(tmp_path / "shards/*.npy"))
+                        if not p.endswith(".idx.npy")]
+        size = os.path.getsize(data_file)
+        with open(data_file, "r+b") as f:
+            f.truncate(size // 2)
+        fresh = DiskBehaviorStore(tmp_path)  # no cached reader
+        assert fresh.reader("k") is None
+        assert fresh.stats()["invalid_dropped"] == 1
+        assert fresh.stats()["entries"] == 0
+        # the key is usable again after the drop
+        fresh.append("k", np.arange(2), np.zeros((2, 8)), n_records=4)
+        assert fresh.reader("k").n_filled == 2
+
+    def test_manifest_is_the_commit_point(self, tmp_path):
+        """Orphan shards (written but never committed) are invisible to
+        readers and swept by gc()."""
+        store = DiskBehaviorStore(tmp_path)
+        store.append("k", np.arange(2), np.zeros((2, 2)), n_records=4)
+        orphan = tmp_path / "shards" / "deadbeef-99.npy"
+        np.save(orphan, np.ones((5, 5)))
+        fresh = DiskBehaviorStore(tmp_path)
+        assert fresh.keys() == ["k"]
+        report = fresh.gc()
+        assert report["orphans_removed"] == 1
+        assert not orphan.exists()
+        assert fresh.reader("k") is not None  # live shards untouched
+
+    def test_gc_evicts_lru_under_byte_budget(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path)
+        for name in ("a", "b", "c"):
+            store.append(name, np.arange(10), np.zeros((10, 100)),
+                         n_records=10)
+        entry_bytes = store.stats()["bytes"] // 3
+        store.reader("a")  # refresh recency: "b" becomes the LRU entry
+        report = store.gc(max_bytes=2 * entry_bytes + 100)
+        assert report["evicted"] == ["b"]
+        assert store.stats()["bytes"] <= 2 * entry_bytes + 100
+        assert store.reader("a") is not None
+        assert store.reader("c") is not None
+        # evicted entries re-extract instead of serving stale bytes
+        assert store.reader("b") is None
+
+    def test_append_budget_protects_newest(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path, max_bytes=1)
+        store.append("a", np.arange(4), np.zeros((4, 50)), n_records=4)
+        store.append("b", np.arange(4), np.zeros((4, 50)), n_records=4)
+        assert store.keys() == ["b"]
+
+    def test_reader_extends_across_appends(self, tmp_path):
+        """Appending does not invalidate a cached reader: the same object
+        maps just the new shard instead of re-loading everything."""
+        store = DiskBehaviorStore(tmp_path)
+        store.append("k", np.arange(2), np.zeros((2, 3)), n_records=6)
+        first = store.reader("k")
+        store.append("k", np.arange(2, 4), np.ones((2, 3)), n_records=6)
+        second = store.reader("k")
+        assert second is first  # extended in place
+        assert second.n_filled == 4
+        assert np.array_equal(second.rows(np.arange(2, 4)), np.ones((2, 3)))
+
+    def test_recreated_entry_invalidates_stale_readers(self, tmp_path):
+        """A cross-process drop-and-recreate at the same shard count must
+        not be confused with an append: the incarnation token changes and
+        the stale reader (wrong fill mask, unlinked mmaps) is discarded."""
+        holder = DiskBehaviorStore(tmp_path)
+        holder.append("k", np.arange(4), np.ones((4, 2)), n_records=4)
+        assert holder.reader("k").n_filled == 4  # now cached in `holder`
+        other = DiskBehaviorStore(tmp_path)
+        other.drop("k")
+        other.append("k", np.arange(2), np.full((2, 2), 7.0), n_records=4)
+        reader = holder.reader("k")  # same shard count, new incarnation
+        assert reader.n_filled == 2
+        assert np.array_equal(reader.rows(np.arange(2)),
+                              np.full((2, 2), 7.0))
+
+    def test_deferred_commits_batch_into_one_manifest(self, tmp_path):
+        """Inside a deferred scope shards are written but invisible; the
+        scope exit publishes them all in one commit."""
+        store = DiskBehaviorStore(tmp_path)
+        with store.deferred_commits():
+            store.append("a", np.arange(2), np.zeros((2, 2)), n_records=4)
+            store.append("a", np.arange(2, 4), np.ones((2, 2)), n_records=4)
+            store.append("b", np.arange(3), np.zeros((3, 5)), n_records=3)
+            other = DiskBehaviorStore(tmp_path)  # another process's view
+            assert other.reader("a") is None
+            assert other.reader("b") is None
+        fresh = DiskBehaviorStore(tmp_path)
+        assert fresh.reader("a").n_filled == 4
+        assert fresh.reader("b").n_filled == 3
+        assert np.array_equal(fresh.reader("a").rows(np.arange(2, 4)),
+                              np.ones((2, 2)))
+
+    def test_width_change_replaces_entry(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path)
+        store.append("k", np.arange(2), np.zeros((2, 4)), n_records=4)
+        store.append("k", np.arange(2), np.ones((2, 6)), n_records=4)
+        reader = store.reader("k")
+        assert reader.row_width == 6
+        assert np.array_equal(reader.rows(np.arange(2)), np.ones((2, 6)))
+
+
+# ----------------------------------------------------------------------
+# caches as memory tiers over the disk tier
+# ----------------------------------------------------------------------
+class TestTieredCaches:
+    def test_unit_cache_warm_restart_zero_extractions(
+            self, tmp_path, trained_sql_model, sql_workload):
+        idx = np.arange(10)
+        ext = RnnActivationExtractor()
+        cold = UnitBehaviorCache(store=DiskBehaviorStore(tmp_path))
+        a = cold.extract(trained_sql_model, ext, sql_workload.dataset, idx)
+        assert cold.stats()["extractions"] == 1
+        # fresh memory tier + fresh store handle = a restarted session
+        warm = UnitBehaviorCache(store=DiskBehaviorStore(tmp_path))
+        b = warm.extract(trained_sql_model, ext, sql_workload.dataset, idx)
+        stats = warm.stats()
+        assert stats["extractions"] == 0
+        assert stats["disk_hits"] == 10 and stats["disk_misses"] == 0
+        assert np.array_equal(a, b)
+
+    def test_disk_tier_serves_views_without_model(self, tmp_path,
+                                                  trained_sql_model,
+                                                  sql_workload):
+        """Raw rows persisted once serve every transform/unit view later."""
+        idx = np.arange(6)
+        store = DiskBehaviorStore(tmp_path)
+        cold = UnitBehaviorCache(store=store)
+        cold.extract(trained_sql_model, RnnActivationExtractor(),
+                     sql_workload.dataset, idx)
+        warm = UnitBehaviorCache(store=DiskBehaviorStore(tmp_path))
+        grad = warm.extract(trained_sql_model,
+                            RnnActivationExtractor(transform="gradient"),
+                            sql_workload.dataset, idx,
+                            hid_units=np.array([2, 5]))
+        assert warm.stats()["extractions"] == 0
+        direct = RnnActivationExtractor(transform="gradient").extract(
+            trained_sql_model, sql_workload.dataset.symbols[idx],
+            hid_units=np.array([2, 5]))
+        assert np.array_equal(grad, direct)
+
+    def test_hypothesis_cache_warm_restart(self, tmp_path, sql_workload,
+                                           hyps):
+        idx = np.arange(12)
+        cold = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        a = cold.extract(hyps[0], sql_workload.dataset, idx)
+        warm = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        b = warm.extract(hyps[0], sql_workload.dataset, idx)
+        assert warm.stats()["extractions"] == 0
+        assert warm.stats()["disk_hits"] == 12
+        assert np.array_equal(a, b)
+
+    def test_partial_streams_compose_across_sessions(self, tmp_path,
+                                                     sql_workload, hyps):
+        first = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        first.extract(hyps[0], sql_workload.dataset, np.arange(4))
+        second = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        second.extract(hyps[0], sql_workload.dataset, np.arange(8))
+        stats = second.stats()
+        assert stats["disk_hits"] == 4    # the first session's records
+        assert stats["disk_misses"] == 4  # the new ones
+        assert stats["extractions"] == 1
+
+    def test_edited_hypothesis_never_served_stale(self, tmp_path,
+                                                  sql_workload):
+        """Hypothesis store entries carry a content identity: a hypothesis
+        whose wrapped function changed — same name, same width — must be
+        re-extracted in the next session, not served from disk."""
+        from repro.hypotheses.base import FunctionHypothesis
+        idx = np.arange(6)
+        first = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        first.extract(FunctionHypothesis("h", _marks_char("S")),
+                      sql_workload.dataset, idx)
+        # same name, edited behavior, fresh session
+        edited = FunctionHypothesis("h", _marks_char("F"))
+        second = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        got = second.extract(edited, sql_workload.dataset, idx)
+        assert second.stats()["extractions"] == 1  # not served stale
+        assert np.array_equal(got, edited.extract(sql_workload.dataset, idx))
+        # while an *identical* reconstruction (a new process re-running the
+        # same code) does share the persisted behaviors
+        third = HypothesisCache(store=DiskBehaviorStore(tmp_path))
+        third.extract(FunctionHypothesis("h", _marks_char("F")),
+                      sql_workload.dataset, idx)
+        assert third.stats()["extractions"] == 0
+        assert third.stats()["disk_hits"] == 6
+
+    def test_hypothesis_identity_stable_across_rebuilds(self, sql_workload):
+        """Hypotheses holding helper objects (parse providers, grammars)
+        must key identically when re-constructed — by a new process or a
+        new session — and never leak process-local addresses into keys."""
+        from repro.hypotheses import grammar_hypotheses
+        build = lambda: grammar_hypotheses(  # noqa: E731
+            sql_workload.grammar, sql_workload.queries, sql_workload.trees,
+            mode="derivation")
+        for h1, h2 in zip(build(), build()):
+            assert h1.cache_key() == h2.cache_key()
+            assert " at 0x" not in h1.cache_key()
+
+    def test_corrupt_store_falls_back_to_extraction(self, tmp_path,
+                                                    trained_sql_model,
+                                                    sql_workload):
+        idx = np.arange(5)
+        ext = RnnActivationExtractor()
+        cold = UnitBehaviorCache(store=DiskBehaviorStore(tmp_path))
+        a = cold.extract(trained_sql_model, ext, sql_workload.dataset, idx)
+        for path in glob.glob(str(tmp_path / "shards/*.npy")):
+            if not path.endswith(".idx.npy"):
+                with open(path, "r+b") as f:
+                    f.truncate(16)
+        warm = UnitBehaviorCache(store=DiskBehaviorStore(tmp_path))
+        b = warm.extract(trained_sql_model, ext, sql_workload.dataset, idx)
+        assert warm.stats()["extractions"] == 1  # re-extracted, not served
+        assert np.array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: inspect() against a store path
+# ----------------------------------------------------------------------
+class TestWarmInspect:
+    def _config(self, tmp_path, **kwargs):
+        return InspectConfig(mode="streaming", early_stop=False, seed=0,
+                             store=DiskBehaviorStore(tmp_path), **kwargs)
+
+    def test_fresh_session_runs_zero_forward_passes(self, tmp_path,
+                                                    trained_sql_model,
+                                                    sql_workload, hyps):
+        calls = {"hyp": 0}
+
+        class _Counting(KeywordHypothesis):
+            def extract(self, ds, indices=None):
+                calls["hyp"] += 1
+                return super().extract(ds, indices)
+
+        counted = [_Counting("SELECT"), hyps[1]]
+        cold_model = _CountingForwardModel(trained_sql_model)
+        cold = inspect([cold_model], sql_workload.dataset,
+                       [CorrelationScore(), DiffMeansScore()], counted,
+                       config=self._config(tmp_path))
+        assert cold_model.forward_calls > 0
+        calls["hyp"] = 0
+
+        # a fresh session: new store handle, new (empty) memory tiers
+        warm_model = _CountingForwardModel(trained_sql_model)
+        warm = inspect([warm_model], sql_workload.dataset,
+                       [CorrelationScore(), DiffMeansScore()], counted,
+                       config=self._config(tmp_path))
+        assert warm_model.forward_calls == 0
+        assert calls["hyp"] == 0
+        assert _frame_tuples(cold) == _frame_tuples(warm)
+
+    def test_warm_scores_bit_identical_to_memory_path(self, tmp_path,
+                                                      trained_sql_model,
+                                                      sql_workload, hyps):
+        """The disk tier must be invisible in the numbers: scores match the
+        pure in-memory configuration bit for bit."""
+        memory_cfg = InspectConfig(mode="streaming", early_stop=False,
+                                   seed=0, unit_cache=UnitBehaviorCache(),
+                                   cache=HypothesisCache())
+        baseline = inspect([trained_sql_model], sql_workload.dataset,
+                           [CorrelationScore()], hyps, config=memory_cfg)
+        inspect([trained_sql_model], sql_workload.dataset,
+                [CorrelationScore()], hyps, config=self._config(tmp_path))
+        warm = inspect([trained_sql_model], sql_workload.dataset,
+                       [CorrelationScore()], hyps,
+                       config=self._config(tmp_path))
+        assert _frame_tuples(baseline) == _frame_tuples(warm)
+
+    def test_store_survives_early_stopped_runs(self, tmp_path,
+                                               trained_sql_model,
+                                               sql_workload, hyps):
+        """Record-granularity persistence: an early-stopped streaming run
+        still contributes its extracted prefix to later sessions."""
+        cfg = InspectConfig(mode="streaming", early_stop=True, seed=0,
+                            block_size=16,
+                            store=DiskBehaviorStore(tmp_path))
+        inspect([trained_sql_model], sql_workload.dataset,
+                [CorrelationScore()], hyps, config=cfg)
+        store = DiskBehaviorStore(tmp_path)
+        unit_keys = [k for k in store.keys() if k.startswith("unit/")]
+        assert unit_keys
+        reader = store.reader(unit_keys[0])
+        assert 0 < reader.n_filled <= sql_workload.dataset.n_records
+
+
+# ----------------------------------------------------------------------
+# shared-forward-pass extraction
+# ----------------------------------------------------------------------
+class TestSharedForwardPass:
+    def _transform_groups(self, model, n_units):
+        return [UnitGroup(model=model, unit_ids=np.arange(n_units),
+                          name=t, extractor=RnnActivationExtractor(
+                              transform=t))
+                for t in ("activation", "abs", "gradient")] + [
+            UnitGroup(model=model, unit_ids=np.array([1, 3]), name="subset",
+                      extractor=RnnActivationExtractor())]
+
+    def test_fused_extractors_run_one_sweep_uncached(self, trained_sql_model,
+                                                     sql_workload, hyps):
+        """K extractors differing only by transform/unit subset trigger one
+        hidden_states sweep per block, not K."""
+        model = _CountingForwardModel(trained_sql_model)
+        groups = self._transform_groups(model, trained_sql_model.n_units)
+        cfg = InspectConfig(mode="full", seed=0, max_records=100)
+        frame = inspect(None, sql_workload.dataset, [CorrelationScore()],
+                        hyps, unit_groups=groups, config=cfg)
+        assert model.forward_calls == 1
+        # every view must match its own dedicated (unfused) run
+        for group in groups:
+            solo = inspect(None, sql_workload.dataset, [CorrelationScore()],
+                           hyps,
+                           unit_groups=[UnitGroup(
+                               model=trained_sql_model,
+                               unit_ids=group.unit_ids, name=group.name,
+                               extractor=group.extractor)],
+                           config=InspectConfig(mode="full", seed=0,
+                                                max_records=100))
+            mine = frame.where(group_id=group.name).sort("val")
+            assert mine["val"] == solo.sort("val")["val"]
+
+    def test_fused_extractors_share_one_cache_entry(self, trained_sql_model,
+                                                    sql_workload, hyps):
+        model = _CountingForwardModel(trained_sql_model)
+        groups = self._transform_groups(model, trained_sql_model.n_units)
+        cache = UnitBehaviorCache()
+        cfg = InspectConfig(mode="streaming", early_stop=False, seed=0,
+                            unit_cache=cache, max_records=80)
+        inspect(None, sql_workload.dataset, [CorrelationScore()], hyps,
+                unit_groups=groups, config=cfg)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["extractions"] == model.forward_calls > 0
+
+    def test_fused_narrow_groups_match_solo_runs(self, trained_sql_model,
+                                                 sql_workload, hyps):
+        """Fused extraction with only-narrow unit subsets engages the
+        raw-column union narrowing and stays bit-identical to unfused."""
+        model = _CountingForwardModel(trained_sql_model)
+        groups = [
+            UnitGroup(model=model, unit_ids=np.array([1, 3]), name="act",
+                      extractor=RnnActivationExtractor()),
+            UnitGroup(model=model, unit_ids=np.array([2, 5]), name="grad",
+                      extractor=RnnActivationExtractor(
+                          transform="gradient"))]
+        cfg = InspectConfig(mode="full", seed=0, max_records=60)
+        frame = inspect(None, sql_workload.dataset, [CorrelationScore()],
+                        hyps, unit_groups=groups, config=cfg)
+        assert model.forward_calls == 1
+        for group in groups:
+            solo = inspect(None, sql_workload.dataset, [CorrelationScore()],
+                           hyps,
+                           unit_groups=[UnitGroup(
+                               model=trained_sql_model,
+                               unit_ids=group.unit_ids, name=group.name,
+                               extractor=group.extractor)],
+                           config=InspectConfig(mode="full", seed=0,
+                                                max_records=60))
+            mine = frame.where(group_id=group.name).sort("val")
+            assert mine["val"] == solo.sort("val")["val"]
+
+    def test_identityless_extractor_runs_uncached_but_fails_caching(
+            self, trained_sql_model, sql_workload, hyps):
+        """A bare-protocol extractor (no cache_key/raw_key) still executes
+        through the plan engine, but caching under it fails loudly instead
+        of inventing an address-based (recyclable, persistable) key."""
+
+        class _Keyless:
+            def n_units(self, model):
+                return model.n_units
+
+            def extract(self, model, records, hid_units=None):
+                out = model.hidden_states(records)
+                if hid_units is not None:
+                    out = out[:, :, np.asarray(hid_units, dtype=int)]
+                return out.reshape(-1, out.shape[-1])
+
+        group = UnitGroup(model=trained_sql_model, unit_ids=np.arange(4),
+                          name="keyless", extractor=_Keyless())
+        frame = inspect(None, sql_workload.dataset, [CorrelationScore()],
+                        hyps, unit_groups=[group],
+                        config=InspectConfig(mode="full", max_records=30))
+        assert len(frame)
+        with pytest.raises(AttributeError, match="neither raw_key"):
+            UnitBehaviorCache().extract(trained_sql_model, _Keyless(),
+                                        sql_workload.dataset, np.arange(3))
+
+    def test_seq2seq_layers_share_one_sweep(self):
+        from repro.extract import EncoderActivationExtractor
+        from repro.nmt import generate_nmt_corpus, train_nmt_model
+        corpus = generate_nmt_corpus(n_sentences=30, seed=3)
+        model = train_nmt_model(corpus, n_units=6, epochs=1, seed=0)
+        l0 = EncoderActivationExtractor(layer=0)
+        l1 = EncoderActivationExtractor(layer=1, transform="abs")
+        both = EncoderActivationExtractor(layer=None)
+        assert l0.raw_key() == l1.raw_key() == both.raw_key()
+        raw = both.raw_rows(model, corpus.src[:4])
+        ns = corpus.src.shape[1]
+        for ext in (l0, l1, both):
+            view = ext.finalize_rows(model, raw, ns)
+            direct = ext.extract(model, corpus.src[:4])
+            assert np.array_equal(view, direct)
+
+
+# ----------------------------------------------------------------------
+# cross-process warm rerun (the acceptance criterion, literally)
+# ----------------------------------------------------------------------
+_CHILD = """
+import json, sys
+import numpy as np
+from repro import (DiskBehaviorStore, HypothesisCache, InspectConfig,
+                   UnitBehaviorCache, inspect)
+from repro.data import generate_sql_workload
+from repro.hypotheses import KeywordHypothesis
+from repro.measures import CorrelationScore
+from repro.nn import CharLSTMModel, TrainConfig, train_model
+from repro.util.rng import new_rng
+
+wl = generate_sql_workload("small", n_queries=8, window=20, stride=5,
+                           seed=5, max_records=48)
+model = CharLSTMModel(len(wl.vocab), 8, new_rng(2), model_id="xproc")
+train_model(model, wl.dataset.symbols, wl.targets,
+            TrainConfig(epochs=1, batch_size=32, lr=3e-3))
+store = DiskBehaviorStore(sys.argv[1])
+unit_cache = UnitBehaviorCache(store=store)
+hyp_cache = HypothesisCache(store=store)
+cfg = InspectConfig(mode="streaming", early_stop=False, seed=0,
+                    unit_cache=unit_cache, cache=hyp_cache)
+frame = inspect([model], wl.dataset, [CorrelationScore()],
+                [KeywordHypothesis("SELECT")], config=cfg)
+print(json.dumps({
+    "extractions": (unit_cache.stats()["extractions"]
+                    + hyp_cache.stats()["extractions"]),
+    "disk_hits": unit_cache.stats()["disk_hits"],
+    "vals": [float(v) for v in frame["val"]],
+}))
+"""
+
+
+@pytest.mark.slow
+def test_cross_process_warm_read(tmp_path):
+    """A genuinely separate process re-deriving the same (model, dataset)
+    serves the whole inspection from the store: zero extractor invocations,
+    bit-identical scores."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, "-c", _CHILD, str(tmp_path)],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    cold = run()
+    assert cold["extractions"] > 0
+    warm = run()
+    assert warm["extractions"] == 0
+    assert warm["disk_hits"] > 0
+    assert warm["vals"] == cold["vals"]
+
+
+# ----------------------------------------------------------------------
+# scheduler lifecycle
+# ----------------------------------------------------------------------
+class TestSchedulerLifecycle:
+    def test_context_manager_releases_pool(self):
+        with ThreadPoolScheduler(max_workers=2) as scheduler:
+            assert scheduler.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+            assert scheduler._pool is not None
+        assert scheduler._pool is None
+
+    def test_repeated_runs_do_not_leak_threads(self, trained_sql_model,
+                                               sql_workload, hyps):
+        cfg_kwargs = dict(mode="streaming", max_records=30)
+        inspect([trained_sql_model], sql_workload.dataset,
+                [CorrelationScore()], hyps,
+                config=InspectConfig(scheduler="threads", **cfg_kwargs))
+        settled = threading.active_count()
+        for _ in range(3):
+            inspect([trained_sql_model], sql_workload.dataset,
+                    [CorrelationScore()], hyps,
+                    config=InspectConfig(scheduler="threads", **cfg_kwargs))
+        assert threading.active_count() <= settled
+
+    def test_inspect_query_context_manager_shuts_down_session_pool(self):
+        from repro.db.engine import Database
+        from repro.db.inspect_clause import InspectQuery
+        with InspectQuery(db=Database(), models={}, hypotheses={},
+                          datasets={}, extractor=RnnActivationExtractor()
+                          ) as ctx:
+            if isinstance(ctx.scheduler, ThreadPoolScheduler):
+                ctx.scheduler.map(lambda x: x, [1, 2])
+        if isinstance(ctx.scheduler, ThreadPoolScheduler):
+            assert ctx.scheduler._pool is None
