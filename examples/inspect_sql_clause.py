@@ -1,27 +1,26 @@
 """The INSPECT SQL extension (Appendix B): an epoch-sweep query.
 
-Registers models, units, hypotheses and a dataset as catalog relations,
-then runs the paper's example query: correlate layer-0 units with keyword
-hypotheses, grouped by training epoch, keeping only high-affinity units,
-best-first.
+Registers model snapshots, hypotheses and a dataset with one
+:class:`repro.Session` (each ``register_*`` call inserts the catalog rows
+for you), then runs the paper's example query: correlate units with
+keyword hypotheses, grouped by training epoch, keeping only high-affinity
+units, best-first.
 
 The statement compiles into ONE shared inspection plan: the WHERE clause
 pushes into columnar catalog scans, all GROUP BY groups share extraction
-through the session caches (each snapshot's behavior is extracted once, and
-the hypothesis behaviors once in total), and HAVING / ORDER BY / LIMIT run
-vectorized over the materialized score relation.  Re-running a query in the
-same session costs almost nothing -- that is the interactive loop.
+through the session caches (each snapshot's behavior is extracted once,
+and the hypothesis behaviors once in total), and HAVING / ORDER BY /
+LIMIT run vectorized over the materialized score relation.  Re-running a
+query in the same session costs almost nothing -- that is the interactive
+loop.
 
 Run:  python examples/inspect_sql_clause.py
 """
 
 import time
 
-from repro.core.pipeline import InspectConfig
+from repro import InspectConfig, Session
 from repro.data import generate_sql_workload
-from repro.db import Database, run_inspect_sql
-from repro.db.inspect_clause import InspectQuery
-from repro.extract import RnnActivationExtractor
 from repro.hypotheses.library import sql_keyword_hypotheses
 from repro.nn import CharLSTMModel, TrainConfig, train_model
 from repro.nn.serialize import clone_model
@@ -48,59 +47,48 @@ def main() -> None:
 
     hyps = sql_keyword_hypotheses(("SELECT", "FROM", "WHERE"))
 
-    # --- register everything as catalog relations -----------------------
-    db = Database()
-    db.create_table("models", ["mid", "epoch"],
-                    [[f"sqlparser_e{e}", e] for e in snapshots])
-    db.create_table("units", ["mid", "uid", "layer"],
-                    [[f"sqlparser_e{e}", u, 0]
-                     for e in snapshots for u in range(24)])
-    db.create_table("hypotheses", ["h", "name"],
-                    [[h.name, "keywords"] for h in hyps])
-    db.create_table("inputs", ["did", "seq"], [["d0", "seq"]])
+    # --- one session; registration fills the catalog relations ----------
+    with Session(config=InspectConfig(mode="full",
+                                      max_records=300)) as session:
+        for epoch, snap in snapshots.items():
+            session.register_model(f"sqlparser_e{epoch}", snap, epoch=epoch)
+        session.register_hypotheses(hyps, name="keywords")
+        session.register_dataset("d0", workload.dataset)
 
-    context = InspectQuery(
-        db=db,
-        models={f"sqlparser_e{e}": m for e, m in snapshots.items()},
-        hypotheses={h.name: h for h in hyps},
-        datasets={"d0": workload.dataset},
-        extractor=RnnActivationExtractor(),
-        config=InspectConfig(mode="full", max_records=300))
+        sql = """
+            SELECT M.epoch, S.uid, S.hid, S.unit_score
+            INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+            FROM models M, units U, hypotheses H, inputs D
+            WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
+            GROUP BY M.epoch
+            HAVING S.unit_score > 0.25
+            ORDER BY S.unit_score DESC
+            LIMIT 15
+        """
+        print("running:\n" + sql)
+        t0 = time.perf_counter()
+        frame = session.sql(sql)
+        cold = time.perf_counter() - t0
+        print(f"\ntop {len(frame)} high-affinity (epoch, unit, hypothesis) "
+              f"rows:")
+        print(frame.to_string(max_rows=15))
 
-    sql = """
-        SELECT M.epoch, S.uid, S.hid, S.unit_score
-        INSPECT U.uid AND H.h USING corr OVER D.seq AS S
-        FROM models M, units U, hypotheses H, inputs D
-        WHERE M.mid = U.mid AND U.layer = 0 AND H.name = 'keywords'
-        GROUP BY M.epoch
-        HAVING S.unit_score > 0.25
-        ORDER BY S.unit_score DESC
-        LIMIT 15
-    """
-    print("running:\n" + sql)
-    t0 = time.perf_counter()
-    frame = run_inspect_sql(context, sql)
-    cold = time.perf_counter() - t0
-    print(f"\ntop {len(frame)} high-affinity (epoch, unit, hypothesis) rows:")
-    print(frame.to_string(max_rows=15))
+        stats = session.unit_cache.stats()
+        print(f"\nshared plan: {stats['extractions']} unit extractions for "
+              f"{len(snapshots)} snapshots across {len(snapshots)} GROUP BY "
+              f"groups (once per model), "
+              f"{session.hyp_cache.stats()['extractions']} hypothesis "
+              f"extractions for {len(hyps)} hypotheses (once each).")
 
-    stats = context.unit_cache.stats()
-    print(f"\nshared plan: {stats['extractions']} unit extractions for "
-          f"{len(snapshots)} snapshots across {len(snapshots)} GROUP BY "
-          f"groups (once per model), "
-          f"{context.hyp_cache.stats()['extractions']} hypothesis "
-          f"extractions for {len(hyps)} hypotheses (once each).")
+        t0 = time.perf_counter()
+        session.sql(sql)
+        warm = time.perf_counter() - t0
+        print(f"cold query: {cold:.3f}s; same query warm in this session: "
+              f"{warm:.3f}s (caches serve every behavior).")
 
-    t0 = time.perf_counter()
-    run_inspect_sql(context, sql)
-    warm = time.perf_counter() - t0
-    print(f"cold query: {cold:.3f}s; same query warm in this session: "
-          f"{warm:.3f}s (caches serve every behavior).")
-
-    print("\nLater epochs should expose more high-scoring keyword "
-          "detectors than epoch 0, since the model learns clause "
-          "structure during training.")
-    context.close()
+        print("\nLater epochs should expose more high-scoring keyword "
+              "detectors than epoch 0, since the model learns clause "
+              "structure during training.")
 
 
 if __name__ == "__main__":

@@ -1,19 +1,24 @@
 """Quickstart: the paper's Section 4.1 walkthrough on the SQL model.
 
 Trains the SQL auto-completion LSTM, prints a Figure 1-style activation
-trace, then runs the two analyses from the paper's API example:
+trace, then opens a :class:`repro.Session` — the connection-style entry
+point — and runs the two analyses from the paper's API example through
+its fluent query builder:
 
 1. Pearson correlation between every unit and grammar-rule hypotheses.
 2. Logistic-regression (L1) F1 predicting hypothesis behaviors from all
    unit activations.
+
+The session owns the behavior caches, so the warm re-run at the end costs
+no forward passes; the progressive section streams partial scores block
+by block, like an online aggregation query.
 
 Run:  python examples/quickstart.py
 """
 
 import time
 
-from repro import (HypothesisCache, InspectConfig, UnitBehaviorCache,
-                   inspect, top_units)
+from repro import Session
 from repro.data import generate_sql_workload
 from repro.hypotheses import grammar_hypotheses
 from repro.hypotheses.library import sql_keyword_hypotheses
@@ -54,7 +59,7 @@ def main() -> None:
     ascii_trace(model, workload.dataset, unit_ids=[12, 30, 47, 63],
                 record=min(10, workload.dataset.n_records - 1))
 
-    print("\n== 3. declarative inspection (the paper's API example) ==")
+    print("\n== 3. connect a Session and inspect declaratively ==")
     hypotheses = grammar_hypotheses(workload.grammar, workload.queries,
                                     workload.trees, mode="derivation")
     hypotheses += sql_keyword_hypotheses()
@@ -63,39 +68,54 @@ def main() -> None:
     scores = [CorrelationScore("pearson"),
               LogRegressionScore(regul="L1", score="F1", epochs=2,
                                  cv_folds=3)]
-    hyp_cache, unit_cache = HypothesisCache(), UnitBehaviorCache()
-    config = InspectConfig(mode="streaming", block_size=256,
-                           cache=hyp_cache, unit_cache=unit_cache)
-    t0 = time.perf_counter()
-    frame = inspect([model], workload.dataset, scores, hypotheses,
-                    config=config)
-    cold_s = time.perf_counter() - t0
-    print(f"result frame: {frame}")
+    with Session() as session:
+        session.register_model("sql_char_model", model)
+        session.register_dataset("d0", workload.dataset)
+        session.register_hypotheses(hypotheses)
 
-    print("\ntop units correlated with the SELECT keyword:")
-    print(top_units(frame, "corr:pearson", "kw:SELECT", k=5).select(
-        "h_unit_id", "val").to_string())
+        def query():
+            return (session.inspect("sql_char_model", "d0")
+                    .using(scores)
+                    .hypotheses(hypotheses)
+                    .with_config(mode="streaming", block_size=256))
 
-    print("\nmost predictable hypotheses (logreg F1, group scores):")
-    groups = frame.where(score_id="logreg:l1", kind="group")
-    print(groups.sort("val", reverse=True).head(8).select(
-        "hyp_id", "val").to_string())
+        t0 = time.perf_counter()
+        frame = query().run()
+        cold_s = time.perf_counter() - t0
+        print(f"result frame: {frame}")
 
-    print("\nruntime breakdown (seconds):")
-    for bucket, secs in config.stopwatch.breakdown().items():
-        print(f"  {bucket:24s} {secs:.2f}")
+        print("\ntop units correlated with the SELECT keyword "
+              "(builder top_k):")
+        top = (session.inspect("sql_char_model", "d0")
+               .using("corr").hypotheses("kw:SELECT")
+               .top_k(5).run())
+        print(top.where(kind="unit").select(
+            "h_unit_id", "val").to_string())
 
-    print("\n== 4. interactive re-run: both behavior caches are warm ==")
-    warm_config = InspectConfig(mode="streaming", block_size=256,
-                                cache=hyp_cache, unit_cache=unit_cache)
-    t0 = time.perf_counter()
-    inspect([model], workload.dataset, scores, hypotheses,
-            config=warm_config)
-    warm_s = time.perf_counter() - t0
-    print(f"cold run {cold_s:.2f}s -> warm run {warm_s:.2f}s "
-          f"({cold_s / max(warm_s, 1e-9):.1f}x)")
-    print(f"hypothesis cache: {hyp_cache.stats()}")
-    print(f"unit cache:       {unit_cache.stats()}")
+        print("\nmost predictable hypotheses (logreg F1, group scores):")
+        groups = frame.where(score_id="logreg:l1", kind="group")
+        print(groups.sort("val", reverse=True).head(8).select(
+            "hyp_id", "val").to_string())
+
+        print("\n== 4. progressive mode: scores refine as blocks arrive ==")
+        for partial in (session.inspect("sql_char_model", "d0")
+                        .using("corr").hypotheses(hypotheses)
+                        .with_config(mode="streaming", block_size=128)
+                        .stream()):
+            converged = sum(partial["converged"]) / max(len(partial), 1)
+            print(f"  {partial.records_processed:5d} records processed, "
+                  f"{converged:4.0%} of rows converged")
+        print("(early stopping freezes converged hypothesis columns; the "
+              "stream ends when every score has converged)")
+
+        print("\n== 5. interactive re-run: the session caches are warm ==")
+        t0 = time.perf_counter()
+        query().run()
+        warm_s = time.perf_counter() - t0
+        print(f"cold run {cold_s:.2f}s -> warm run {warm_s:.2f}s "
+              f"({cold_s / max(warm_s, 1e-9):.1f}x)")
+        for name, stats in session.stats().items():
+            print(f"{name}: {stats}")
 
 
 if __name__ == "__main__":

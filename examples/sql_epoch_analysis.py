@@ -1,13 +1,16 @@
 """What does the model learn across training epochs? (Appendix D, Fig 14).
 
-Captures model snapshots after chosen epochs and inspects each with the
-logistic-regression measure, showing that fundamental SQL clauses are
-learned early in training.
+Captures model snapshots after chosen epochs, registers every snapshot
+with one :class:`repro.Session`, and inspects them all in a single fluent
+query — the logistic-regression measure shows that fundamental SQL
+clauses are learned early in training.  One plan inspects every snapshot;
+the session's scheduler pool runs the per-snapshot score tasks in
+parallel.
 
 Run:  python examples/sql_epoch_analysis.py
 """
 
-from repro import InspectConfig, inspect
+from repro import Session
 from repro.data import generate_sql_workload
 from repro.hypotheses import grammar_hypotheses
 from repro.measures import LogRegressionScore
@@ -50,12 +53,20 @@ def main() -> None:
         mode="derivation") if h.name in TRACKED]
 
     measure = LogRegressionScore(regul="L1", epochs=2, cv_folds=3)
-    # one plan inspects every snapshot; the thread-pool scheduler runs the
-    # per-snapshot score tasks in parallel
-    ordered = [snapshots[e] for e in sorted(snapshots)]
-    frame = inspect(ordered, workload.dataset, [measure], hypotheses,
-                    config=InspectConfig(mode="full", max_records=400,
-                                         scheduler="threads"))
+    with Session() as session:
+        session.register_dataset("d0", workload.dataset)
+        session.register_hypotheses(hypotheses)
+        for epoch in sorted(snapshots):
+            snap = snapshots[epoch]
+            session.register_model(snap.model_id, snap, epoch=epoch)
+
+        ordered = [snapshots[e].model_id for e in sorted(snapshots)]
+        frame = (session.inspect(ordered, "d0")
+                 .using(measure)
+                 .hypotheses(hypotheses)
+                 .with_config(mode="full", max_records=400)
+                 .run())
+
     label_of = {snap.model_id: "init" if epoch == -1 else epoch
                 for epoch, snap in snapshots.items()}
     rows = []

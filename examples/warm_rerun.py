@@ -5,14 +5,15 @@ Run this script twice::
     python examples/warm_rerun.py           # cold: extracts + persists
     python examples/warm_rerun.py           # warm: zero forward passes
 
-The first invocation trains the SQL model deterministically, inspects it,
-and writes every extracted behavior through to a memory-mapped store under
-``./behavior_store``.  The second invocation — a completely separate
-process — re-derives the same model fingerprint and dataset hash, finds the
-raw activations already on disk, and serves the whole inspection from mmap
-reads: the extraction counters stay at zero and the scores are
-bit-identical.  ``--fresh`` wipes the store first; ``--gc BYTES`` applies a
-byte budget afterwards.
+The first invocation trains the SQL model deterministically and inspects
+it through a :class:`repro.Session` opened over ``./behavior_store`` —
+the session caches write every extracted behavior through to memory-mapped
+shards, committed once per run.  The second invocation — a completely
+separate process — re-derives the same model fingerprint and dataset hash,
+finds the raw activations already on disk, and serves the whole inspection
+from mmap reads: the extraction counters stay at zero and the scores are
+bit-identical.  ``--fresh`` wipes the store first; ``--gc BYTES`` applies
+a byte budget afterwards.
 """
 
 import argparse
@@ -20,8 +21,7 @@ import shutil
 import time
 from pathlib import Path
 
-from repro import (DiskBehaviorStore, HypothesisCache, InspectConfig,
-                   UnitBehaviorCache, inspect)
+from repro import Session
 from repro.data import generate_sql_workload
 from repro.hypotheses import grammar_hypotheses
 from repro.hypotheses.library import sql_keyword_hypotheses
@@ -53,39 +53,41 @@ def main() -> None:
                                     workload.trees, mode="derivation")
     hypotheses += sql_keyword_hypotheses()
 
-    print(f"\n== inspect with the persistent store at ./{STORE_DIR} ==")
-    store = DiskBehaviorStore(STORE_DIR)
-    was_empty = not store.keys()
-    unit_cache = UnitBehaviorCache(store=store)
-    hyp_cache = HypothesisCache(store=store)
-    config = InspectConfig(mode="streaming", early_stop=False, seed=0,
-                           store=store, unit_cache=unit_cache,
-                           cache=hyp_cache)
-    t0 = time.perf_counter()
-    frame = inspect([model], workload.dataset,
-                    [CorrelationScore("pearson"), DiffMeansScore()],
-                    hypotheses, config=config)
-    elapsed = time.perf_counter() - t0
+    print(f"\n== Session over the persistent store at ./{STORE_DIR} ==")
+    with Session(STORE_DIR) as session:
+        was_empty = not session.store.keys()
+        session.register_model("sql_char_model", model)
+        session.register_dataset("d0", workload.dataset)
+        session.register_hypotheses(hypotheses)
 
-    label = "COLD (store was empty)" if was_empty else "WARM (from mmap)"
-    print(f"{label}: {elapsed:.2f}s for {len(frame)} result rows")
-    print(f"unit cache:       {unit_cache.stats()}")
-    print(f"hypothesis cache: {hyp_cache.stats()}")
-    print(f"store:            {store.stats()}")
-    if not was_empty:
-        assert unit_cache.stats()["extractions"] == 0, \
-            "warm session must not run the model"
-        assert hyp_cache.stats()["extractions"] == 0, \
-            "warm session must not re-evaluate hypotheses"
-        print("zero extractor invocations: the model never ran "
-              "in this process")
-    else:
-        print("run this script again: the next process serves everything "
-              "from the store")
+        t0 = time.perf_counter()
+        frame = (session.inspect("sql_char_model", "d0")
+                 .using(CorrelationScore("pearson"), DiffMeansScore())
+                 .hypotheses(hypotheses)
+                 .with_config(mode="streaming", early_stop=False, seed=0)
+                 .run())
+        elapsed = time.perf_counter() - t0
 
-    if args.gc is not None:
-        report = store.gc(max_bytes=args.gc)
-        print(f"gc({args.gc}): {report}; now {store.stats()}")
+        label = "COLD (store was empty)" if was_empty else "WARM (from mmap)"
+        print(f"{label}: {elapsed:.2f}s for {len(frame)} result rows")
+        for name, stats in session.stats().items():
+            print(f"{name:16s}: {stats}")
+        if not was_empty:
+            assert session.unit_cache.stats()["extractions"] == 0, \
+                "warm session must not run the model"
+            assert session.hyp_cache.stats()["extractions"] == 0, \
+                "warm session must not re-evaluate hypotheses"
+            print("zero extractor invocations: the model never ran "
+                  "in this process")
+        else:
+            # the whole run landed in one manifest commit
+            assert session.store.stats()["commits"] == 1
+            print("run this script again: the next process serves "
+                  "everything from the store")
+
+        if args.gc is not None:
+            report = session.store.gc(max_bytes=args.gc)
+            print(f"gc({args.gc}): {report}; now {session.store.stats()}")
 
 
 if __name__ == "__main__":

@@ -4,12 +4,11 @@ DeepBase performs Deep Neural Inspection: measuring the statistical affinity
 between hidden-unit behaviors of trained neural networks and user-provided
 hypothesis functions, through the declarative :func:`inspect` API.
 
-Quick start::
+Quick start (the connection-style Session API)::
 
-    from repro import inspect, InspectConfig
+    from repro import Session
     from repro.data import generate_sql_workload
     from repro.hypotheses import grammar_hypotheses
-    from repro.measures import CorrelationScore, LogRegressionScore
     from repro.nn import CharLSTMModel, train_model
     from repro.util.rng import new_rng
 
@@ -18,9 +17,17 @@ Quick start::
     train_model(model, wl.dataset.symbols, wl.targets)
     hyps = grammar_hypotheses(wl.grammar, wl.queries, wl.trees,
                               mode="derivation")
-    frame = inspect([model], wl.dataset,
-                    [CorrelationScore("pearson"),
-                     LogRegressionScore(regul="L1")], hyps)
+    with Session() as session:
+        session.register_model("m0", model)
+        session.register_dataset("d0", wl.dataset)
+        session.register_hypotheses(hyps)
+        frame = (session.inspect("m0", "d0")
+                 .using("corr", "logreg_l1")
+                 .hypotheses(hyps)
+                 .run())
+
+The one-shot :func:`inspect` free function remains and is a thin shim over
+an ephemeral session.
 """
 
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
@@ -28,11 +35,13 @@ from repro.core.groups import UnitGroup, all_units_group, layer_groups
 from repro.core.inspect import InspectConfig, inspect, top_units
 from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
                                  ThreadPoolScheduler)
+from repro.core.progressive import inspect_progressive
 from repro.core.saliency import saliency_frame, top_symbols
+from repro.session import InspectionQuery, Session
 from repro.store import DiskBehaviorStore
 from repro.util.frame import Frame
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DiskBehaviorStore",
@@ -40,16 +49,19 @@ __all__ = [
     "HypothesisCache",
     "InspectConfig",
     "InspectionPlan",
+    "InspectionQuery",
     "Scheduler",
     "SerialScheduler",
+    "Session",
     "ThreadPoolScheduler",
     "UnitBehaviorCache",
     "UnitGroup",
+    "__version__",
     "all_units_group",
     "inspect",
+    "inspect_progressive",
     "layer_groups",
     "saliency_frame",
     "top_symbols",
     "top_units",
-    "__version__",
 ]

@@ -1,0 +1,111 @@
+"""``python -m repro`` — run INSPECT SQL against a :class:`Session`.
+
+Opens a session (optionally backed by a persistent behavior store) and
+executes SQL statements — from ``-c "..."`` or a ``.sql`` file — printing
+each result frame.  Because INSPECT statements need live Python objects
+(models, datasets, hypothesis functions), a ``--setup`` script registers
+them: it is executed with the open ``session`` in its globals::
+
+    # setup.py
+    session.register_model("m0", model)
+    session.register_dataset("d0", dataset)
+    session.register_hypotheses(hyps, name="keywords")
+
+    $ python -m repro --store ./behavior_store --setup setup.py \\
+          -c "SELECT S.uid, S.unit_score
+              INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+              FROM models M, units U, hypotheses H, inputs D
+              WHERE M.mid = U.mid ORDER BY S.unit_score DESC LIMIT 10"
+
+Statements are split on ``;``; plain SELECTs (catalog queries) work too.
+With a ``--store`` path, re-running the same inspection in a new process
+serves behaviors from the store with zero model forward passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.session import Session
+
+
+def _split_statements(text: str) -> list[str]:
+    """Split a script on ';' (the mini-SQL grammar has no string-embedded
+    semicolons to worry about beyond quoted literals, which we respect)."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            statements.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    statements.append("".join(current))
+    return [s.strip() for s in statements if s.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Execute INSPECT SQL statements against a repro "
+                    "Session.")
+    parser.add_argument("sql_file", nargs="?", metavar="FILE.sql",
+                        help="file of ';'-separated SQL statements")
+    parser.add_argument("-c", "--command", metavar="SQL", default=None,
+                        help="execute this SQL string instead of a file")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="open the session over a persistent "
+                             "DiskBehaviorStore at PATH")
+    parser.add_argument("--setup", metavar="SCRIPT.py", default=None,
+                        help="python script run with the open 'session' in "
+                             "globals, to register models/datasets/"
+                             "hypotheses")
+    parser.add_argument("--max-rows", type=int, default=40,
+                        help="rows to print per result frame (default 40)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if (args.command is None) == (args.sql_file is None):
+        parser.error("provide exactly one of FILE.sql or -c SQL")
+    if args.command is not None:
+        text = args.command
+    else:
+        path = Path(args.sql_file)
+        if not path.exists():
+            parser.error(f"no such SQL file: {path}")
+        text = path.read_text(encoding="utf-8")
+    statements = _split_statements(text)
+    if not statements:
+        parser.error("no SQL statements to execute")
+
+    with Session(args.store) as session:
+        if args.setup is not None:
+            setup_path = Path(args.setup)
+            if not setup_path.exists():
+                parser.error(f"no such setup script: {setup_path}")
+            code = compile(setup_path.read_text(encoding="utf-8"),
+                           str(setup_path), "exec")
+            exec(code, {"session": session, "__name__": "__setup__"})
+        for i, statement in enumerate(statements):
+            if len(statements) > 1:
+                print(f"-- statement {i + 1}/{len(statements)}")
+            try:
+                frame = session.sql(statement)
+            except Exception as exc:  # surface SQL errors, keep the trace out
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            print(frame.to_string(max_rows=args.max_rows))
+            print(f"({len(frame)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

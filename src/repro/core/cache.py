@@ -25,6 +25,13 @@ zero hypothesis evaluations.  Both tiers fill at record granularity, so
 streaming runs that stopped early still contribute partial contents, and
 the memory tiers are byte-bounded, lock-protected LRUs the thread-pool
 scheduler can share.
+
+In the connection-style API one :class:`repro.session.Session` owns a pair
+of these caches and threads them through every Python-builder and SQL
+query it executes, so interleaved queries on one model share a single
+forward sweep; :meth:`_ByteBoundedLRU.reset_counters` zeroes the
+observability counters without dropping the cached behaviors — the
+before/after primitive "this query extracted nothing" asserts build on.
 """
 
 from __future__ import annotations
@@ -203,16 +210,30 @@ class _ByteBoundedLRU:
                 "entries": len(self._entries),
                 "bytes": self._bytes}
 
+    def _reset_counters_locked(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.extractions = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/extraction counters, keeping every entry.
+
+        Cached behaviors stay warm — only the observability counters
+        restart, so callers can assert what one *specific* query cost
+        (e.g. "the second query on this model performed zero
+        extractions") instead of diffing running totals.
+        """
+        with self._lock:
+            self._reset_counters_locked()
+
     def clear(self) -> None:
         """Drop the memory tier (the disk tier, if any, is untouched)."""
         with self._lock:
             self._entries.clear()
             self._bytes = 0
-            self.hits = 0
-            self.misses = 0
-            self.disk_hits = 0
-            self.disk_misses = 0
-            self.extractions = 0
+            self._reset_counters_locked()
 
 
 class HypothesisCache(_ByteBoundedLRU):

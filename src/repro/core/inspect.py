@@ -20,12 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.groups import UnitGroup, all_units_group
-from repro.core.pipeline import (GroupMeasureOutcome, InspectConfig,
-                                 run_inspection)
+from repro.core.groups import UnitGroup
+from repro.core.pipeline import GroupMeasureOutcome, InspectConfig
 from repro.data.datasets import Dataset
 from repro.extract.base import Extractor
-from repro.extract.rnn import RnnActivationExtractor
 from repro.hypotheses.base import HypothesisFunction
 from repro.measures.base import Measure
 from repro.util.frame import Frame
@@ -64,25 +62,26 @@ def inspect(models, dataset: Dataset, scores, hypotheses,
         When False, return the raw list of
         :class:`GroupMeasureOutcome` instead of a result frame (cheaper for
         large unit counts).
+
+    This is a thin shim over an ephemeral :class:`repro.session.Session`
+    (``session_defaults=False``, so no caches or pools are created behind
+    the caller's back): one call builds one fluent query and runs it.
+    Long-lived workloads should hold a ``Session`` instead — repeated
+    queries then share extraction through its caches.
     """
+    from repro.session import Session  # session builds on this module
     if isinstance(scores, Measure):
         scores = [scores]
     if isinstance(hypotheses, HypothesisFunction):
         hypotheses = [hypotheses]
-    extractor = extractor or RnnActivationExtractor()
-    if unit_groups is None:
-        if models is None:
-            raise ValueError("provide models or explicit unit_groups")
-        if not isinstance(models, (list, tuple)):
-            models = [models]
-        unit_groups = [all_units_group(m, extractor) for m in models]
-    config = config or InspectConfig()
-
-    outcomes = run_inspection(unit_groups, dataset, list(scores),
-                              list(hypotheses), extractor, config)
-    if not as_frame:
-        return outcomes
-    return outcomes_to_frame(outcomes)
+    with Session(extractor=extractor, config=config,
+                 session_defaults=False) as session:
+        query = (session.inspect(models, dataset)
+                 .using(list(scores))
+                 .hypotheses(list(hypotheses)))
+        if unit_groups is not None:
+            query.where(groups=unit_groups)
+        return query.run(as_frame=as_frame)
 
 
 def outcomes_to_frame(outcomes: list[GroupMeasureOutcome]) -> Frame:

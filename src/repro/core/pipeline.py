@@ -32,6 +32,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -138,6 +139,10 @@ def default_scheduler() -> Scheduler:
 
 _SCHEDULERS = {"serial": SerialScheduler, "threads": ThreadPoolScheduler}
 
+#: guards InspectConfig._store_tiers memoization (one pair per config even
+#: when concurrent runs share the config object)
+_STORE_TIER_LOCK = threading.Lock()
+
 
 def _resolve_scheduler(spec) -> tuple[Scheduler, bool]:
     """Returns (scheduler, owned); owned schedulers are shut down after use."""
@@ -176,10 +181,34 @@ class InspectConfig:
     partition_min_rows: int = 0  # rows a state must see before freezing
     stopwatch: Stopwatch | None = None
     max_records: int | None = None
+    # memoized store-backed tiers (see with_store_tiers); never replace()d
+    _store_tiers: tuple | None = field(default=None, init=False, repr=False,
+                                       compare=False)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.scheduler is not None and not isinstance(
+                self.scheduler, (str, Scheduler)):
+            raise TypeError(f"scheduler must be a name or Scheduler, "
+                            f"got {self.scheduler!r}")
+        if isinstance(self.scheduler, str) \
+                and self.scheduler not in _SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{tuple(_SCHEDULERS)} or a Scheduler instance")
+        # a memory tier wired to one store while config.store names another
+        # would silently split the persistent state across directories —
+        # reject the conflict here, where every with_*() copy re-validates
+        for label, tier in (("cache", self.cache),
+                            ("unit_cache", self.unit_cache)):
+            tier_store = getattr(tier, "store", None)
+            if (tier_store is not None and self.store is not None
+                    and tier_store is not self.store):
+                raise ValueError(
+                    f"conflicting store wiring: {label} is backed by a "
+                    f"different DiskBehaviorStore than config.store; pass "
+                    f"one store object to both (or drop store=)")
         if self.stopwatch is None:
             self.stopwatch = Stopwatch()
 
@@ -190,12 +219,19 @@ class InspectConfig:
             store: DiskBehaviorStore | None = None) -> "InspectConfig":
         """A copy with unset sharing knobs filled from session defaults.
 
-        The SQL frontend keeps per-session caches, a persistent behavior
+        The session layer keeps per-session caches, a persistent behavior
         store and a thread-pool scheduler; a config that did not pin those
         fields inherits them, so repeated queries in one session share
         extracted behaviors (and across sessions, through the store), while
-        an explicitly-configured run is left untouched.
+        an explicitly-configured run is left untouched.  The operation is
+        idempotent: fields filled by one call are pinned, so a second call
+        (with the same or another session's defaults) changes nothing.
         """
+        if (cache is None or self.cache is not None) \
+                and (unit_cache is None or self.unit_cache is not None) \
+                and (store is None or self.store is not None) \
+                and (scheduler is None or self.scheduler is not None):
+            return self  # nothing to fill: don't build a copy per query
         return dataclasses.replace(
             self,
             cache=self.cache if self.cache is not None else cache,
@@ -211,16 +247,26 @@ class InspectConfig:
         A configured disk tier implies caching: runs that did not pin their
         own memory tiers get fresh ones backed by the store, so behaviors
         persist (and warm reads come back) even across processes that never
-        share a cache object.
+        share a cache object.  The derived tiers are memoized on this
+        config, so repeated calls (every plan build re-applies this) hand
+        back the *same* memory tiers instead of silently stacking a fresh
+        pair per run — repeated runs of one config share their memory tier
+        and report coherent hit counters.
         """
         if self.store is None or (self.cache is not None
                                   and self.unit_cache is not None):
             return self
+        with _STORE_TIER_LOCK:  # configs are shared across pool threads
+            if self._store_tiers is None \
+                    or self._store_tiers[0] is not self.store:
+                self._store_tiers = (self.store,
+                                     HypothesisCache(store=self.store),
+                                     UnitBehaviorCache(store=self.store))
+            _, hyp_tier, unit_tier = self._store_tiers
         return dataclasses.replace(
             self,
-            cache=self.cache or HypothesisCache(store=self.store),
-            unit_cache=self.unit_cache or UnitBehaviorCache(
-                store=self.store))
+            cache=self.cache or hyp_tier,
+            unit_cache=self.unit_cache or unit_tier)
 
     def threshold_for(self, score_id: str) -> float:
         if isinstance(self.error_threshold, (int, float)):
@@ -527,6 +573,7 @@ class ScoreTask:
         self._frozen_group: np.ndarray | None = None
         self._last: MeasureResult | None = None
         self.records_processed = 0
+        self.last_error = float("inf")  # error bound after the last block
         self.done = False
 
     # ------------------------------------------------------------------
@@ -543,11 +590,13 @@ class ScoreTask:
             self.col_rows[:] = u_block.shape[0]
             self.col_converged[:] = True
             self.records_processed = n_records
+            self.last_error = 0.0
             self.done = True
             return
         result, err = self.measure.process_block(self.state, u_block,
                                                  h_block)
         self._last = result
+        self.last_error = float(err)
         self.records_processed += n_records
         self.col_rows[self.active_cols] += u_block.shape[0]
         if not self.early_stop:
@@ -705,21 +754,56 @@ class InspectionPlan:
         return "\n".join(lines)
 
     def execute(self) -> list[GroupMeasureOutcome]:
+        for _ in self.execute_blocks():
+            pass
+        return self.outcomes()
+
+    def execute_blocks(self):
+        """Drive the executor loop, yielding once after each block.
+
+        The run's full lifecycle rides on the generator: the scheduler is
+        resolved up front (and an owned one shut down at exhaustion *or*
+        abandonment), and the whole run shares one store commit scope —
+        one manifest rewrite per run, not one per (entry, block); shard
+        files still land (fsynced) as they are extracted, they just become
+        visible together when the scope closes.  Callers snapshot whatever
+        task state they need between steps (:meth:`outcomes`, or
+        individual tasks for cheaper partial reads).
+        """
         scheduler, owned = _resolve_scheduler(self.config.scheduler)
-        # one manifest commit per run, not one per (entry, block): shard
-        # files still land (fsynced) as they are extracted, they just
-        # become visible together when the run's scope closes
         store_scope = (self.config.store.deferred_commits()
                        if self.config.store is not None
                        else contextlib.nullcontext())
         try:
             with store_scope:
-                return self._execute(scheduler)
+                yield from self._block_steps(scheduler)
         finally:
             if owned:
                 scheduler.shutdown()
 
-    def _execute(self, scheduler: Scheduler) -> list[GroupMeasureOutcome]:
+    def execute_progressive(self):
+        """Generator over per-block result snapshots (Section 5.2.3).
+
+        Yields the full outcome list after every processed block, so
+        interactive callers watch scores refine as blocks arrive; the final
+        snapshot is exactly :meth:`execute`'s return value (same loop, same
+        states, same order).  Abandoning the generator stops the run
+        cleanly: the store scope flushes and an owned scheduler shuts down
+        on ``close()``, and no further extraction happens.
+        """
+        # closing(): GeneratorExit at our yield must still run the inner
+        # generator's cleanup promptly (store flush, owned-pool shutdown)
+        with contextlib.closing(self.execute_blocks()) as steps:
+            for _ in steps:
+                yield self.outcomes()
+
+    def outcomes(self) -> list[GroupMeasureOutcome]:
+        """Current (possibly partial) outcome snapshot of every task."""
+        names = [h.name for h in self.hypotheses]
+        return [task.outcome(names) for task in self.tasks]
+
+    def _block_steps(self, scheduler: Scheduler):
+        """The executor loop; yields once after each processed block."""
         watch = self.config.stopwatch
         n_hyps = len(self.hypotheses)
         self.source.prepare(scheduler, watch)
@@ -761,8 +845,7 @@ class InspectionPlan:
                     lambda task: task.process(u_blocks[task.gi], h_for(task),
                                               n_records),
                     pending)
-        names = [h.name for h in self.hypotheses]
-        return [task.outcome(names) for task in self.tasks]
+            yield sl
 
 
 def run_inspection(groups: list[UnitGroup], dataset: Dataset,

@@ -2,9 +2,16 @@
 
 Streaming execution means affinity scores can be computed and updated
 progressively, like online aggregation queries, so the user can stop
-DeepBase after any block.  :func:`inspect_progressive` exposes exactly that:
-a generator yielding a :class:`ProgressiveUpdate` after every processed
-block, carrying the current scores, error estimates and convergence state.
+DeepBase after any block.  Since PR 5 the per-block loop lives in the plan
+executor itself (:meth:`repro.core.pipeline.InspectionPlan.
+execute_progressive`) — the engine that serves one-shot ``inspect()`` calls
+and the Session API's ``.stream()`` is the same one that yields partial
+results here, so progressive runs share caches, stores and schedulers with
+everything else and the final update is bit-identical to a one-shot run.
+
+:func:`inspect_progressive` keeps the seed generator surface: one
+:class:`ProgressiveUpdate` list per processed block, carrying the current
+scores, error estimates and convergence state.
 """
 
 from __future__ import annotations
@@ -12,16 +19,12 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.groups import UnitGroup, all_units_group
-from repro.core.pipeline import InspectConfig, _extract_hypotheses
+from repro.core.pipeline import InspectConfig, InspectionPlan
 from repro.data.datasets import Dataset
 from repro.extract.base import Extractor
 from repro.extract.rnn import RnnActivationExtractor
 from repro.measures.base import Measure, MeasureResult
-from repro.util.blocks import iter_blocks
-from repro.util.rng import new_rng
 
 
 @dataclass
@@ -44,7 +47,8 @@ def inspect_progressive(models, dataset: Dataset, scores, hypotheses,
     """Yield per-block score updates; stops when all scores converge.
 
     Consume lazily and ``break`` at any point to stop the analysis early --
-    no further extraction happens after the generator is abandoned.
+    no further extraction happens after the generator is abandoned (owned
+    schedulers shut down and pending store commits flush on close).
     """
     if isinstance(scores, Measure):
         scores = [scores]
@@ -57,51 +61,36 @@ def inspect_progressive(models, dataset: Dataset, scores, hypotheses,
         unit_groups = [all_units_group(m, extractor) for m in models]
     config = config or InspectConfig(mode="streaming")
 
-    rng = new_rng(config.seed)
-    n_records = dataset.n_records
-    if config.max_records is not None:
-        n_records = min(n_records, config.max_records)
-    order = np.arange(n_records)
-    if config.shuffle:
-        rng.shuffle(order)
+    plan = InspectionPlan.build(unit_groups, dataset, list(scores),
+                                list(hypotheses), extractor, config)
+    names = [h.name for h in plan.hypotheses]
 
-    n_hyps = len(hypotheses)
-    states = {(gi, mi): m.new_state(g.n_units, n_hyps)
-              for gi, g in enumerate(unit_groups)
-              for mi, m in enumerate(scores)}
-    done: set[tuple[int, int]] = set()
-    records_done = {key: 0 for key in states}
+    def update_of(task) -> ProgressiveUpdate:
+        outcome = task.outcome(names)
+        return ProgressiveUpdate(
+            group=outcome.group, measure=outcome.measure,
+            result=outcome.result, error=task.last_error,
+            records_processed=outcome.records_processed,
+            # converged reports the convergence *criterion*, independent
+            # of whether early stopping acts on it (early_stop=False keeps
+            # processing but still tells the caller the bound is met)
+            converged=task.done or (task.measure.supports_early_stop
+                                    and task.last_error <= task.threshold))
 
-    for block in iter_blocks(order.shape[0], config.block_size):
-        indices = order[block]
-        h_block = _extract_hypotheses(hypotheses, dataset, indices,
-                                      config.cache)
-        unit_cache: dict[tuple[int, int], np.ndarray] = {}
-        updates: list[ProgressiveUpdate] = []
-        for gi, group in enumerate(unit_groups):
-            ext = group.extractor or extractor
-            key = (id(group.model), id(ext))
-            if key not in unit_cache:
-                unit_cache[key] = ext.extract(
-                    group.model, dataset.symbols[indices], hid_units=None)
-            u_block = unit_cache[key][:, group.unit_ids]
-            for mi, measure in enumerate(scores):
-                skey = (gi, mi)
-                if skey in done:
-                    continue
-                result, err = measure.process_block(states[skey], u_block,
-                                                    h_block)
-                records_done[skey] += indices.shape[0]
-                converged = (measure.supports_early_stop
-                             and err <= config.threshold_for(
-                                 measure.score_id))
-                if converged and config.early_stop:
-                    result.converged = True
-                    done.add(skey)
-                updates.append(ProgressiveUpdate(
-                    group=group, measure=measure, result=result, error=err,
-                    records_processed=records_done[skey],
-                    converged=converged))
-        yield updates
-        if config.early_stop and len(done) == len(states):
-            return
+    steps = plan.execute_blocks()
+    try:
+        while True:
+            # seed semantics: a task that finished on an earlier block
+            # drops out of later update lists, and pays no further
+            # snapshot cost — only tasks the block advanced build outcomes
+            was_done = [task.done for task in plan.tasks]
+            try:
+                next(steps)
+            except StopIteration:
+                return
+            yield [update_of(task) for task, done_before
+                   in zip(plan.tasks, was_done) if not done_before]
+    finally:
+        # deterministic cleanup even when abandoned mid-stream (don't
+        # lean on refcount GC): flush the store scope, stop owned pools
+        steps.close()

@@ -44,7 +44,6 @@ engine rather than interpreted row-at-a-time:
 from __future__ import annotations
 
 import dataclasses
-import weakref
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,7 +52,7 @@ import numpy as np
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup
 from repro.core.pipeline import (InspectConfig, Scheduler, _resolve_scheduler,
-                                 default_scheduler, run_inspection)
+                                 run_inspection)
 from repro.data.datasets import Dataset
 from repro.db.engine import Database, Table
 from repro.db.executor import (SelectItem, SelectQuery, _broadcast,
@@ -77,12 +76,15 @@ _TMP_TABLE = "__inspect_s__"
 class InspectQuery:
     """Binding context: catalog database + live Python objects.
 
-    The context doubles as the *session*: unless the supplied
-    :class:`InspectConfig` pins them, queries share a hypothesis-behavior
-    cache, a unit-behavior cache and a thread-pool scheduler across calls,
-    so a repeated or refined query only pays for what changed.  Point
-    ``store_path`` (or ``store``) at a directory and the session caches
-    become memory tiers over a persistent
+    Since PR 5 this is a thin shim over :class:`repro.session.Session` —
+    the context creates one session that owns the resource lifecycle
+    (shared caches, an optional persistent store, one scheduler pool), and
+    mirrors the session's resources onto its public fields.  Unless the
+    supplied :class:`InspectConfig` pins them, queries share a
+    hypothesis-behavior cache, a unit-behavior cache and a thread-pool
+    scheduler across calls, so a repeated or refined query only pays for
+    what changed.  Point ``store_path`` (or ``store``) at a directory and
+    the session caches become memory tiers over a persistent
     :class:`~repro.store.DiskBehaviorStore`: a new process opening a
     context on the same path serves previously-inspected queries without
     re-running any model.
@@ -102,33 +104,33 @@ class InspectQuery:
     session_defaults: bool = True   # False: run with config exactly as given
 
     def __post_init__(self) -> None:
-        if self.store is None and self.store_path is not None:
-            self.store = DiskBehaviorStore(self.store_path)
-        if self.store is None:
-            self.store = self.config.store
-        if self.session_defaults:
-            if self.hyp_cache is None and self.config.cache is None:
-                self.hyp_cache = HypothesisCache(store=self.store)
-            if self.unit_cache is None and self.config.unit_cache is None:
-                self.unit_cache = UnitBehaviorCache(store=self.store)
-            if self.scheduler is None and self.config.scheduler is None:
-                self.scheduler = default_scheduler()
-                # the session owns this scheduler: release its worker pool
-                # when the context is collected, not only on close()
-                weakref.finalize(self, self.scheduler.shutdown)
+        from repro.session import Session  # session builds on this module
+        self._session = Session(
+            db=self.db, models=self.models, hypotheses=self.hypotheses,
+            datasets=self.datasets, extractor=self.extractor,
+            config=self.config, hyp_cache=self.hyp_cache,
+            unit_cache=self.unit_cache, scheduler=self.scheduler,
+            store=self.store, store_path=self.store_path,
+            session_defaults=self.session_defaults)
+        # the registries are shared by reference; mirror the resources the
+        # session resolved/created so the public fields stay live
+        self.store = self._session.store
+        self.hyp_cache = self._session.hyp_cache
+        self.unit_cache = self._session.unit_cache
+        self.scheduler = self._session.scheduler
+
+    @property
+    def session(self):
+        """The owning :class:`repro.session.Session`."""
+        return self._session
 
     def effective_config(self) -> InspectConfig:
         """The per-run config with session defaults filled in."""
-        if not self.session_defaults:
-            return self.config
-        return self.config.with_session_defaults(
-            cache=self.hyp_cache, unit_cache=self.unit_cache,
-            scheduler=self.scheduler, store=self.store)
+        return self._session.effective_config()
 
     def close(self) -> None:
-        """Release the session scheduler's thread pool."""
-        if isinstance(self.scheduler, Scheduler):
-            self.scheduler.shutdown()
+        """Flush the session store and release the scheduler's pool."""
+        self._session.close()
 
     def __enter__(self) -> "InspectQuery":
         return self
@@ -138,6 +140,9 @@ class InspectQuery:
 
     # ------------------------------------------------------------------
     def register_model(self, mid: str, model, **attrs) -> None:
+        # seed-exact behavior: a models catalog row only (no implicit
+        # units rows), and *any* attr name is a column — including names
+        # Session.register_model reserves as keywords (units, layer, ...)
         self.models[mid] = model
         table = self.db.tables.get("models")
         if table is None:
@@ -447,15 +452,21 @@ def _group_datasets(context: InspectQuery, spec: InspectSpec,
 # ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
-def run_inspect_sql(context: InspectQuery, sql: str) -> Frame:
-    """Parse and execute a SQL statement with an INSPECT clause."""
+def run_inspect_sql(context, sql: str) -> Frame:
+    """Parse and execute a SQL statement with an INSPECT clause.
+
+    ``context`` is anything exposing the binding surface — ``db``,
+    ``models``, ``hypotheses``, ``datasets``, ``extractor`` and
+    ``effective_config()`` — i.e. an :class:`InspectQuery` or a
+    :class:`repro.session.Session`.
+    """
     spec = parse_sql(sql)
     if not isinstance(spec, InspectSpec):
         raise ValueError("query has no INSPECT clause; use execute_select")
     return run_inspect_spec(context, spec)
 
 
-def run_inspect_spec(context: InspectQuery, spec: InspectSpec) -> Frame:
+def run_inspect_spec(context, spec: InspectSpec) -> Frame:
     db = context.db
     if any(alias == spec.inspect_alias for _, alias in spec.tables):
         raise ValueError(f"INSPECT alias {spec.inspect_alias!r} collides "

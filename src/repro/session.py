@@ -1,0 +1,616 @@
+"""The connection-style entry point: one :class:`Session` for Python + SQL.
+
+DeepBase frames Deep Neural Inspection as a declarative query system
+(Section 4): users *connect*, register models, datasets and hypothesis
+functions, and issue queries the engine optimizes and answers
+incrementally.  :class:`Session` is that connection.  It owns the resource
+lifecycle every query shares —
+
+* a :class:`~repro.core.cache.HypothesisCache` and a
+  :class:`~repro.core.cache.UnitBehaviorCache` (memory tiers),
+* optionally a persistent :class:`~repro.store.DiskBehaviorStore`
+  (``store_path=``), which the caches write through to with run-scoped
+  deferred commits (one manifest rewrite per query),
+* one scheduler pool (:func:`~repro.core.pipeline.default_scheduler`
+  unless pinned),
+
+— and carries name registries (:meth:`register_model`,
+:meth:`register_dataset`, :meth:`register_hypotheses`) addressable from
+both query surfaces:
+
+* the fluent Python builder ::
+
+      with Session("behavior_store") as session:
+          session.register_model("m0", model)
+          session.register_dataset("d0", dataset)
+          session.register_hypotheses(hyps)
+          frame = (session.inspect("m0", "d0")
+                   .using("corr", "logreg")
+                   .hypotheses(hyps)
+                   .top_k(20)
+                   .run())
+          for partial in (session.inspect("m0", "d0").using("corr")
+                          .hypotheses(hyps).stream()):
+              ...  # scores refine as blocks arrive
+
+* the SQL frontend — :meth:`Session.sql` compiles ``SELECT ... INSPECT``
+  statements through :mod:`repro.db.inspect_clause` against the same
+  caches, store and scheduler, so interleaved Python and SQL queries on
+  one model share a single forward pass and one store commit per run.
+
+``close()`` (or leaving the ``with`` block) flushes the store and shuts
+the scheduler pool down.  The seed APIs remain: :func:`repro.inspect` and
+:class:`repro.db.inspect_clause.InspectQuery` are thin shims over an
+ephemeral ``Session``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import weakref
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.cache import HypothesisCache, UnitBehaviorCache
+from repro.core.groups import UnitGroup, all_units_group
+from repro.core.inspect import outcomes_to_frame
+from repro.core.pipeline import (InspectConfig, InspectionPlan, Scheduler,
+                                 default_scheduler)
+from repro.data.datasets import Dataset
+from repro.db.engine import Database
+from repro.db.sqlparser import InspectSpec, parse_sql
+from repro.extract.base import Extractor
+from repro.hypotheses.base import HypothesisFunction
+from repro.measures.base import Measure
+from repro.measures.registry import get_measure
+from repro.store import DiskBehaviorStore
+from repro.util.frame import Frame
+
+
+class Session:
+    """A long-lived inspection connection: resources + registries.
+
+    Parameters
+    ----------
+    store_path:
+        Directory for a persistent :class:`DiskBehaviorStore`; the session
+        caches become memory tiers over it (``store=`` passes an existing
+        store object instead).
+    db:
+        Catalog database for the SQL frontend; created empty on first use
+        when omitted (``register_*`` fills it).
+    models / hypotheses / datasets:
+        Pre-filled registries (shared by reference — the
+        :class:`~repro.db.inspect_clause.InspectQuery` shim relies on
+        this); usually left to :meth:`register_model` & friends.
+    extractor:
+        Default unit-behavior extractor for both query surfaces; defaults
+        to :class:`~repro.extract.rnn.RnnActivationExtractor`.
+    config:
+        Base :class:`InspectConfig` every query derives from.  Fields it
+        pins (an explicit cache, scheduler, store...) override the
+        session's resources for every query, exactly like the seed APIs.
+    session_defaults:
+        When False the session creates *no* resources of its own and
+        :meth:`effective_config` returns ``config`` untouched — the mode
+        the ephemeral-``Session`` shims run in, preserving seed behavior.
+    """
+
+    def __init__(self, store_path=None, *,
+                 store: DiskBehaviorStore | None = None,
+                 db: Database | None = None,
+                 models: dict | None = None,
+                 hypotheses: dict[str, HypothesisFunction] | None = None,
+                 datasets: dict[str, Dataset] | None = None,
+                 extractor: Extractor | None = None,
+                 config: InspectConfig | None = None,
+                 hyp_cache: HypothesisCache | None = None,
+                 unit_cache: UnitBehaviorCache | None = None,
+                 scheduler: Scheduler | str | None = None,
+                 session_defaults: bool = True):
+        self.config = config or InspectConfig()
+        if store is None and store_path is not None:
+            store = DiskBehaviorStore(store_path)
+        if store is None:
+            store = self.config.store
+        elif self.config.store is not None and self.config.store is not store:
+            raise ValueError(
+                "conflicting store settings: the session was given one "
+                "DiskBehaviorStore and config.store names another; pass a "
+                "single store object (or drop one of them)")
+        self.store = store
+        self.models: dict = models if models is not None else {}
+        self.hypotheses: dict[str, HypothesisFunction] = (
+            hypotheses if hypotheses is not None else {})
+        self.datasets: dict[str, Dataset] = (
+            datasets if datasets is not None else {})
+        self._db = db
+        if extractor is None:
+            from repro.extract.rnn import RnnActivationExtractor
+            extractor = RnnActivationExtractor()
+        self.extractor = extractor
+        self.session_defaults = session_defaults
+        self.hyp_cache = hyp_cache
+        self.unit_cache = unit_cache
+        self.scheduler = scheduler
+        self._closed = False
+        if session_defaults:
+            if self.hyp_cache is None and self.config.cache is None:
+                self.hyp_cache = HypothesisCache(store=self.store)
+            if self.unit_cache is None and self.config.unit_cache is None:
+                self.unit_cache = UnitBehaviorCache(store=self.store)
+            if self.scheduler is None and self.config.scheduler is None:
+                self.scheduler = default_scheduler()
+                # the session owns this scheduler: release its worker pool
+                # when the session is collected, not only on close()
+                weakref.finalize(self, self.scheduler.shutdown)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def db(self) -> Database:
+        """The SQL catalog (created lazily on first use)."""
+        if self._db is None:
+            self._db = Database()
+        return self._db
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush the store and shut the scheduler pool down.
+
+        Idempotent; after closing, issuing queries through this session
+        raises :class:`RuntimeError` (a shut-down pool would otherwise
+        silently respawn its worker threads).  The held scheduler is shut
+        down even when the caller supplied it — the seed ``InspectQuery``
+        contract; a scheduler shared with another *live* session stays
+        usable there, lazily respawning its pool on next use.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.store is not None:
+            self.store.flush()
+        if isinstance(self.scheduler, Scheduler):
+            self.scheduler.shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("session is closed")
+
+    # -- registries -----------------------------------------------------
+    @staticmethod
+    def _catalog_row(table, keys: list, attrs: dict, what: str) -> list:
+        """One catalog row, validated against the table's attr columns.
+
+        The first registration fixes a table's schema; later calls must
+        supply the same attribute set — a mismatch would otherwise drop
+        attrs silently (or die on a bare KeyError) and corrupt the
+        catalog for every later query.
+        """
+        expected = set(table.columns[len(keys):])
+        if set(attrs) != expected:
+            raise ValueError(
+                f"{what} attributes {sorted(attrs)} do not match the "
+                f"catalog columns {sorted(expected)} fixed by the first "
+                f"registration; register every {what} with the same "
+                f"attribute set")
+        return keys + [attrs[c] for c in table.columns[len(keys):]]
+
+    def _drop_catalog_rows(self, table_name: str, key_col: str,
+                           value) -> None:
+        """Remove a key's rows so re-registration *replaces* its catalog
+        entry — the registry dict overwrites, and a second insert would
+        otherwise silently duplicate every joined row downstream."""
+        table = self.db.tables.get(table_name)
+        if table is None:
+            return
+        col = table.col_index(key_col)
+        rows = [r for r in table.rows if r[col] != value]
+        if len(rows) != len(table.rows):
+            self.db.create_table(table_name, table.columns, rows,
+                                 replace=True)
+
+    def register_model(self, mid: str, model, *, units=None, layer=0,
+                       catalog: bool = True, **attrs) -> None:
+        """Register a model under ``mid`` for both query surfaces.
+
+        Also inserts catalog rows for the SQL frontend: one ``models`` row
+        (``mid`` + ``attrs``) and — unless ``units=False`` — one ``units``
+        row ``(mid, uid, layer)`` per hidden unit.  ``units`` may be an
+        explicit unit-id sequence, a unit count, or ``None`` to take every
+        unit the session extractor exposes.  ``catalog=False`` registers
+        the Python object only.  Registering an existing ``mid`` again
+        (e.g. a re-run notebook cell with a retrained model) replaces its
+        catalog rows, mirroring the registry overwrite.
+        """
+        self._check_open()
+        replacing = mid in self.models
+        self.models[mid] = model
+        if not catalog:
+            return
+        if replacing:
+            self._drop_catalog_rows("models", "mid", mid)
+            self._drop_catalog_rows("units", "mid", mid)
+        table = self.db.tables.get("models")
+        if table is None:
+            table = self.db.create_table("models", ["mid"] + sorted(attrs))
+        table.insert(self._catalog_row(table, [mid], attrs, "model"))
+        if units is False:
+            return
+        if units is None:
+            units = self._n_units_of(model)
+            if units is None:
+                return  # no unit count derivable: Python surface only
+        uids = (np.arange(int(units)) if np.isscalar(units)
+                else np.asarray(list(units), dtype=int))
+        units_table = self.db.tables.get("units")
+        if units_table is None:
+            units_table = self.db.create_table("units",
+                                               ["mid", "uid", "layer"])
+        units_table.insert_many([[mid, int(u), layer] for u in uids])
+
+    def _n_units_of(self, model) -> int | None:
+        try:
+            return int(self.extractor.n_units(model))
+        except (AttributeError, NotImplementedError, TypeError):
+            pass
+        n = getattr(model, "n_units", None)
+        return int(n) if n is not None else None
+
+    def register_dataset(self, did: str, dataset: Dataset,
+                         catalog: bool = True, **attrs) -> None:
+        """Register a dataset under ``did`` (and as an ``inputs`` row);
+        re-registering a ``did`` replaces its row."""
+        self._check_open()
+        replacing = did in self.datasets
+        self.datasets[did] = dataset
+        if not catalog:
+            return
+        if replacing:
+            self._drop_catalog_rows("inputs", "did", did)
+        attrs.setdefault("seq", "seq")
+        table = self.db.tables.get("inputs")
+        if table is None:
+            table = self.db.create_table(
+                "inputs", ["did"] + sorted(attrs))
+        table.insert(self._catalog_row(table, [did], attrs, "dataset"))
+
+    def register_hypotheses(self, hypotheses, catalog: bool = True,
+                            **attrs) -> None:
+        """Register hypothesis functions by name (single or iterable).
+
+        Each hypothesis lands in the registry under ``hypothesis.name`` and
+        as a ``hypotheses`` catalog row ``(h, name, *attrs)``; ``name``
+        defaults to the hypothesis's own name and serves as the label
+        column queries filter on (``WHERE H.name = 'keywords'``).
+        Re-registering a name replaces its row.
+        """
+        self._check_open()
+        if isinstance(hypotheses, HypothesisFunction) \
+                or not isinstance(hypotheses, Iterable):
+            hypotheses = [hypotheses]
+        # dedupe within the call exactly like the registry does (last
+        # object under a name wins) so catalog rows match the registry
+        by_name = {hyp.name: hyp for hyp in hypotheses}
+        hypotheses = list(by_name.values())
+        for hyp in hypotheses:
+            if catalog and hyp.name in self.hypotheses:
+                self._drop_catalog_rows("hypotheses", "h", hyp.name)
+            self.hypotheses[hyp.name] = hyp
+        if not catalog:
+            return
+        table = self.db.tables.get("hypotheses")
+        if table is None:
+            columns = ["h", "name"] + sorted(set(attrs) - {"name"})
+            table = self.db.create_table("hypotheses", columns)
+        for hyp in hypotheses:
+            row_attrs = dict(attrs)
+            row_attrs.setdefault("name", hyp.name)
+            table.insert(self._catalog_row(table, [hyp.name], row_attrs,
+                                           "hypothesis"))
+
+    # -- name resolution ------------------------------------------------
+    def model(self, ref):
+        """Resolve a model reference (registered name or live object)."""
+        if isinstance(ref, str):
+            try:
+                return self.models[ref]
+            except KeyError:
+                raise KeyError(f"model {ref!r} is not registered with the "
+                               f"session") from None
+        return ref
+
+    def dataset(self, ref=None) -> Dataset:
+        """Resolve a dataset reference; ``None`` picks the sole registered
+        dataset."""
+        if ref is None:
+            if len(self.datasets) != 1:
+                raise ValueError(
+                    f"dataset is required: the session registers "
+                    f"{len(self.datasets)} datasets")
+            return next(iter(self.datasets.values()))
+        if isinstance(ref, str):
+            try:
+                return self.datasets[ref]
+            except KeyError:
+                raise KeyError(f"dataset {ref!r} is not registered with "
+                               f"the session") from None
+        return ref
+
+    def hypothesis(self, ref) -> HypothesisFunction:
+        """Resolve a hypothesis reference (registered name or object)."""
+        if isinstance(ref, str):
+            try:
+                return self.hypotheses[ref]
+            except KeyError:
+                raise KeyError(f"hypothesis {ref!r} is not registered with "
+                               f"the session") from None
+        return ref
+
+    # -- query surfaces -------------------------------------------------
+    def effective_config(self) -> InspectConfig:
+        """The per-run config with the session's resources filled in.
+
+        Raises once the session is closed — every query path (builder,
+        ``sql()``, and the lower-level ``run_inspect_spec`` entry points
+        that take the session as their context) resolves its config here,
+        so none of them can silently respawn a shut-down pool.
+        """
+        self._check_open()
+        if not self.session_defaults:
+            return self.config
+        return self.config.with_session_defaults(
+            cache=self.hyp_cache, unit_cache=self.unit_cache,
+            scheduler=self.scheduler, store=self.store)
+
+    def inspect(self, models=None, dataset=None, *,
+                extractor: Extractor | None = None) -> "InspectionQuery":
+        """Start a fluent, lazy inspection query.
+
+        ``models`` is one model (or registered name) or a list of them;
+        ``dataset`` likewise resolves through the registry.  Nothing
+        executes until :meth:`InspectionQuery.run` /
+        :meth:`InspectionQuery.stream`.
+        """
+        self._check_open()
+        return InspectionQuery(self, models=models, dataset=dataset,
+                               extractor=extractor)
+
+    def sql(self, statement: str) -> Frame:
+        """Execute one SQL statement against the session catalog.
+
+        Statements with an ``INSPECT`` clause compile through the shared
+        inspection planner wired to this session's caches, store and
+        scheduler; plain ``SELECT`` statements run on the columnar engine.
+        """
+        self._check_open()
+        from repro.db.executor import execute_select
+        from repro.db.inspect_clause import run_inspect_spec
+        parsed = parse_sql(statement)
+        if isinstance(parsed, InspectSpec):
+            return run_inspect_spec(self, parsed)
+        rows = execute_select(self.db, parsed)
+        return Frame.from_records(
+            rows, columns=[item.alias for item in parsed.items])
+
+    def stats(self) -> dict:
+        """Cache/store counters for the session's shared resources."""
+        out: dict = {}
+        if self.hyp_cache is not None:
+            out["hypothesis_cache"] = self.hyp_cache.stats()
+        if self.unit_cache is not None:
+            out["unit_cache"] = self.unit_cache.stats()
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out
+
+    def reset_counters(self) -> None:
+        """Zero the cache counters; cached behaviors stay warm.
+
+        Bracket a query with this and :meth:`stats` to see what that one
+        query cost (hits served vs. fresh extractions).
+        """
+        for cache in (self.hyp_cache, self.unit_cache):
+            if cache is not None:
+                cache.reset_counters()
+
+
+class InspectionQuery:
+    """A fluent, lazy inspection query bound to a :class:`Session`.
+
+    Builder methods mutate and return the same query, so they chain::
+
+        session.inspect("m0", "d0").using("corr").hypotheses(hyps).run()
+
+    Compilation to an :class:`~repro.core.pipeline.InspectionPlan` happens
+    in :meth:`plan`; :meth:`run` executes it to one result
+    :class:`~repro.util.frame.Frame`, :meth:`stream` executes the same
+    plan progressively, yielding a partial frame after every block (the
+    final one bit-identical to :meth:`run`'s).
+    """
+
+    def __init__(self, session: Session, models=None, dataset=None,
+                 extractor: Extractor | None = None):
+        self._session = session
+        self._models = models
+        self._dataset = dataset
+        self._extractor = extractor
+        self._measures: list = []
+        self._hypotheses: list = []
+        self._units = None
+        self._groups: list[UnitGroup] | None = None
+        self._top_k: int | None = None
+        self._overrides: dict = {}
+
+    # -- builder steps --------------------------------------------------
+    def using(self, *measures) -> "InspectionQuery":
+        """Add affinity measures: registry names or Measure objects."""
+        for measure in self._flatten(measures):
+            if isinstance(measure, str):
+                measure = get_measure(measure)
+            elif not isinstance(measure, Measure):
+                raise TypeError(f"expected a measure name or Measure, "
+                                f"got {measure!r}")
+            self._measures.append(measure)
+        return self
+
+    def hypotheses(self, *hypotheses) -> "InspectionQuery":
+        """Add hypothesis functions: registered names or objects."""
+        for hyp in self._flatten(hypotheses):
+            self._hypotheses.append(self._session.hypothesis(hyp))
+        return self
+
+    def where(self, units=None,
+              groups: list[UnitGroup] | None = None) -> "InspectionQuery":
+        """Restrict the inspected units.
+
+        ``units`` is a unit-id sequence applied to every model;
+        ``groups`` supplies explicit :class:`UnitGroup` objects instead
+        (and takes precedence over ``models``, which groups carry).
+        """
+        if units is not None:
+            self._units = np.asarray(list(units), dtype=int)
+        if groups is not None:
+            self._groups = list(groups)
+        return self
+
+    def top_k(self, k: int) -> "InspectionQuery":
+        """Keep only the ``k`` highest-|affinity| unit rows per
+        (model, measure, hypothesis) in the result frame (group-affinity
+        rows always survive)."""
+        self._top_k = int(k)
+        return self
+
+    def with_config(self, **overrides) -> "InspectionQuery":
+        """Override execution knobs (``mode=``, ``block_size=``, ...) on
+        top of the session's effective config for this query only."""
+        self._overrides.update(overrides)
+        return self
+
+    @staticmethod
+    def _flatten(items) -> Iterator:
+        for item in items:
+            if isinstance(item, (str, Measure, HypothesisFunction)):
+                yield item  # atoms, even if technically iterable
+            elif isinstance(item, Iterable):
+                yield from item
+            else:
+                yield item
+
+    # -- compilation ----------------------------------------------------
+    def _compile(self):
+        session = self._session
+        # a builder created before close() must not execute after it —
+        # the shut-down scheduler pool would silently respawn its threads
+        session._check_open()
+        extractor = self._extractor or session.extractor
+        if not self._measures:
+            raise ValueError("no measures: call .using(...) first")
+        if not self._hypotheses:
+            raise ValueError("no hypotheses: call .hypotheses(...) first")
+        groups = self._groups
+        if groups is None:
+            models = self._models
+            if models is None:
+                raise ValueError("provide models or explicit unit_groups")
+            if not isinstance(models, (list, tuple)):
+                models = [models]
+            resolved = [session.model(m) for m in models]
+            if self._units is None:
+                groups = [all_units_group(m, extractor) for m in resolved]
+            else:
+                groups = [UnitGroup(model=m, unit_ids=self._units,
+                                    name="selected") for m in resolved]
+        dataset = session.dataset(self._dataset)
+        config = session.effective_config()
+        if self._overrides:
+            config = dataclasses.replace(config, **self._overrides)
+        return groups, dataset, extractor, config
+
+    def plan(self) -> InspectionPlan:
+        """Compile (without executing) to an inspection plan."""
+        groups, dataset, extractor, config = self._compile()
+        return InspectionPlan.build(groups, dataset, self._measures,
+                                    self._hypotheses, extractor, config)
+
+    def explain(self) -> str:
+        """The compiled plan's operator tree (EXPLAIN)."""
+        return self.plan().describe()
+
+    # -- execution ------------------------------------------------------
+    def run(self, as_frame: bool = True):
+        """Execute the query and return the result frame.
+
+        ``as_frame=False`` returns the raw
+        :class:`~repro.core.pipeline.GroupMeasureOutcome` list (cheaper
+        for large unit counts; ``top_k`` does not apply).
+        """
+        outcomes = self.plan().execute()
+        if not as_frame:
+            return outcomes
+        return self._postprocess(outcomes_to_frame(outcomes))
+
+    def stream(self) -> Iterator[Frame]:
+        """Execute progressively: one partial frame per processed block.
+
+        Each yielded frame carries the convergence state per row
+        (``n_rows_seen`` / ``converged`` columns) plus
+        ``frame.records_processed`` and ``frame.converged`` attributes;
+        the final frame equals :meth:`run`'s bit for bit.  Abandoning the
+        iterator stops the run cleanly (no further extraction; pending
+        store commits flush).
+        """
+        plan = self.plan()
+        # closing(): the run's store scope flushes and owned pools stop
+        # deterministically even if the consumer abandons the iterator
+        with contextlib.closing(plan.execute_progressive()) as snapshots:
+            for outcomes in snapshots:
+                frame = self._postprocess(outcomes_to_frame(outcomes))
+                frame.records_processed = max(
+                    (o.records_processed for o in outcomes), default=0)
+                frame.converged = all(t.done or bool(t.col_converged.all())
+                                      for t in plan.tasks)
+                yield frame
+
+    def _postprocess(self, frame: Frame) -> Frame:
+        if self._top_k is None:
+            return frame
+        return _top_k_frame(frame, self._top_k)
+
+
+def _top_k_frame(frame: Frame, k: int) -> Frame:
+    """Keep the k highest-|val| unit rows per (model, score, hypothesis).
+
+    Row order is preserved (rows are dropped, never reordered), so two
+    identical frames stay identical after the cut; group-affinity rows are
+    always kept.
+    """
+    if not len(frame):
+        return frame
+    kinds = frame.column("kind")
+    vals = np.abs(frame.column("val", dtype=float))
+    keys = list(zip(frame["model_id"], frame["score_id"], frame["hyp_id"]))
+    by_group: dict[tuple, list[int]] = {}
+    for i, (kind, key) in enumerate(zip(kinds, keys)):
+        if kind == "unit":
+            by_group.setdefault(key, []).append(i)
+    keep = np.ones(len(frame), dtype=bool)
+    for rows in by_group.values():
+        if len(rows) <= k:
+            continue
+        # ties broken by original position, so the cut is deterministic
+        ranked = sorted(rows, key=lambda i: (-vals[i], i))
+        keep[ranked[k:]] = False
+    idx = np.flatnonzero(keep)
+    return Frame({name: [frame[name][i] for i in idx]
+                  for name in frame.columns})

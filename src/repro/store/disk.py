@@ -222,6 +222,7 @@ class DiskBehaviorStore:
         self.max_pending_bytes = 128 * 1024 * 1024
         # observability: served/attempted record reads and dropped entries
         self.appends = 0
+        self.commits = 0   # manifest rewrites this process published
         self.evictions = 0
         self.invalid_dropped = 0
 
@@ -276,6 +277,7 @@ class DiskBehaviorStore:
         """Atomically publish the manifest (lock held)."""
         payload = json.dumps(manifest, indent=0).encode()
         _atomic_write_bytes(self._manifest_path, payload)
+        self.commits += 1
         self._manifest = manifest
         self._manifest_sig = self._stat_sig()
         self._pending_touches.clear()
@@ -534,5 +536,6 @@ class DiskBehaviorStore:
                     "bytes": sum(m["nbytes"] for m in entries.values()),
                     "shards": sum(len(m["shards"]) for m in entries.values()),
                     "appends": self.appends,
+                    "commits": self.commits,
                     "evictions": self.evictions,
                     "invalid_dropped": self.invalid_dropped}

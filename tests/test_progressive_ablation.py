@@ -55,6 +55,37 @@ class TestProgressive:
         assert first[0].records_processed == 30
         assert np.isfinite(first[0].result.unit_scores).all()
 
+    def test_converged_reported_without_early_stop(self, trained_sql_model,
+                                                   sql_workload):
+        """converged reflects the criterion even when early_stop is off."""
+        hyps = sql_keyword_hypotheses(("SELECT",))
+        config = InspectConfig(mode="streaming", block_size=40,
+                               early_stop=False, error_threshold=0.2)
+        updates = list(inspect_progressive(
+            trained_sql_model, sql_workload.dataset, CorrelationScore(),
+            hyps, config=config))
+        # processing ran to the end (no early stop)...
+        assert updates[-1][0].records_processed == \
+            sql_workload.dataset.n_records
+        # ...but the caller was told once the error bound was met
+        assert updates[-1][0].converged
+
+    def test_done_tasks_drop_out_of_later_updates(self, trained_sql_model,
+                                                  sql_workload):
+        """A task converged on an earlier block stops appearing (seed
+        semantics): corr converges fast, logreg keeps streaming."""
+        from repro.measures import LogRegressionScore
+        hyps = sql_keyword_hypotheses(("SELECT",))
+        config = InspectConfig(mode="streaming", block_size=40,
+                               early_stop=True, error_threshold=0.5,
+                               max_records=160)
+        sizes = [len(ups) for ups in inspect_progressive(
+            trained_sql_model, sql_workload.dataset,
+            [CorrelationScore(), LogRegressionScore(epochs=1, cv_folds=2)],
+            hyps, config=config)]
+        assert sizes[0] == 2
+        assert sizes[-1] == 1  # corr finished earlier and dropped out
+
     def test_final_scores_match_batch_inspection(self, trained_sql_model,
                                                  sql_workload):
         from repro import inspect

@@ -1,0 +1,480 @@
+"""Session API: lifecycle, shared resources, progressive results, CLI.
+
+The acceptance story of PR 5: one connection-style object owns the caches,
+the store and the scheduler pool; Python-builder and SQL queries issued
+through it share a single forward pass per model; ``.stream()`` yields
+partial frames whose final snapshot is bit-identical to a one-shot
+``run()``; ``close()`` releases every owned resource exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import (HypothesisCache, InspectConfig, Session,
+                   ThreadPoolScheduler, UnitBehaviorCache, inspect)
+from repro.db import Database
+from repro.db.inspect_clause import InspectQuery, run_inspect_sql
+from repro.extract import RnnActivationExtractor
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.measures import CorrelationScore
+from repro.store import DiskBehaviorStore
+from repro.util.testing import CountingForwardModel
+
+MAX_RECORDS = 60
+
+INSPECT_SQL = """
+    SELECT S.uid, S.hid, S.unit_score
+    INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+    FROM models M, units U, hypotheses H, inputs D
+    WHERE M.mid = U.mid
+    ORDER BY S.unit_score DESC
+"""
+
+
+@pytest.fixture
+def hyps():
+    return sql_keyword_hypotheses(("SELECT", "FROM"))
+
+
+def make_session(model, workload, hyps, **kwargs) -> Session:
+    kwargs.setdefault("config",
+                      InspectConfig(mode="full", max_records=MAX_RECORDS))
+    session = Session(**kwargs)
+    session.register_model("m0", model)
+    session.register_dataset("d0", workload.dataset)
+    session.register_hypotheses(hyps, name="keywords")
+    return session
+
+
+# ----------------------------------------------------------------------
+# shared resources: one extraction across interleaved Python + SQL
+# ----------------------------------------------------------------------
+class TestSharedResources:
+    def test_interleaved_python_and_sql_share_one_extraction(
+            self, trained_sql_model, sql_workload, hyps):
+        counting = CountingForwardModel(trained_sql_model)
+        with make_session(counting, sql_workload, hyps) as session:
+            frame = (session.inspect("m0", "d0")
+                     .using("corr").hypotheses(hyps).run())
+            assert session.unit_cache.stats()["extractions"] == 1
+            # hypotheses extracted once each, served to every later query
+            assert session.hyp_cache.stats()["extractions"] == len(hyps)
+            session.reset_counters()
+            sql_frame = session.sql(INSPECT_SQL)
+            again = (session.inspect("m0", "d0")
+                     .using("corr").hypotheses(hyps).run())
+            # the SQL query and the repeated builder query both ran against
+            # warm caches: zero further extractions, one forward pass total
+            assert session.unit_cache.stats()["extractions"] == 0
+            assert session.hyp_cache.stats()["extractions"] == 0
+            assert counting.forward_calls == 1
+            assert again == frame
+            assert len(sql_frame) > 0
+
+    def test_results_bit_identical_to_standalone_paths(
+            self, trained_sql_model, sql_workload, hyps):
+        config = InspectConfig(mode="full", max_records=MAX_RECORDS)
+        with make_session(trained_sql_model, sql_workload,
+                          hyps) as session:
+            frame = (session.inspect("m0", "d0")
+                     .using(CorrelationScore("pearson"))
+                     .hypotheses(hyps).run())
+            sql_rows = session.sql(INSPECT_SQL).rows()
+        standalone = inspect([trained_sql_model], sql_workload.dataset,
+                             [CorrelationScore("pearson")], hyps,
+                             config=config)
+        assert frame == standalone
+        db = Database()
+        db.create_table("models", ["mid"], [["m0"]])
+        db.create_table("units", ["mid", "uid", "layer"],
+                        [["m0", u, 0]
+                         for u in range(trained_sql_model.n_units)])
+        db.create_table("hypotheses", ["h", "name"],
+                        [[h.name, "keywords"] for h in hyps])
+        db.create_table("inputs", ["did", "seq"], [["d0", "seq"]])
+        with InspectQuery(db=db, models={"m0": trained_sql_model},
+                          hypotheses={h.name: h for h in hyps},
+                          datasets={"d0": sql_workload.dataset},
+                          extractor=RnnActivationExtractor(),
+                          config=config) as ctx:
+            assert run_inspect_sql(ctx, INSPECT_SQL).rows() == sql_rows
+
+    def test_name_resolution_errors(self, trained_sql_model, sql_workload,
+                                    hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            with pytest.raises(KeyError, match="model 'nope'"):
+                session.inspect("nope", "d0").using("corr") \
+                    .hypotheses(hyps).run()
+            with pytest.raises(KeyError, match="dataset 'nope'"):
+                session.inspect("m0", "nope").using("corr") \
+                    .hypotheses(hyps).run()
+            with pytest.raises(KeyError, match="hypothesis 'nope'"):
+                session.inspect("m0", "d0").using("corr") \
+                    .hypotheses("nope").run()
+            with pytest.raises(ValueError, match="no measures"):
+                session.inspect("m0", "d0").hypotheses(hyps).run()
+
+    def test_where_units_and_top_k(self, trained_sql_model, sql_workload,
+                                   hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            frame = (session.inspect("m0", "d0").using("corr")
+                     .hypotheses(hyps).where(units=[0, 1, 2, 3])
+                     .top_k(2).run())
+            units = frame.where(kind="unit")
+            assert set(units["h_unit_id"]) <= {0, 1, 2, 3}
+            for hyp in hyps:
+                assert len(units.where(hyp_id=hyp.name)) == 2
+            full = (session.inspect("m0", "d0").using("corr")
+                    .hypotheses(hyps).where(units=[0, 1, 2, 3]).run())
+            # top_k keeps the highest-|val| rows of the uncut frame
+            for hyp in hyps:
+                sub = full.where(kind="unit", hyp_id=hyp.name)
+                best = sorted(np.abs(sub.column("val", dtype=float)))[-2:]
+                kept = np.abs(units.where(hyp_id=hyp.name)
+                              .column("val", dtype=float))
+                assert sorted(kept) == pytest.approx(sorted(best))
+
+    def test_explain_shows_plan(self, trained_sql_model, sql_workload,
+                                hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            text = (session.inspect("m0", "d0").using("corr")
+                    .hypotheses(hyps).explain())
+            assert "InspectionPlan" in text and "BehaviorSource" in text
+
+    def test_catalog_rows_from_registration(self, trained_sql_model,
+                                            sql_workload, hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            assert session.sql("SELECT mid FROM models").rows() == \
+                [{"mid": "m0"}]
+            n_units = trained_sql_model.n_units
+            assert len(session.sql("SELECT uid FROM units")) == n_units
+            assert len(session.sql("SELECT h FROM hypotheses")) == len(hyps)
+
+    def test_reregistration_replaces_catalog_rows(self, trained_sql_model,
+                                                  sql_workload, hyps):
+        """Re-running a registration (notebook cell) must not duplicate
+        catalog rows — joins would silently inflate the score relation."""
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            session.register_model("m0", trained_sql_model)
+            session.register_dataset("d0", sql_workload.dataset)
+            session.register_hypotheses(hyps, name="keywords")
+            assert len(session.sql("SELECT mid FROM models")) == 1
+            assert len(session.sql("SELECT uid FROM units")) == \
+                trained_sql_model.n_units
+            assert len(session.sql("SELECT did FROM inputs")) == 1
+            assert len(session.sql("SELECT h FROM hypotheses")) == len(hyps)
+
+    def test_mismatched_catalog_attrs_raise(self, trained_sql_model,
+                                            sql_workload, hyps):
+        """The first registration fixes a table's schema; divergence is a
+        loud error, not a silently-corrupted catalog."""
+        with Session() as session:
+            session.register_model("m0", trained_sql_model)
+            with pytest.raises(ValueError, match="model attributes"):
+                session.register_model("m1", trained_sql_model, epoch=1)
+            session.register_dataset("d0", sql_workload.dataset, split="t")
+            with pytest.raises(ValueError, match="dataset attributes"):
+                session.register_dataset("d1", sql_workload.dataset)
+            session.register_hypotheses(hyps[:1])
+            with pytest.raises(ValueError, match="hypothesis attributes"):
+                session.register_hypotheses(hyps[1:], family="kw")
+
+    def test_inspectquery_register_model_keeps_seed_attr_surface(
+            self, trained_sql_model, sql_workload, hyps):
+        """Seed API: ANY attr name is a catalog column — including names
+        Session.register_model reserves as keywords."""
+        db = Database()
+        with InspectQuery(db=db, models={}, hypotheses={}, datasets={},
+                          extractor=RnnActivationExtractor()) as ctx:
+            ctx.register_model("m0", trained_sql_model, units=3, layer=2)
+            table = db.table("models")
+            assert table.columns == ["mid", "layer", "units"]
+            assert table.rows == [("m0", 2, 3)]
+            assert ctx.models["m0"] is trained_sql_model
+            assert "units" not in db.tables  # no implicit units rows
+
+
+# ----------------------------------------------------------------------
+# progressive results
+# ----------------------------------------------------------------------
+class TestStream:
+    def test_stream_final_frame_bit_identical_to_run(
+            self, trained_sql_model, sql_workload, hyps):
+        config = InspectConfig(mode="streaming", block_size=25,
+                               early_stop=False, max_records=MAX_RECORDS,
+                               seed=3)
+        with make_session(trained_sql_model, sql_workload, hyps,
+                          config=config) as session:
+            def query():
+                return (session.inspect("m0", "d0").using("corr")
+                        .hypotheses(hyps))
+            partials = list(query().stream())
+            assert len(partials) >= 2
+            assert partials[0].records_processed == 25
+            assert not partials[0].converged
+            assert partials[-1].records_processed == MAX_RECORDS
+            final = query().run()
+            assert partials[-1] == final  # bit-identical columns
+            # convergence state rides on every partial (behavior rows =
+            # records x symbols)
+            rows = 25 * sql_workload.dataset.n_symbols
+            assert partials[0]["n_rows_seen"] == [rows] * len(partials[0])
+            assert not any(partials[0]["converged"])
+
+    def test_stream_abandoned_early_stops_extraction(
+            self, trained_sql_model, sql_workload, hyps):
+        counting = CountingForwardModel(trained_sql_model)
+        config = InspectConfig(mode="streaming", block_size=20,
+                               early_stop=False, max_records=MAX_RECORDS)
+        with make_session(counting, sql_workload, hyps,
+                          config=config) as session:
+            stream = (session.inspect("m0", "d0").using("corr")
+                      .hypotheses(hyps).stream())
+            next(stream)
+            stream.close()
+            assert counting.forward_calls == 1  # one block, nothing more
+
+    def test_stream_respects_top_k(self, trained_sql_model, sql_workload,
+                                   hyps):
+        config = InspectConfig(mode="streaming", block_size=30,
+                               early_stop=False, max_records=MAX_RECORDS)
+        with make_session(trained_sql_model, sql_workload, hyps,
+                          config=config) as session:
+            partials = list(session.inspect("m0", "d0").using("corr")
+                            .hypotheses(hyps).top_k(3).stream())
+            for partial in partials:
+                for hyp in hyps:
+                    assert len(partial.where(kind="unit",
+                                             hyp_id=hyp.name)) == 3
+
+
+# ----------------------------------------------------------------------
+# lifecycle: pools, store commits, close semantics
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_shuts_down_thread_pool(self, trained_sql_model,
+                                          sql_workload, hyps):
+        before = set(threading.enumerate())
+        scheduler = ThreadPoolScheduler(max_workers=2)
+        session = make_session(trained_sql_model, sql_workload, hyps,
+                               scheduler=scheduler)
+        (session.inspect("m0", "d0").using("corr").hypotheses(hyps).run())
+        session.close()
+        assert scheduler._pool is None
+        leaked = [t for t in set(threading.enumerate()) - before
+                  if t.is_alive()]
+        assert not leaked
+
+    def test_close_is_idempotent_and_blocks_queries(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        # a builder captured before close() must not execute after it
+        # (executing would silently respawn the shut-down pool)
+        stale = (session.inspect("m0", "d0").using("corr")
+                 .hypotheses(hyps))
+        session.close()
+        session.close()
+        assert session.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            session.inspect("m0", "d0")
+        with pytest.raises(RuntimeError, match="closed"):
+            session.sql("SELECT mid FROM models")
+        with pytest.raises(RuntimeError, match="closed"):
+            session.register_model("m1", trained_sql_model)
+        with pytest.raises(RuntimeError, match="closed"):
+            stale.run()
+        with pytest.raises(RuntimeError, match="closed"):
+            next(stale.stream())
+        # the lower-level entry point that takes the session as its
+        # context resolves its config through the same guard
+        with pytest.raises(RuntimeError, match="closed"):
+            run_inspect_sql(session, INSPECT_SQL)
+
+    def test_store_commits_exactly_once_per_run(self, tmp_path,
+                                                trained_sql_model,
+                                                sql_workload, hyps):
+        store = DiskBehaviorStore(tmp_path / "store")
+        with make_session(trained_sql_model, sql_workload, hyps,
+                          store=store) as session:
+            (session.inspect("m0", "d0").using("corr")
+             .hypotheses(hyps).run())
+            # cold run: every append lands in ONE deferred manifest commit
+            assert store.stats()["commits"] == 1
+            session.sql(INSPECT_SQL)
+            # warm SQL query: everything served from memory, no new commit
+            assert store.stats()["commits"] == 1
+        assert store.stats()["commits"] == 1  # close() had nothing to flush
+
+    def test_streamed_run_commits_once(self, tmp_path, trained_sql_model,
+                                       sql_workload, hyps):
+        store = DiskBehaviorStore(tmp_path / "store")
+        config = InspectConfig(mode="streaming", block_size=20,
+                               early_stop=False, max_records=MAX_RECORDS)
+        with make_session(trained_sql_model, sql_workload, hyps,
+                          store=store, config=config) as session:
+            partials = list(session.inspect("m0", "d0").using("corr")
+                            .hypotheses(hyps).stream())
+            assert len(partials) == 3
+            assert store.stats()["commits"] == 1
+
+    def test_fresh_process_equivalent_session_serves_from_store(
+            self, tmp_path, trained_sql_model, sql_workload, hyps):
+        path = tmp_path / "store"
+        with make_session(trained_sql_model, sql_workload, hyps,
+                          store_path=path) as session:
+            cold = (session.inspect("m0", "d0").using("corr")
+                    .hypotheses(hyps).run())
+        # a second session over the same path (fresh caches, as in a new
+        # process) must not run the model again
+        counting = CountingForwardModel(trained_sql_model)
+        with make_session(counting, sql_workload, hyps,
+                          store_path=path) as warm_session:
+            warm = (warm_session.inspect("m0", "d0").using("corr")
+                    .hypotheses(hyps).run())
+            assert counting.forward_calls == 0
+            assert warm_session.unit_cache.stats()["extractions"] == 0
+        assert warm == cold
+
+    def test_conflicting_store_settings_raise(self, tmp_path):
+        s1 = DiskBehaviorStore(tmp_path / "a")
+        s2 = DiskBehaviorStore(tmp_path / "b")
+        with pytest.raises(ValueError, match="conflicting store"):
+            Session(store=s1, config=InspectConfig(store=s2))
+
+
+# ----------------------------------------------------------------------
+# config idempotency / validation (satellite)
+# ----------------------------------------------------------------------
+class TestConfigIdempotency:
+    def test_with_store_tiers_memoizes_derived_caches(self, tmp_path):
+        store = DiskBehaviorStore(tmp_path / "store")
+        config = InspectConfig(store=store)
+        first = config.with_store_tiers()
+        second = config.with_store_tiers()
+        assert first.cache is second.cache
+        assert first.unit_cache is second.unit_cache
+        assert first.cache.store is store
+        # fully-tiered configs pass through untouched
+        assert first.with_store_tiers() is first
+
+    def test_with_session_defaults_is_idempotent(self):
+        hyp_cache, unit_cache = HypothesisCache(), UnitBehaviorCache()
+        config = InspectConfig()
+        filled = config.with_session_defaults(cache=hyp_cache,
+                                              unit_cache=unit_cache,
+                                              scheduler="serial")
+        other = filled.with_session_defaults(cache=HypothesisCache(),
+                                             unit_cache=UnitBehaviorCache(),
+                                             scheduler="threads")
+        assert other is filled  # everything already pinned: no copy
+        assert other.cache is hyp_cache
+        assert other.unit_cache is unit_cache
+        assert other.scheduler == "serial"
+
+    def test_pinned_fields_survive_session_defaults(self):
+        mine = HypothesisCache()
+        config = InspectConfig(cache=mine)
+        filled = config.with_session_defaults(cache=HypothesisCache(),
+                                              scheduler="threads")
+        assert filled.cache is mine
+        assert filled.scheduler == "threads"
+
+    def test_conflicting_cache_store_raises(self, tmp_path):
+        s1 = DiskBehaviorStore(tmp_path / "a")
+        s2 = DiskBehaviorStore(tmp_path / "b")
+        with pytest.raises(ValueError, match="conflicting store wiring"):
+            InspectConfig(store=s1, cache=HypothesisCache(store=s2))
+        with pytest.raises(ValueError, match="conflicting store wiring"):
+            InspectConfig(store=s1, unit_cache=UnitBehaviorCache(store=s2))
+        # same store on both sides is fine
+        InspectConfig(store=s1, cache=HypothesisCache(store=s1))
+
+    def test_invalid_scheduler_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            InspectConfig(scheduler="bogus")
+        with pytest.raises(TypeError, match="scheduler must be"):
+            InspectConfig(scheduler=123)
+
+
+# ----------------------------------------------------------------------
+# the python -m repro CLI (satellite)
+# ----------------------------------------------------------------------
+SETUP_SCRIPT = """\
+from repro.data import generate_sql_workload
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.nn import CharLSTMModel
+from repro.util.rng import new_rng
+
+wl = generate_sql_workload("small", n_queries=8, window=20, stride=5,
+                           seed=5, max_records=60)
+model = CharLSTMModel(len(wl.vocab), n_units=8, rng=new_rng(0),
+                      model_id="m0")
+session.register_model("m0", model)
+session.register_dataset("d0", wl.dataset)
+session.register_hypotheses(sql_keyword_hypotheses(("SELECT",)),
+                            name="keywords")
+"""
+
+CLI_SQL = ("SELECT S.uid, S.unit_score "
+           "INSPECT U.uid AND H.h USING corr OVER D.seq AS S "
+           "FROM models M, units U, hypotheses H, inputs D "
+           "WHERE M.mid = U.mid ORDER BY S.unit_score DESC LIMIT 3")
+
+
+class TestCli:
+    @pytest.fixture
+    def setup_script(self, tmp_path):
+        path = tmp_path / "setup.py"
+        path.write_text(SETUP_SCRIPT, encoding="utf-8")
+        return path
+
+    def test_inline_statement(self, setup_script, capsys):
+        from repro.__main__ import main
+        code = main(["--setup", str(setup_script), "-c", CLI_SQL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "S.unit_score" in out
+        assert "(3 rows)" in out
+
+    def test_sql_file_with_multiple_statements(self, setup_script,
+                                               tmp_path, capsys):
+        from repro.__main__ import main
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text(f"SELECT mid FROM models;\n{CLI_SQL};\n",
+                            encoding="utf-8")
+        code = main(["--setup", str(setup_script), str(sql_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "statement 1/2" in out and "statement 2/2" in out
+        assert "m0" in out
+
+    def test_store_path_round_trip(self, setup_script, tmp_path, capsys):
+        from repro.__main__ import main
+        store = tmp_path / "store"
+        assert main(["--store", str(store), "--setup", str(setup_script),
+                     "-c", CLI_SQL]) == 0
+        # second process-equivalent invocation serves the store warm and
+        # prints identical scores
+        assert main(["--store", str(store), "--setup", str(setup_script),
+                     "-c", CLI_SQL]) == 0
+        first, second = capsys.readouterr().out.strip().split("(3 rows)")[:2]
+        assert first.strip().splitlines()[-3:] == \
+            second.strip().splitlines()[-3:]
+
+    def test_sql_error_exits_nonzero(self, setup_script, capsys):
+        from repro.__main__ import main
+        code = main(["--setup", str(setup_script),
+                     "-c", "SELECT nope FROM missing"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_requires_exactly_one_input(self, capsys):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main([])
+        with pytest.raises(SystemExit):
+            main(["-c", "SELECT 1", "also_a_file.sql"])
