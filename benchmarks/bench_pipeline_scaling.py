@@ -11,20 +11,31 @@ eight score tasks) through the plan-based engine under:
 * ``plan_serial_warm`` -- serial scheduler, warmed unit + hypothesis caches.
 * ``plan_threads_warm``-- thread-pool scheduler, warmed caches (the
   interactive-debugging configuration).
+* ``plan_serial_cold_store`` / ``plan_processes_cold`` -- store-backed
+  cold runs, serial vs. the shard-parallel process pool writing worker
+  shards through the store (the cold-extraction configuration
+  ``default_scheduler`` picks on a multi-core host).
 
 Results are printed and written to ``BENCH_pipeline.json`` so CI can smoke
 check that the parallel scheduler and the warm cache are not slower than
 serial/cold, and that warm + parallel beats the seed pipeline outright.
+On hosts with at least four cores the process pool must beat the
+store-backed serial cold run by 2x; single- and dual-core hosts skip that
+gate (the pool cannot win there, and ``default_scheduler`` knows it).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 import time
 
 import pytest
 
-from repro import HypothesisCache, InspectConfig, UnitBehaviorCache, inspect
+from repro import (DiskBehaviorStore, HypothesisCache, InspectConfig,
+                   ProcessPoolScheduler, UnitBehaviorCache, inspect)
 from repro.measures import CorrelationScore, DiffMeansScore
 from repro.nn import CharLSTMModel
 from repro.util.rng import new_rng
@@ -52,10 +63,10 @@ def _run(models, dataset, hyps, config) -> float:
 
 
 def _config(scheduler=None, unit_cache=None, hyp_cache=None,
-            partition=True) -> InspectConfig:
+            partition=True, store=None) -> InspectConfig:
     return InspectConfig(mode="streaming", early_stop=True, block_size=128,
                          seed=0, scheduler=scheduler, unit_cache=unit_cache,
-                         cache=hyp_cache, partition=partition)
+                         cache=hyp_cache, partition=partition, store=store)
 
 
 def test_pipeline_scaling_report(benchmark, bench_model, bench_workload,
@@ -87,6 +98,31 @@ def test_pipeline_scaling_report(benchmark, bench_model, bench_workload,
             _config(scheduler="threads", unit_cache=unit_cache,
                     hyp_cache=hyp_cache))
 
+        # store-backed cold runs: the store is the process pool's shard
+        # exchange medium; a serial row over its own store keeps the
+        # comparison fair (both pay the write-through)
+        store_root = tempfile.mkdtemp(prefix="bench-shard-exchange-")
+        try:
+            timings["plan_serial_cold_store"] = _run(
+                models, dataset, hyps,
+                _config(unit_cache=UnitBehaviorCache(),
+                        hyp_cache=HypothesisCache(),
+                        store=DiskBehaviorStore(
+                            os.path.join(store_root, "serial"))))
+            pool = ProcessPoolScheduler()
+            try:
+                timings["plan_processes_cold"] = _run(
+                    models, dataset, hyps,
+                    _config(scheduler=pool,
+                            unit_cache=UnitBehaviorCache(),
+                            hyp_cache=HypothesisCache(),
+                            store=DiskBehaviorStore(
+                                os.path.join(store_root, "procs"))))
+            finally:
+                pool.shutdown()
+        finally:
+            shutil.rmtree(store_root, ignore_errors=True)
+
         baseline = timings["seed_pipeline"]
         rows = [{"config": name, "seconds": secs,
                  "speedup_vs_seed": baseline / max(secs, 1e-9)}
@@ -98,6 +134,7 @@ def test_pipeline_scaling_report(benchmark, bench_model, bench_workload,
                         "n_units": SETTING.n_units,
                         "n_hypotheses": len(hyps),
                         "n_models": len(models),
+                        "cpu_count": os.cpu_count(),
                         "unit_cache_stats": unit_cache.stats()},
             "timings_s": timings,
             "speedup_vs_seed": {r["config"]: r["speedup_vs_seed"]
@@ -114,6 +151,11 @@ def test_pipeline_scaling_report(benchmark, bench_model, bench_workload,
         assert timings["plan_serial_warm"] <= \
             timings["plan_serial_cold"] * NOT_SLOWER
         assert timings["plan_threads_warm"] * WARM_WIN <= baseline
+        # shard-parallel cold extraction must win clearly where the cores
+        # exist to pay for the worker round-trips
+        if (os.cpu_count() or 1) >= 4:
+            assert timings["plan_processes_cold"] * 2.0 <= \
+                timings["plan_serial_cold_store"]
 
     benchmark.pedantic(_report, rounds=1, iterations=1)
 

@@ -14,6 +14,15 @@ finds the raw activations already on disk, and serves the whole inspection
 from mmap reads: the extraction counters stay at zero and the scores are
 bit-identical.  ``--fresh`` wipes the store first; ``--gc BYTES`` applies
 a byte budget afterwards.
+
+``--scheduler processes`` runs the cold extraction shard-parallel across
+cores: the coordinator describes picklable shard tasks, pool workers
+write activation shards straight into ``./behavior_store``, and the
+session adopts them into the manifest in its single commit — same store
+layout, same scores, warm reruns unchanged.  The default (``auto``)
+lets :func:`repro.core.pipeline.default_scheduler` decide: processes on
+a multi-core host because this session is store-backed, serial on one
+core.
 """
 
 import argparse
@@ -38,6 +47,10 @@ def main() -> None:
                         help="delete the store before running")
     parser.add_argument("--gc", type=int, metavar="BYTES", default=None,
                         help="apply a byte budget to the store afterwards")
+    parser.add_argument("--scheduler", default="auto",
+                        choices=["auto", "serial", "threads", "processes"],
+                        help="execution scheduler (auto: serial on one "
+                             "core, processes on a multi-core host)")
     args = parser.parse_args()
     if args.fresh and STORE_DIR.exists():
         shutil.rmtree(STORE_DIR)
@@ -54,7 +67,9 @@ def main() -> None:
     hypotheses += sql_keyword_hypotheses()
 
     print(f"\n== Session over the persistent store at ./{STORE_DIR} ==")
-    with Session(STORE_DIR) as session:
+    scheduler = None if args.scheduler == "auto" else args.scheduler
+    with Session(STORE_DIR, scheduler=scheduler) as session:
+        print(f"scheduler: {session.scheduler.name}")
         was_empty = not session.store.keys()
         session.register_model("sql_char_model", model)
         session.register_dataset("d0", workload.dataset)

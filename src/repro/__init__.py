@@ -33,7 +33,8 @@ an ephemeral session.
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup, all_units_group, layer_groups
 from repro.core.inspect import InspectConfig, inspect, top_units
-from repro.core.pipeline import (InspectionPlan, Scheduler, SerialScheduler,
+from repro.core.pipeline import (InspectionPlan, ProcessPoolScheduler,
+                                 Scheduler, SerialScheduler,
                                  ThreadPoolScheduler)
 from repro.core.progressive import inspect_progressive
 from repro.core.saliency import saliency_frame, top_symbols
@@ -50,6 +51,7 @@ __all__ = [
     "InspectConfig",
     "InspectionPlan",
     "InspectionQuery",
+    "ProcessPoolScheduler",
     "Scheduler",
     "SerialScheduler",
     "Session",

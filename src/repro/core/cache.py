@@ -68,6 +68,21 @@ def _compact(identity: str, max_len: int = 64) -> str:
     return f"{identity[:40]}...{digest}"
 
 
+def hyp_store_key(dataset_key: str, identity: str) -> str:
+    """Persistent store key for one (dataset, hypothesis) entry.
+
+    Module-level so the shard-task layer addresses the same entries the
+    cache writes through to — worker-produced shards must land exactly
+    where a serial run would have put them.
+    """
+    return f"hyp/{dataset_key}/{_compact(identity)}"
+
+
+def unit_store_key(model_key: str, raw_key: str, dataset_key: str) -> str:
+    """Persistent store key for one (model, raw sweep, dataset) entry."""
+    return f"unit/{model_key}/{_compact(raw_key)}/{dataset_key}"
+
+
 def model_fingerprint(model) -> str:
     """Content identity of a model for unit-behavior caching.
 
@@ -202,6 +217,49 @@ class _ByteBoundedLRU:
         if self.store is not None:
             self.store.append(store_key, indices, rows, n_records)
 
+    def _missing_in_entry(self, key, indices) -> np.ndarray:
+        """Indices without memory-tier rows (a planning probe: no entry is
+        created and no hit/miss counters move)."""
+        indices = np.asarray(indices, dtype=int)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return indices
+            return indices[~entry.filled[indices]]
+
+    def _fill_rows(self, key, factory, indices: np.ndarray,
+                   rows: np.ndarray) -> None:
+        """Commit externally-extracted rows (coordinator-side fill).
+
+        The shard exchange calls this with worker-produced, mmap'd rows;
+        they count as disk hits — the records were served from shard
+        files, not extracted by this tier.
+        """
+        indices = np.asarray(indices, dtype=int)
+        if indices.shape[0] == 0:
+            return
+        with self._lock:
+            entry = self._get_or_create(key, factory)
+            self.disk_hits += int(indices.shape[0])
+            self._commit_rows(key, entry, indices, np.asarray(rows))
+
+    def fold_counts(self, *, extractions: int = 0, hits: int = 0,
+                    misses: int = 0, disk_hits: int = 0,
+                    disk_misses: int = 0) -> None:
+        """Fold worker-side counts into this tier's counters.
+
+        Under the process scheduler the extractor runs in worker
+        processes whose counter increments would otherwise be lost; the
+        coordinator folds them back here, so extraction-once assertions
+        (``stats()["extractions"]``) hold across schedulers.
+        """
+        with self._lock:
+            self.extractions += extractions
+            self.hits += hits
+            self.misses += misses
+            self.disk_hits += disk_hits
+            self.disk_misses += disk_misses
+
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "disk_hits": self.disk_hits,
@@ -256,12 +314,26 @@ class HypothesisCache(_ByteBoundedLRU):
             return key_of()
         return getattr(hypothesis, "name", type(hypothesis).__name__)
 
+    def missing_records(self, dataset: Dataset, indices: np.ndarray, *,
+                        hypothesis) -> np.ndarray:
+        """Records without memory-tier rows for this hypothesis (probe)."""
+        key = (dataset.cache_key(), self._hypothesis_identity(hypothesis))
+        return self._missing_in_entry(key, indices)
+
+    def fill_rows(self, dataset: Dataset, indices: np.ndarray,
+                  rows: np.ndarray, *, hypothesis) -> None:
+        """Commit worker-extracted hypothesis rows (counted as disk hits)."""
+        key = (dataset.cache_key(), self._hypothesis_identity(hypothesis))
+        self._fill_rows(key,
+                        lambda: _Entry(dataset.n_records, dataset.n_symbols),
+                        indices, rows)
+
     def extract(self, hypothesis: HypothesisFunction, dataset: Dataset,
                 indices: np.ndarray) -> np.ndarray:
         """Behavior rows for ``indices``, computing only the missing ones."""
         indices = np.asarray(indices, dtype=int)
         key = (dataset.cache_key(), self._hypothesis_identity(hypothesis))
-        store_key = f"hyp/{key[0]}/{_compact(key[1])}"
+        store_key = hyp_store_key(key[0], key[1])
         with self._lock:
             entry = self._get_or_create(
                 key, lambda: _Entry(dataset.n_records, dataset.n_symbols))
@@ -319,6 +391,21 @@ class UnitBehaviorCache(_ByteBoundedLRU):
         super().__init__(max_bytes, store=store)
 
     # ------------------------------------------------------------------
+    def missing_records(self, dataset: Dataset, indices: np.ndarray, *,
+                        model_key: str, raw_key: str) -> np.ndarray:
+        """Records without memory-tier raw rows for this pair (probe)."""
+        key = (model_key, raw_key, dataset.cache_key())
+        return self._missing_in_entry(key, indices)
+
+    def fill_rows(self, dataset: Dataset, indices: np.ndarray,
+                  rows: np.ndarray, *, model_key: str,
+                  raw_key: str) -> None:
+        """Commit worker-extracted raw rows (counted as disk hits)."""
+        key = (model_key, raw_key, dataset.cache_key())
+        self._fill_rows(
+            key, lambda: _UnitEntry(dataset.n_records, dataset.n_symbols),
+            indices, rows)
+
     def extract(self, model, extractor: Extractor, dataset: Dataset,
                 indices: np.ndarray,
                 hid_units: np.ndarray | list[int] | None = None,
@@ -340,7 +427,7 @@ class UnitBehaviorCache(_ByteBoundedLRU):
             raw_key = raw_key_of(extractor)
         ns = dataset.n_symbols
         key = (model_key, raw_key, dataset.cache_key())
-        store_key = f"unit/{key[0]}/{_compact(key[1])}/{key[2]}"
+        store_key = unit_store_key(key[0], key[1], key[2])
         with self._lock:
             entry = self._get_or_create(
                 key, lambda: _UnitEntry(dataset.n_records, ns))

@@ -21,7 +21,11 @@ query-optimizable workload:
   thread-pool scheduler parallelizes unit extraction across (model,
   extractor) pairs and score updates across tasks (numpy releases the GIL,
   so multi-model workloads scale across cores) while producing bit-identical
-  results.
+  results.  The process-pool scheduler goes further: cold extraction is
+  *described* as picklable shard tasks (:mod:`repro.core.shard`) and
+  executed across worker processes, with the mmap'd disk store as the
+  exchange medium — scoring stays on the coordinator, so frames remain
+  bit-identical to serial there too.
 
 Wall-clock is charged to ``unit_extraction``, ``hypothesis_extraction`` and
 ``inspection`` buckets, reproducing Figure 8's runtime breakdown.
@@ -31,9 +35,12 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import multiprocessing
 import os
+import shutil
+import tempfile
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -68,12 +75,31 @@ class Scheduler:
 
     ``map`` must return results in input order, so plans produce identical
     frames under every scheduler.
+
+    Beyond bare ``map``, schedulers expose a *task-graph surface* for
+    shard-parallel extraction: a scheduler with ``executes_shards = True``
+    accepts self-contained :class:`~repro.core.shard.ShardTask` values via
+    :meth:`submit_shards` and runs them out of process.  In-process
+    schedulers keep the flag off and the plan executor never builds shard
+    tasks for them — closures over live objects remain the fast path.
     """
 
     name = "scheduler"
 
+    #: whether submit_shards dispatches picklable shard tasks to workers
+    executes_shards = False
+
     def map(self, fn, items: list) -> list:
         raise NotImplementedError
+
+    def shard_workers(self) -> int:
+        """Worker slots available to shard tasks (sizes task chunking)."""
+        return 1
+
+    def submit_shards(self, tasks: list) -> list:
+        """Submit shard tasks; returns one future per task."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not execute shard tasks")
 
     def shutdown(self) -> None:
         pass
@@ -125,19 +151,105 @@ class ThreadPoolScheduler(Scheduler):
             self._pool = None
 
 
-def default_scheduler() -> Scheduler:
+class ProcessPoolScheduler(Scheduler):
+    """Executes shard tasks across worker processes (cold extraction).
+
+    The coordinator describes extraction as picklable
+    :class:`~repro.core.shard.ShardTask` values; workers run the raw
+    sweeps and write shard files into the exchange store; the coordinator
+    mmaps the results back into the memory-tier caches and runs scoring
+    inline (``map`` stays serial on the calling thread), so frames are
+    bit-identical to the serial scheduler's.
+
+    ``mp_context`` picks the multiprocessing start method (``"fork"``,
+    ``"spawn"``, ``"forkserver"`` or a context object); tasks carry
+    models by content (arch spec + parameter arrays) rather than
+    pickle-by-reference, so both fork and spawn work.  A session without
+    its own disk store borrows :meth:`scratch_store` — a temp-dir
+    exchange store that lives (and keeps behaviors warm) until
+    :meth:`shutdown` removes it.
+    """
+
+    name = "processes"
+    executes_shards = True
+
+    def __init__(self, max_workers: int | None = None,
+                 mp_context: str | None = None):
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._scratch: tuple[str, DiskBehaviorStore] | None = None
+
+    def map(self, fn, items: list) -> list:
+        # scoring and fallback extraction run inline on the coordinator:
+        # closures over live measure states cannot (and should not) cross
+        # the process boundary
+        return [fn(item) for item in items]
+
+    def shard_workers(self) -> int:
+        return self.max_workers
+
+    def submit_shards(self, tasks: list) -> list:
+        from repro.core.shard import run_shard_task
+        if self._pool is None:
+            context = self.mp_context
+            if isinstance(context, str):
+                context = multiprocessing.get_context(context)
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                             mp_context=context)
+        return [self._pool.submit(run_shard_task, task) for task in tasks]
+
+    def scratch_store(self) -> DiskBehaviorStore:
+        """The temp-dir exchange store for sessions without one.
+
+        Created lazily, reused across runs (cross-query warm reads), and
+        deleted on :meth:`shutdown`.
+        """
+        if self._scratch is None:
+            root = tempfile.mkdtemp(prefix="repro-shard-exchange-")
+            self._scratch = (root, DiskBehaviorStore(root))
+        return self._scratch[1]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._scratch is not None:
+            root, _ = self._scratch
+            self._scratch = None
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def default_scheduler(store: DiskBehaviorStore | None = None) -> Scheduler:
     """The scheduler a session should run with on this machine.
 
-    Thread-pool parallelism only pays when there is more than one core; on
-    a single-core host the GIL contention makes it strictly slower, so the
-    serial scheduler is returned instead.
+    Selection rules:
+
+    * ``REPRO_SCHEDULER`` (``serial`` / ``threads`` / ``processes``)
+      overrides everything — the CI lever that forces the whole suite
+      through one scheduler.
+    * A single-core host gets the serial scheduler: neither pool can win
+      there, and GIL/spawn overhead makes both strictly slower.
+    * On a multi-core host *with* a disk store, cold store-backed runs
+      are the GIL-bound bottleneck, so the process pool is chosen: raw
+      sweeps fan out across cores and exchange through the store's
+      mmap'd shards.
+    * Multi-core without a store falls back to the thread pool — numpy
+      releases the GIL for scoring and multi-model extraction, and there
+      is no exchange medium for shard tasks to write through.
     """
-    if (os.cpu_count() or 1) > 1:
-        return ThreadPoolScheduler()
-    return SerialScheduler()
+    forced = os.environ.get("REPRO_SCHEDULER", "").strip()
+    if forced:
+        return _resolve_scheduler(forced)[0]
+    if (os.cpu_count() or 1) <= 1:
+        return SerialScheduler()
+    if store is not None:
+        return ProcessPoolScheduler()
+    return ThreadPoolScheduler()
 
 
-_SCHEDULERS = {"serial": SerialScheduler, "threads": ThreadPoolScheduler}
+_SCHEDULERS = {"serial": SerialScheduler, "threads": ThreadPoolScheduler,
+               "processes": ProcessPoolScheduler}
 
 #: guards InspectConfig._store_tiers memoization (one pair per config even
 #: when concurrent runs share the config object)
@@ -468,9 +580,20 @@ class BehaviorSource:
             out[gi] = block.reshape(-1, block.shape[-1])
         return out
 
-    def _extract_unit_blocks(self, groups: list[tuple[int, UnitGroup]],
-                             indices: np.ndarray,
-                             scheduler: Scheduler) -> dict[int, np.ndarray]:
+    def extraction_pairs(self, groups: list[tuple[int, UnitGroup]] | None
+                         = None) -> dict:
+        """Members grouped by shared (model, raw-sweep) identity.
+
+        The pure task-description half of unit extraction: each key is
+        one forward-sweep shard — extractors differing only in transform,
+        layer view or unit subset fuse under one key — and carries the
+        ``(gi, group)`` members it serves.  Both the in-process execution
+        path (:meth:`_extract_unit_blocks`) and the shard-task builder
+        (:class:`repro.core.shard.ShardExchange`) partition work on it,
+        so they can never disagree about what one sweep covers.
+        """
+        if groups is None:
+            groups = list(enumerate(self.groups))
         by_pair: dict[tuple[int, str], list[tuple[int, UnitGroup]]] = {}
         for gi, group in groups:
             ext = group.extractor or self.default_extractor
@@ -479,6 +602,12 @@ class BehaviorSource:
             raw_key = self._raw_key(ext) or f"@{id(ext):x}"
             by_pair.setdefault((id(group.model), raw_key),
                                []).append((gi, group))
+        return by_pair
+
+    def _extract_unit_blocks(self, groups: list[tuple[int, UnitGroup]],
+                             indices: np.ndarray,
+                             scheduler: Scheduler) -> dict[int, np.ndarray]:
+        by_pair = self.extraction_pairs(groups)
         results = scheduler.map(
             lambda members: self._extract_units_for_pair(members, indices),
             list(by_pair.values()))
@@ -803,14 +932,39 @@ class InspectionPlan:
         return [task.outcome(names) for task in self.tasks]
 
     def _block_steps(self, scheduler: Scheduler):
-        """The executor loop; yields once after each processed block."""
+        """The executor loop; yields once after each processed block.
+
+        With a shard-executing scheduler, cold extraction is dispatched
+        to worker processes up front (:class:`~repro.core.shard
+        .ShardExchange`) and integrated just-in-time per block; the loop
+        below then reads everything out of the (now warm) caches, so the
+        scoring path — and therefore the frame — is the same under every
+        scheduler.
+        """
+        from repro.core.shard import ShardExchange
         watch = self.config.stopwatch
         n_hyps = len(self.hypotheses)
+        exchange = ShardExchange.build(self.source, scheduler)
+        try:
+            if exchange is not None:
+                with watch.charge("unit_extraction"):
+                    exchange.dispatch()
+                if self.source.materialize:
+                    exchange.ensure_all(watch)
+            yield from self._run_blocks(scheduler, exchange, watch, n_hyps)
+        finally:
+            if exchange is not None:
+                exchange.close()
+
+    def _run_blocks(self, scheduler: Scheduler, exchange, watch,
+                    n_hyps: int):
         self.source.prepare(scheduler, watch)
         for sl in self.source.block_slices():
             pending = [t for t in self.tasks if not t.done]
             if not pending:
                 break
+            if exchange is not None:
+                exchange.ensure(sl, watch)
             # hypothesis columns frozen in *every* pending task need no
             # further extraction (streaming only; materialized already paid)
             cols_union = None

@@ -1,0 +1,525 @@
+"""Picklable shard tasks + the process-pool exchange (coordinator side).
+
+The process scheduler cannot ship closures over live plan objects to
+workers, so a plan's extraction work is first *described* as
+self-contained :class:`ShardTask` values — plain data: store keys, record
+ids, symbol sub-matrices, and models/extractors/hypotheses encoded by
+content (:func:`repro.nn.serialize.model_to_spec` for registry models,
+pickle-by-value otherwise) — and only then *executed*.  One task is one
+dataset-block chunk of one (model, raw-extractor) pair, or a bundle of
+hypothesis columns.
+
+The mmap'd :class:`~repro.store.DiskBehaviorStore` is the exchange
+medium, with a strict division of labor:
+
+* **workers** (:func:`run_shard_task`) run the raw sweeps and write
+  fsynced shard file pairs straight into the store's shard directory —
+  they never touch the manifest, so the flock'd single-commit-point
+  protocol is untouched;
+* the **coordinator** (:class:`ShardExchange`) adopts the returned shard
+  descriptors into the store's pending queue (one manifest rewrite per
+  run, exactly as serial), memory-maps the shard files to fill the
+  session's memory-tier caches, and folds worker-side counters
+  (extractions, forward sweeps) back into the live objects so
+  extraction-once assertions stay meaningful.
+
+Scoring and convergence never leave the coordinator: once the caches are
+filled, the unchanged serial executor loop reads behaviors out of them,
+which is what keeps process-scheduler frames bit-identical to serial.
+
+Anything that cannot be described — an unpicklable model or hypothesis,
+an extractor without a stable raw identity, a failed worker — simply
+stays out of the task list (or is dropped on collect): the records are
+then extracted inline by the executor exactly as under the serial
+scheduler, so degradation is graceful and never changes results.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cache import (HypothesisCache, hyp_store_key, unit_store_key)
+from repro.extract.base import raw_rows_of
+from repro.store.disk import SHARD_DIR, _save_array
+from repro.util.timing import Stopwatch
+
+#: per-worker-process sequence for shard file stems
+_WORKER_SEQ = itertools.count()
+
+#: per-worker-process decode cache: store-key prefix -> (model, extractor),
+#: ("ds", dataset_key) -> dataset.  Pools are long-lived, so one pair
+#: shipped in k chunks is decoded once per worker, not once per task.
+_WORKER_OBJECTS: dict = {}
+
+
+# ----------------------------------------------------------------------
+# payload encoding (coordinator) / decoding (worker)
+# ----------------------------------------------------------------------
+def encode_model(model) -> dict:
+    """Model as plain data: an arch spec when possible, pickle otherwise.
+
+    Registry models (anything with ``architecture()`` +
+    ``named_parameters()``) travel as content — arch dict + exact
+    parameter arrays — so spawn contexts rebuild them without importing
+    the coordinator's live state; everything else falls back to
+    pickle-by-value.  Raises when neither works (the caller then leaves
+    those records to inline extraction).
+    """
+    arch = getattr(model, "architecture", None)
+    named = getattr(model, "named_parameters", None)
+    if callable(arch) and callable(named):
+        try:
+            from repro.nn.serialize import model_to_spec
+            return {"kind": "spec", "spec": model_to_spec(model)}
+        except Exception:  # non-registry arch: fall through to pickle
+            pass
+    return {"kind": "pickle", "blob": pickle.dumps(model)}
+
+
+def decode_model(payload: dict):
+    if payload["kind"] == "spec":
+        from repro.nn.serialize import model_from_spec
+        return model_from_spec(payload["spec"])
+    return pickle.loads(payload["blob"])
+
+
+class _SweepCounter:
+    """Delegating wrapper counting ``hidden_states`` sweeps in a worker.
+
+    The count travels back in the task result so the coordinator can fold
+    it into the live model (see ``ShardExchange._collect``), keeping
+    ``forward_calls``-style instrumentation meaningful across processes.
+    """
+
+    def __init__(self, model):
+        self._model = model
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._model, name)
+
+    def hidden_states(self, ids):
+        self.calls += 1
+        return self._model.hidden_states(ids)
+
+
+# ----------------------------------------------------------------------
+# the task (plain, picklable data)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardTask:
+    """One self-contained unit of extraction work for a worker process.
+
+    ``kind == "unit"``: run one raw sweep over ``symbols`` (the dataset
+    rows for ``indices``, already sliced so workers never need the full
+    dataset) and persist the flat raw rows under ``store_key``.
+
+    ``kind == "hyp"``: evaluate a bundle of hypothesis columns
+    (``items``) over the pickled dataset.
+    """
+
+    kind: str                       # "unit" | "hyp"
+    store_root: str                 # exchange store root directory
+    n_records: int                  # dataset record count (entry geometry)
+    n_symbols: int
+    # unit tasks
+    store_key: str | None = None
+    model_payload: dict | None = None
+    extractor_blob: bytes | None = None
+    indices: np.ndarray | None = None   # record ids to extract
+    symbols: np.ndarray | None = None   # dataset.symbols[indices]
+    # hypothesis tasks: [(store_key, hypothesis_blob, record ids), ...]
+    dataset_key: str | None = None
+    dataset_blob: bytes | None = None
+    items: list = field(default_factory=list)
+
+
+def _write_worker_shard(store_root: str, store_key: str,
+                        indices: np.ndarray, rows: np.ndarray,
+                        n_records: int) -> dict:
+    """Write one fsynced shard file pair; return its adoption descriptor.
+
+    Stems carry a ``w`` prefix plus pid, a per-process sequence and a
+    random component, so concurrent workers (and leftovers of crashed
+    runs) can never collide with each other or with the coordinator's
+    clock-stemmed shards.
+    """
+    shard_dir = Path(store_root) / SHARD_DIR
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"w{os.getpid()}-{next(_WORKER_SEQ)}-{uuid.uuid4().hex[:8]}"
+    data_name = f"{stem}.npy"
+    index_name = f"{stem}.idx.npy"
+    rows = np.ascontiguousarray(rows)
+    indices = np.asarray(indices, dtype=np.int64)
+    data_bytes = _save_array(shard_dir / data_name, rows)
+    index_bytes = _save_array(shard_dir / index_name, indices)
+    return {"key": store_key, "data": data_name, "index": index_name,
+            "rows": int(rows.shape[0]), "data_bytes": data_bytes,
+            "index_bytes": index_bytes, "n_records": int(n_records),
+            "row_width": int(rows.shape[1]), "dtype": rows.dtype.str}
+
+
+def run_shard_task(task: ShardTask) -> dict:
+    """Worker entry point: execute one task, return descriptors + counts.
+
+    Module-level (importable) so both fork and spawn pool contexts can
+    run it.  Returns ``{"descriptors": [...], "extractions": n,
+    "forward_sweeps": n}``.
+    """
+    if task.kind == "unit":
+        return _run_unit_task(task)
+    if task.kind == "hyp":
+        return _run_hyp_task(task)
+    raise ValueError(f"unknown shard task kind {task.kind!r}")
+
+
+def _run_unit_task(task: ShardTask) -> dict:
+    pair_key = task.store_key.rsplit("/", 1)[0]
+    cached = _WORKER_OBJECTS.get(pair_key)
+    if cached is None:
+        cached = (decode_model(task.model_payload),
+                  pickle.loads(task.extractor_blob))
+        _WORKER_OBJECTS[pair_key] = cached
+    model, extractor = cached
+    counter = _SweepCounter(model)
+    ns = task.n_symbols
+    block = raw_rows_of(extractor, counter, task.symbols)
+    if block.shape[0] != task.indices.shape[0] * ns:
+        raise ValueError(
+            f"extractor row mismatch: expected {task.indices.shape[0] * ns} "
+            f"rows, got {block.shape[0]}")
+    # same flat layout the unit cache commits/persists: one row per record
+    rows = np.ascontiguousarray(block).reshape(task.indices.shape[0], -1)
+    desc = _write_worker_shard(task.store_root, task.store_key,
+                               task.indices, rows, task.n_records)
+    return {"descriptors": [desc], "extractions": 1,
+            "forward_sweeps": counter.calls}
+
+
+def _run_hyp_task(task: ShardTask) -> dict:
+    ds_key = ("ds", task.dataset_key)
+    dataset = _WORKER_OBJECTS.get(ds_key)
+    if dataset is None:
+        dataset = pickle.loads(task.dataset_blob)
+        _WORKER_OBJECTS[ds_key] = dataset
+    descriptors = []
+    for store_key, blob, indices in task.items:
+        hypothesis = pickle.loads(blob)
+        rows = np.asarray(hypothesis.extract(dataset, indices))
+        descriptors.append(_write_worker_shard(
+            task.store_root, store_key, indices, rows, task.n_records))
+    return {"descriptors": descriptors, "extractions": len(task.items),
+            "forward_sweeps": 0}
+
+
+# ----------------------------------------------------------------------
+# task description (pure: no execution, no side effects beyond probing)
+# ----------------------------------------------------------------------
+def _store_missing(store, store_key: str, missing: np.ndarray,
+                   row_width: int | None) -> np.ndarray:
+    """Drop records the committed store already holds (warm runs dispatch
+    nothing)."""
+    if missing.shape[0] == 0:
+        return missing
+    reader = store.reader(store_key)
+    if reader is None or (row_width is not None
+                          and reader.row_width != row_width):
+        return missing
+    return missing[~reader.filled_mask(missing)]
+
+
+def _chunk_spans(n_positions: int, block_size: int,
+                 workers: int) -> list[tuple[int, int]]:
+    """Split record positions into <= ``workers`` block-aligned spans.
+
+    Aligning chunk boundaries to the executor's block grid means
+    ``ensure(sl)`` waits on exactly the chunks a block overlaps; capping
+    the chunk count at the worker count keeps worker-side extraction
+    batches as large as serial's (extraction/sweep counters then match
+    the serial run on single-block workloads).
+    """
+    n_blocks = max(1, -(-n_positions // block_size))
+    n_chunks = max(1, min(n_blocks, workers))
+    spans = []
+    for split in np.array_split(np.arange(n_blocks), n_chunks):
+        if split.shape[0] == 0:
+            continue
+        lo = int(split[0]) * block_size
+        hi = min(int(split[-1] + 1) * block_size, n_positions)
+        spans.append((lo, hi))
+    return spans
+
+
+def _pickle_or_none(obj) -> bytes | None:
+    try:
+        return pickle.dumps(obj)
+    except Exception:
+        return None
+
+
+class _Dispatch:
+    """One in-flight task: its future, position span and fill recipe."""
+
+    def __init__(self, future, lo: int, hi: int, kind: str, fills: dict,
+                 model=None):
+        self.future = future
+        self.lo = lo
+        self.hi = hi
+        self.kind = kind
+        self.fills = fills      # store_key -> fill context
+        self.model = model      # live coordinator model (counter folding)
+        self.collected = False
+
+
+class ShardExchange:
+    """Coordinator half of shard-parallel extraction.
+
+    ``dispatch()`` describes and submits every task the caches cannot
+    already serve; ``ensure(sl)`` blocks on (and integrates) the tasks a
+    block slice needs before the executor reads it; ``close()`` cancels
+    what never started and integrates what did, so an abandoned stream
+    leaks neither processes nor uncommitted shard files.
+    """
+
+    def __init__(self, source, scheduler, store):
+        self.source = source
+        self.scheduler = scheduler
+        self.store = store
+        self._dispatched: list[_Dispatch] = []
+        self._scope = None
+        self._closed = False
+
+    @classmethod
+    def build(cls, source, scheduler) -> "ShardExchange | None":
+        """An exchange for this run, or None when one cannot help.
+
+        Requires a shard-executing scheduler and a disk store to exchange
+        through — either the run's own (``config.store``) or the scratch
+        store backing the session caches.
+        """
+        if not getattr(scheduler, "executes_shards", False):
+            return None
+        config = source.config
+        store = config.store
+        if store is None:
+            store = (getattr(config.unit_cache, "store", None)
+                     or getattr(config.cache, "store", None))
+        if store is None or source.n_records == 0:
+            return None
+        return cls(source, scheduler, store)
+
+    # -- dispatch --------------------------------------------------------
+    def dispatch(self) -> None:
+        """Describe the cold extraction work and submit it to the pool."""
+        # worker shards must commit inside this run's single manifest
+        # rewrite; when the exchange store is not config.store (scratch
+        # store), the executor's scope doesn't cover it — open our own
+        if self.store is not self.source.config.store:
+            self._scope = self.store.deferred_commits()
+            self._scope.__enter__()
+        described = (self._describe_unit_tasks()
+                     + self._describe_hyp_tasks())
+        if not described:
+            return
+        futures = self.scheduler.submit_shards(
+            [task for _, task, _, _ in described])
+        self._dispatched = [
+            _Dispatch(future, lo, hi, task.kind, fills, model)
+            for future, ((lo, hi), task, fills, model)
+            in zip(futures, described)]
+
+    def _describe_unit_tasks(self) -> list:
+        source = self.source
+        config = source.config
+        if config.unit_cache is None:
+            return []
+        dataset = source.dataset
+        ns = dataset.n_symbols
+        workers = self.scheduler.shard_workers()
+        described = []
+        for (_, raw_key), members in source.extraction_pairs().items():
+            if raw_key.startswith("@"):
+                continue  # identity-less extractor: no stable store key
+            _, first = members[0]
+            model = first.model
+            ext = first.extractor or source.default_extractor
+            model_key = source._model_key(model)
+            store_key = unit_store_key(model_key, raw_key,
+                                       dataset.cache_key())
+            missing = config.unit_cache.missing_records(
+                dataset, source.order, model_key=model_key, raw_key=raw_key)
+            width = None
+            raw_width = getattr(ext, "raw_width", None)
+            if callable(raw_width):
+                try:
+                    width = int(raw_width(model)) * ns
+                except (NotImplementedError, AttributeError, TypeError):
+                    width = None
+            missing = _store_missing(self.store, store_key, missing, width)
+            if missing.shape[0] == 0:
+                continue
+            try:
+                payload = encode_model(model)
+            except Exception:
+                continue  # unpicklable model: inline extraction covers it
+            ext_blob = _pickle_or_none(ext)
+            if ext_blob is None:
+                continue
+            missing_mask = np.zeros(dataset.n_records, dtype=bool)
+            missing_mask[missing] = True
+            fills = {store_key: ("unit", model_key, raw_key)}
+            for lo, hi in _chunk_spans(source.n_records, config.block_size,
+                                       workers):
+                ids = source.order[lo:hi]
+                ids = ids[missing_mask[ids]]
+                if ids.shape[0] == 0:
+                    continue
+                task = ShardTask(
+                    kind="unit", store_root=str(self.store.root),
+                    n_records=dataset.n_records, n_symbols=ns,
+                    store_key=store_key, model_payload=payload,
+                    extractor_blob=ext_blob, indices=ids,
+                    symbols=dataset.symbols[ids])
+                described.append(((lo, hi), task, fills, model))
+        return described
+
+    def _describe_hyp_tasks(self) -> list:
+        source = self.source
+        config = source.config
+        if config.cache is None or not source.hypotheses:
+            return []
+        dataset = source.dataset
+        items = []
+        fills: dict = {}
+        dataset_blob = None
+        for hyp in source.hypotheses:
+            identity = HypothesisCache._hypothesis_identity(hyp)
+            store_key = hyp_store_key(dataset.cache_key(), identity)
+            missing = config.cache.missing_records(dataset, source.order,
+                                                   hypothesis=hyp)
+            missing = _store_missing(self.store, store_key, missing,
+                                     dataset.n_symbols)
+            if missing.shape[0] == 0:
+                continue
+            blob = _pickle_or_none(hyp)
+            if blob is None:
+                continue  # e.g. a lambda hypothesis: extracts inline
+            if dataset_blob is None:
+                dataset_blob = _pickle_or_none(dataset)
+                if dataset_blob is None:
+                    return []  # dataset can't travel: all hyps stay inline
+            items.append((store_key, blob, missing))
+            fills[store_key] = ("hyp", hyp)
+        if not items:
+            return []
+        workers = self.scheduler.shard_workers()
+        described = []
+        n_tasks = max(1, min(len(items), workers))
+        # hypothesis blocks are read from position 0 on, so every bundle
+        # spans the whole run: the first ensure() waits for all of them
+        span = (0, source.n_records)
+        for bundle_idx in np.array_split(np.arange(len(items)), n_tasks):
+            if bundle_idx.shape[0] == 0:
+                continue
+            bundle = [items[int(i)] for i in bundle_idx]
+            task = ShardTask(
+                kind="hyp", store_root=str(self.store.root),
+                n_records=dataset.n_records, n_symbols=dataset.n_symbols,
+                dataset_key=dataset.cache_key(), dataset_blob=dataset_blob,
+                items=bundle)
+            described.append(
+                (span, task,
+                 {key: fills[key] for key, _, _ in bundle}, None))
+        return described
+
+    # -- integration -----------------------------------------------------
+    def ensure(self, sl: slice, watch: Stopwatch) -> None:
+        """Integrate every task overlapping record positions ``sl`` (plus
+        any already-finished ones, opportunistically)."""
+        for dispatch in self._dispatched:
+            if dispatch.collected:
+                continue
+            overlaps = dispatch.lo < sl.stop and sl.start < dispatch.hi
+            if overlaps or dispatch.future.done():
+                bucket = ("unit_extraction" if dispatch.kind == "unit"
+                          else "hypothesis_extraction")
+                with watch.charge(bucket):
+                    self._collect(dispatch)
+
+    def ensure_all(self, watch: Stopwatch) -> None:
+        self.ensure(slice(0, self.source.n_records), watch)
+
+    def _collect(self, dispatch: _Dispatch) -> None:
+        dispatch.collected = True
+        try:
+            result = dispatch.future.result()
+        except Exception:
+            # worker died or task failed: those records extract inline
+            return
+        config = self.source.config
+        dataset = self.source.dataset
+        shard_dir = self.store.root / SHARD_DIR
+        extractions = 0
+        for desc in result["descriptors"]:
+            fill = dispatch.fills.get(desc["key"])
+            try:
+                indices = np.load(shard_dir / desc["index"])
+                rows = np.load(shard_dir / desc["data"], mmap_mode="r")
+            except Exception:
+                continue  # shard vanished (concurrent gc): extracts inline
+            if fill is not None and fill[0] == "unit":
+                config.unit_cache.fill_rows(dataset, indices, rows,
+                                            model_key=fill[1],
+                                            raw_key=fill[2])
+            elif fill is not None:
+                config.cache.fill_rows(dataset, indices, rows,
+                                       hypothesis=fill[1])
+            # adopted shards join the run's pending queue and become
+            # visible in its one manifest commit
+            self.store.adopt_shard(
+                desc["key"], data_name=desc["data"],
+                index_name=desc["index"], n_rows=desc["rows"],
+                data_bytes=desc["data_bytes"],
+                index_bytes=desc["index_bytes"],
+                n_records=desc["n_records"], row_width=desc["row_width"],
+                dtype=desc["dtype"])
+            extractions += 1
+        tier = (config.unit_cache if dispatch.kind == "unit"
+                else config.cache)
+        if tier is not None:
+            tier.fold_counts(extractions=result["extractions"])
+        sweeps = result.get("forward_sweeps", 0)
+        if sweeps and dispatch.model is not None:
+            calls = getattr(dispatch.model, "forward_calls", None)
+            if isinstance(calls, int):
+                dispatch.model.forward_calls = calls + sweeps
+
+    def close(self) -> None:
+        """Cancel never-started tasks, integrate the rest, flush scope."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for dispatch in self._dispatched:
+                if dispatch.collected:
+                    continue
+                if dispatch.future.cancel():
+                    dispatch.collected = True
+                else:  # running or done: integrate so its shards commit
+                    self._collect(dispatch)
+        finally:
+            scope, self._scope = self._scope, None
+            if scope is not None:
+                try:
+                    scope.__exit__(None, None, None)
+                except Exception:
+                    # e.g. finalized from a GC'd generator after the
+                    # session already tore the scratch store down
+                    pass

@@ -31,9 +31,15 @@ engine rather than interpreted row-at-a-time:
    are deduplicated across groups, and ONE plan-engine run
    (:func:`repro.core.pipeline.run_inspection`) scores everything, wired to
    the session's :class:`~repro.core.cache.HypothesisCache` /
-   :class:`~repro.core.cache.UnitBehaviorCache` and thread-pool scheduler.
-   A ``GROUP BY M.epoch`` sweep therefore extracts each model's behavior
-   once, and the hypothesis behaviors once in total.
+   :class:`~repro.core.cache.UnitBehaviorCache` and scheduler.  The
+   scheduler is resolved once per statement and shared across the
+   per-dataset runs a GROUP BY sweep fans into — a session-owned pool
+   (thread or process) is reused as-is, so an INSPECT statement on a
+   process-scheduler session exchanges shards through the same worker
+   pool and store as the Python builder, and its frames stay
+   bit-identical to serial execution.  A ``GROUP BY M.epoch`` sweep
+   therefore extracts each model's behavior once, and the hypothesis
+   behaviors once in total.
 3. **Columnar S relation** -- scores are materialized as a temporary
    columnar table ``S(uid, hid, mid, score_id, group_score, unit_score)``
    joined with the surviving catalog columns, and HAVING, the SELECT

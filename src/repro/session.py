@@ -56,8 +56,9 @@ import numpy as np
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup, all_units_group
 from repro.core.inspect import outcomes_to_frame
-from repro.core.pipeline import (InspectConfig, InspectionPlan, Scheduler,
-                                 default_scheduler)
+from repro.core.pipeline import (InspectConfig, InspectionPlan,
+                                 ProcessPoolScheduler, Scheduler,
+                                 _resolve_scheduler, default_scheduler)
 from repro.data.datasets import Dataset
 from repro.db.engine import Database
 from repro.db.sqlparser import InspectSpec, parse_sql
@@ -137,15 +138,30 @@ class Session:
         self.scheduler = scheduler
         self._closed = False
         if session_defaults:
-            if self.hyp_cache is None and self.config.cache is None:
-                self.hyp_cache = HypothesisCache(store=self.store)
-            if self.unit_cache is None and self.config.unit_cache is None:
-                self.unit_cache = UnitBehaviorCache(store=self.store)
             if self.scheduler is None and self.config.scheduler is None:
-                self.scheduler = default_scheduler()
+                self.scheduler = default_scheduler(store=self.store)
                 # the session owns this scheduler: release its worker pool
                 # when the session is collected, not only on close()
                 weakref.finalize(self, self.scheduler.shutdown)
+            elif isinstance(self.scheduler, str):
+                # resolve name specs to one session-owned instance, so
+                # every query (Python and SQL) shares a single pool
+                # instead of building an ephemeral one per statement
+                self.scheduler, _ = _resolve_scheduler(self.scheduler)
+                weakref.finalize(self, self.scheduler.shutdown)
+            # a store-less session running the process scheduler still
+            # needs an exchange medium for worker shards: back the caches
+            # with the scheduler's temp-dir scratch store (removed on
+            # scheduler shutdown), so shard-parallel extraction works —
+            # and stays warm across queries — without a store_path
+            backing = self.store
+            if backing is None and isinstance(self.scheduler,
+                                              ProcessPoolScheduler):
+                backing = self.scheduler.scratch_store()
+            if self.hyp_cache is None and self.config.cache is None:
+                self.hyp_cache = HypothesisCache(store=backing)
+            if self.unit_cache is None and self.config.unit_cache is None:
+                self.unit_cache = UnitBehaviorCache(store=backing)
 
     # -- lifecycle ------------------------------------------------------
     @property

@@ -217,6 +217,9 @@ class DiskBehaviorStore:
         # next session), so the manifest stays the single commit point;
         # ``max_pending_bytes`` bounds the buffer even inside a scope.
         self._pending_rows: list[tuple] = []
+        # shard file pairs written by worker processes, waiting to be
+        # registered in the manifest (see adopt_shard)
+        self._pending_adoptions: list[dict] = []
         self._pending_bytes = 0
         self._defer_depth = 0
         self.max_pending_bytes = 128 * 1024 * 1024
@@ -364,14 +367,51 @@ class DiskBehaviorStore:
         if not defer:
             self.flush()
 
-    def flush(self) -> None:
-        """Write pending rows — one coalesced shard per entry — and
-        publish them in one manifest rewrite."""
+    def adopt_shard(self, key: str, *, data_name: str, index_name: str,
+                    n_rows: int, data_bytes: int, index_bytes: int,
+                    n_records: int, row_width: int, dtype: str) -> None:
+        """Register a shard file pair already on disk under ``key``.
+
+        The worker half of process-parallel extraction writes fsynced
+        shard files straight into the shard directory — it never touches
+        the manifest.  The coordinator adopts the descriptors here; they
+        join the pending queue and become visible through the normal
+        flush path, so the flock'd manifest rewrite stays the single,
+        coordinator-only commit point (``commits`` still counts one per
+        run) while worker writes surface in ``appends``.
+        """
         with self._lock:
-            if not self._pending_rows:
+            self._pending_adoptions.append(
+                {"key": key, "data": data_name, "index": index_name,
+                 "rows": int(n_rows), "data_bytes": int(data_bytes),
+                 "index_bytes": int(index_bytes),
+                 "n_records": int(n_records), "row_width": int(row_width),
+                 "dtype": dtype})
+            self.appends += 1
+            defer = self._defer_depth > 0
+        if not defer:
+            self.flush()
+
+    def fold_counts(self, *, appends: int = 0, commits: int = 0,
+                    evictions: int = 0, invalid_dropped: int = 0) -> None:
+        """Fold worker-side store counters into this process's totals."""
+        with self._lock:
+            self.appends += appends
+            self.commits += commits
+            self.evictions += evictions
+            self.invalid_dropped += invalid_dropped
+
+    def flush(self) -> None:
+        """Write pending rows — one coalesced shard per entry — register
+        pending adoptions, and publish everything in one manifest
+        rewrite."""
+        with self._lock:
+            if not self._pending_rows and not self._pending_adoptions:
                 return
             pending = self._pending_rows
+            adoptions = self._pending_adoptions
             self._pending_rows = []
+            self._pending_adoptions = []
             self._pending_bytes = 0
             # coalesce per entry: within one scope the cache only appends
             # records it found missing, so parts are disjoint
@@ -404,32 +444,59 @@ class DiskBehaviorStore:
                     data_bytes = _save_array(shard_dir / data_name, rows)
                     index_bytes = _save_array(shard_dir / index_name,
                                               indices)
-                    meta = manifest["entries"].get(key)
-                    if meta is not None and (
-                            meta["row_width"] != width
-                            or np.dtype(meta["dtype"]) != np.dtype(dtype_str)
-                            or meta["n_records"] != n_records):
-                        self._delete_entry_files(meta)
-                        meta = None
-                    if meta is None:
-                        meta = {"n_records": n_records, "row_width": width,
-                                "dtype": dtype_str,
-                                "created": seq,  # incarnation token
-                                "nbytes": 0, "last_used": seq, "shards": []}
-                        manifest["entries"][key] = meta
-                    meta["shards"].append(
+                    self._register_shard(
+                        manifest, key, seq, n_records, width, dtype_str,
                         {"data": data_name, "index": index_name,
                          "rows": int(rows.shape[0]),
                          "data_bytes": data_bytes,
                          "index_bytes": index_bytes})
-                    meta["nbytes"] += data_bytes + index_bytes
-                    meta["last_used"] = seq
                     touched.add(key)
+                # adopted (worker-written) shards: files are already on
+                # disk and fsynced, only the manifest registration remains
+                for adoption in adoptions:
+                    manifest["clock"] += 1
+                    self._register_shard(
+                        manifest, adoption["key"], manifest["clock"],
+                        adoption["n_records"], adoption["row_width"],
+                        adoption["dtype"],
+                        {"data": adoption["data"],
+                         "index": adoption["index"],
+                         "rows": adoption["rows"],
+                         "data_bytes": adoption["data_bytes"],
+                         "index_bytes": adoption["index_bytes"]})
+                    touched.add(adoption["key"])
                 if self.max_bytes is not None:
                     self._evict(manifest, self.max_bytes, protect=touched)
                 self._commit(manifest)
                 # cached readers survive appends: the same incarnation
                 # extends itself with the new shards on the next read
+
+    def _register_shard(self, manifest: dict, key: str, seq: int,
+                        n_records: int, width: int, dtype_str: str,
+                        shard: dict) -> None:
+        """Attach one shard record to an entry (lock + write lock held).
+
+        A geometry mismatch with the existing entry replaces it wholesale
+        — ``seq`` then becomes the new incarnation token, which is what
+        invalidates cached readers in *other* processes too: they compare
+        ``created`` on every manifest refresh.
+        """
+        meta = manifest["entries"].get(key)
+        if meta is not None and (
+                meta["row_width"] != width
+                or np.dtype(meta["dtype"]) != np.dtype(dtype_str)
+                or meta["n_records"] != n_records):
+            self._delete_entry_files(meta)
+            meta = None
+        if meta is None:
+            meta = {"n_records": n_records, "row_width": width,
+                    "dtype": dtype_str,
+                    "created": seq,  # incarnation token
+                    "nbytes": 0, "last_used": seq, "shards": []}
+            manifest["entries"][key] = meta
+        meta["shards"].append(shard)
+        meta["nbytes"] += shard["data_bytes"] + shard["index_bytes"]
+        meta["last_used"] = seq
 
     @contextlib.contextmanager
     def deferred_commits(self):

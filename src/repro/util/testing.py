@@ -9,6 +9,16 @@ class CountingForwardModel:
     Parameters are delegated, so the fingerprint (and therefore every
     cache/store key) matches the wrapped model's — warm paths are asserted
     by watching ``forward_calls`` stay at zero.
+
+    The counter is scheduler-agnostic: under the process scheduler the
+    sweeps run in worker processes, and the shard exchange folds each
+    task's worker-side sweep count back into the live coordinator model's
+    ``forward_calls`` attribute (any model carrying an integer
+    ``forward_calls`` participates in that convention), so
+    extraction-once assertions hold whether extraction ran in this
+    process or a pool.  ``architecture()`` / ``named_parameters()`` are
+    delegated too, so registry-backed models still travel to workers as
+    arch specs instead of pickled wrappers.
     """
 
     def __init__(self, model):
@@ -19,6 +29,12 @@ class CountingForwardModel:
 
     def parameters(self):
         return self._model.parameters()
+
+    def architecture(self):
+        return self._model.architecture()
+
+    def named_parameters(self):
+        return self._model.named_parameters()
 
     def hidden_states(self, ids):
         self.forward_calls += 1

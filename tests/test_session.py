@@ -9,6 +9,7 @@ partial frames whose final snapshot is bit-identical to a one-shot
 
 from __future__ import annotations
 
+import os
 import threading
 
 import numpy as np
@@ -225,6 +226,11 @@ class TestStream:
             assert partials[0]["n_rows_seen"] == [rows] * len(partials[0])
             assert not any(partials[0]["converged"])
 
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_SCHEDULER") == "processes",
+        reason="process scheduler prefetches blocks ahead of the stream; "
+               "its abandonment semantics are covered by "
+               "test_process_scheduler.py::TestLifecycle")
     def test_stream_abandoned_early_stops_extraction(
             self, trained_sql_model, sql_workload, hyps):
         counting = CountingForwardModel(trained_sql_model)
