@@ -61,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="open the session over a persistent "
                              "DiskBehaviorStore at PATH")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="open the session catalog over a persistent "
+                             "paged database at PATH (tables and score "
+                             "relations survive across runs)")
     parser.add_argument("--setup", metavar="SCRIPT.py", default=None,
                         help="python script run with the open 'session' in "
                              "globals, to register models/datasets/"
@@ -86,7 +90,7 @@ def main(argv: list[str] | None = None) -> int:
     if not statements:
         parser.error("no SQL statements to execute")
 
-    with Session(args.store) as session:
+    with Session(args.store, db_path=args.db) as session:
         if args.setup is not None:
             setup_path = Path(args.setup)
             if not setup_path.exists():

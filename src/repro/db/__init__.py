@@ -22,7 +22,9 @@ from repro.db.expr import AmbiguousColumnError
 from repro.db.inspect_clause import (InspectQuery, run_inspect_spec,
                                      run_inspect_sql)
 from repro.db.madlib import logregr_predict, logregr_train
+from repro.db.planner import plan_scan
 from repro.db.sqlparser import parse_sql
+from repro.db.storage import TableStorage
 
 __all__ = [
     "AGGREGATES",
@@ -33,7 +35,9 @@ __all__ = [
     "InspectQuery",
     "SelectQuery",
     "Table",
+    "TableStorage",
     "execute_select",
+    "plan_scan",
     "logregr_predict",
     "logregr_train",
     "parse_sql",

@@ -11,6 +11,16 @@ Inserts land in a small row buffer that is flushed into the column arrays
 the next time a columnar (or row) view is requested, so single-row
 ``insert`` stays cheap while bulk loads pay one transpose.
 
+A :class:`Database` opened with ``path=`` is **persistent**: tables are
+mirrored into a paged, B-tree-indexed :class:`~repro.db.storage.TableStorage`
+next to the behavior store.  Mutations stage in memory and
+:meth:`Database.commit` publishes them atomically (shadow-paged pages, one
+manifest rename); reopening the path restores the catalog, with column
+arrays loaded lazily on first access.  Hot columns get automatic B-tree
+indexes that the executor's planner step routes sargable WHERE conjuncts
+and ORDER BY+LIMIT through (see :mod:`repro.db.planner`).  Tables whose
+values cannot be serialized degrade to memory-only instead of failing.
+
 PostgreSQL limits the number of columns/expressions per relation and target
 list (1,600 by default); :data:`MAX_EXPRESSIONS` enforces the same limit so
 the MADLib baseline must batch its correlation queries exactly as the paper
@@ -19,7 +29,7 @@ describes.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from typing import Any
 
 import numpy as np
@@ -67,7 +77,9 @@ class Table:
     """A named relation: column names + numpy column arrays."""
 
     def __init__(self, name: str, columns: Sequence[str],
-                 rows: Iterable[Sequence[Any]] | None = None):
+                 rows: Iterable[Sequence[Any]] | None = None, *,
+                 loader: Callable[[], list[np.ndarray]] | None = None,
+                 n_rows: int = 0):
         if len(set(columns)) != len(columns):
             raise ValueError(f"duplicate column names in {name!r}")
         if len(columns) > MAX_EXPRESSIONS:
@@ -81,6 +93,11 @@ class Table:
         self._n_stored = 0
         self._buffer: list[tuple] = []
         self._rows_cache: list[tuple] | None = None
+        # lazily-loaded persistent tables know their row count up front but
+        # defer decoding the column arrays until something touches them
+        self._loader = loader
+        if loader is not None:
+            self._n_stored = int(n_rows)
         if rows:
             self._buffer = [tuple(r) for r in rows]
             for i, row in enumerate(self._buffer):
@@ -111,8 +128,21 @@ class Table:
         return table
 
     # ------------------------------------------------------------------
+    def _ensure_loaded(self) -> None:
+        if self._loader is not None:
+            # clear the loader only on success: a failed load (e.g. a
+            # corrupt page) must leave the table lazy, not silently empty
+            self._cols = self._loader()
+            self._loader = None
+
+    @property
+    def is_loaded(self) -> bool:
+        """False while a persistent table's arrays are still on disk."""
+        return self._loader is None
+
     def _flush(self) -> None:
         """Fold buffered rows into the column arrays."""
+        self._ensure_loaded()
         if not self._buffer:
             return
         transposed = list(zip(*self._buffer)) or [
@@ -173,11 +203,53 @@ class Table:
 
 
 class Database:
-    """A catalog of tables plus simple scan statistics."""
+    """A catalog of tables plus simple scan statistics.
 
-    def __init__(self) -> None:
+    With ``path=`` the catalog is backed by a paged on-disk
+    :class:`~repro.db.storage.TableStorage`: mutations (creates, drops,
+    inserts) stage in memory and :meth:`commit` publishes them atomically;
+    reopening the same path restores every committed table.  The planner
+    consults :meth:`index_for` to route queries through the automatic
+    B-tree indexes — only tables whose in-memory state matches the last
+    commit are served from an index, so uncommitted rows can never be
+    silently missing from a result.
+    """
+
+    def __init__(self, path: str | None = None, *,
+                 page_size: int | None = None,
+                 cache_bytes: int = 64 << 20,
+                 auto_index: bool = True) -> None:
         self.tables: dict[str, Table] = {}
-        self.full_scans = 0  # instrumentation for the benchmarks
+        self.full_scans = 0   # instrumentation for the benchmarks
+        self.index_scans = 0  # queries answered via a B-tree range scan
+        self.use_indexes = True
+        self.storage = None
+        self._memory_only: set[str] = set()   # unserializable tables
+        self._created: set[str] = set()       # need a full rewrite
+        self._dropped: set[str] = set()
+        self._synced_rows: dict[str, int] = {}
+        if path is not None:
+            from repro.db.storage import PAGE_SIZE, TableStorage
+            self.storage = TableStorage(
+                path, page_size=page_size or PAGE_SIZE,
+                cache_bytes=cache_bytes, auto_index=auto_index)
+            for name in self.storage.table_names():
+                n = self.storage.n_rows(name)
+                self.tables[name] = Table(
+                    name, self.storage.columns(name),
+                    loader=self._loader_for(name), n_rows=n)
+                self._synced_rows[name] = n
+
+    def _loader_for(self, name: str) -> Callable[[], list[np.ndarray]]:
+        def load() -> list[np.ndarray]:
+            _, arrays = self.storage.load_columns(name)
+            return arrays
+        return load
+
+    @property
+    def path(self) -> str | None:
+        return str(self.storage.pager.root) if self.storage is not None \
+            else None
 
     def create_table(self, name: str, columns: Sequence[str],
                      rows: Iterable[Sequence[Any]] | None = None,
@@ -186,16 +258,100 @@ class Database:
             raise ValueError(f"table {name!r} already exists")
         table = Table(name, columns, rows)
         self.tables[name] = table
+        if self.storage is not None:
+            self._created.add(name)
+            self._dropped.discard(name)
+            self._memory_only.discard(name)
+            self._synced_rows.pop(name, None)
         return table
 
     def drop_table(self, name: str) -> None:
         self.tables.pop(name, None)
+        if self.storage is not None:
+            self._dropped.add(name)
+            self._created.discard(name)
+            self._memory_only.discard(name)
+            self._synced_rows.pop(name, None)
 
     def table(self, name: str) -> Table:
         try:
             return self.tables[name]
         except KeyError:
             raise KeyError(f"no table named {name!r}") from None
+
+    # -- persistence -----------------------------------------------------
+    def commit(self) -> None:
+        """Publish every staged table mutation atomically.
+
+        A no-op for in-memory databases.  Tables whose values cannot be
+        serialized degrade to memory-only rather than failing the commit.
+        """
+        if self.storage is None:
+            return
+        from repro.db.storage import UnsupportedColumnError, derive_kinds
+        for name in self._dropped:
+            if name in self.storage:
+                self.storage.drop(name)
+        self._dropped.clear()
+        for name, table in self.tables.items():
+            if name in self._memory_only:
+                continue
+            if table._loader is not None and not table._buffer:
+                continue  # never touched since load: already synced
+            arrays = table.column_arrays()
+            n = len(table)
+            synced = self._synced_rows.get(name)
+            rewrite = (
+                name in self._created or synced is None
+                or n < synced
+                or self.storage.columns(name) != table.columns
+                or self.storage.kinds(name) != derive_kinds(arrays))
+            try:
+                if rewrite:
+                    self.storage.create(name, table.columns, arrays,
+                                        n_rows=n)
+                elif n > synced:
+                    self.storage.append(
+                        name, [a[synced:] for a in arrays])
+            except UnsupportedColumnError:
+                if name in self.storage:
+                    self.storage.drop(name)
+                self._memory_only.add(name)
+                self._synced_rows.pop(name, None)
+                continue
+            self._synced_rows[name] = n
+        self._created.clear()
+        self.storage.commit()
+
+    def table_clean(self, name: str) -> bool:
+        """True when a table's in-memory state matches the last commit.
+
+        Only then may the planner answer from the on-disk indexes —
+        otherwise uncommitted rows would be missing from results.
+        """
+        if self.storage is None or name not in self.storage:
+            return False
+        if name in self._created or name in self._memory_only:
+            return False
+        table = self.tables.get(name)
+        if table is None or table._buffer:
+            return False
+        return len(table) == self._synced_rows.get(name, -1)
+
+    def index_for(self, name: str, col: str):
+        """``(BTree, info)`` for a usable index on ``name.col``, else None."""
+        if not self.use_indexes or not self.table_clean(name):
+            return None
+        info = self.storage.index_info(name, col)
+        if info is None:
+            return None
+        return self.storage.btree(name, col), info
+
+    def close(self) -> None:
+        """Commit pending changes and release the storage files."""
+        if self.storage is not None:
+            self.commit()
+            self.storage.close()
 
     def scan(self, name: str) -> Iterable[tuple]:
         self.full_scans += 1

@@ -36,6 +36,7 @@ import numpy as np
 from repro.db.aggregates import get_aggregate
 from repro.db.engine import MAX_EXPRESSIONS, Database
 from repro.db.expr import AggregateRef, Expr
+from repro.db.planner import plan_scan
 
 Row = dict[str, Any]
 
@@ -71,6 +72,7 @@ class SelectQuery:
     order_by: str | None = None
     descending: bool = False
     limit: int | None = None
+    into: str | None = None  # persist the result as a table (SELECT INTO)
 
 
 def execute_select(db: Database, query: SelectQuery,
@@ -87,7 +89,19 @@ def execute_select(db: Database, query: SelectQuery,
         rows, presorted = _execute_row(db, query), False
     else:
         rows, presorted = _execute_columnar(db, query)
-    return _finalize(rows, query, skip_order=presorted)
+    rows = _finalize(rows, query, skip_order=presorted)
+    if query.into:
+        _materialize_into(db, query.into,
+                          [it.alias for it in query.items], rows)
+    return rows
+
+
+def _materialize_into(db: Database, name: str, columns: list[str],
+                      rows: list[Row]) -> None:
+    """SELECT INTO: persist the result rows as a (committed) table."""
+    table = db.create_table(name, columns, replace=True)
+    table.insert_many([tuple(r[c] for c in columns) for r in rows])
+    db.commit()  # no-op for in-memory databases
 
 
 # ----------------------------------------------------------------------
@@ -264,27 +278,73 @@ def sort_indices(values: np.ndarray,
     if _nan_positions(arr) is not None:
         return None
     if descending:
-        # stable descending: argsort the reversed array, map indices back,
-        # reverse the order -- equal keys keep their original relative
-        # order, like list.sort(reverse=True)
+        # stable descending = ascending stable argsort of the negated
+        # keys: equal keys keep first-occurrence order, and float ±0.0
+        # still compare equal after negation.  Signed ints qualify unless
+        # the minimum is unnegatable (INT_MIN overflows); everything else
+        # (strings, unsigned) takes the reverse-and-remap double pass.
+        if arr.dtype.kind == "f":
+            return np.argsort(-arr, kind="stable")
+        if arr.dtype.kind == "i" and (
+                arr.shape[0] == 0
+                or int(arr.min()) > np.iinfo(arr.dtype).min):
+            return np.argsort(-arr, kind="stable")
         rev = np.argsort(arr[::-1], kind="stable")
         return (arr.shape[0] - 1 - rev)[::-1]
     return np.argsort(arr, kind="stable")
 
 
+def topk_indices(values: np.ndarray, k: int,
+                 descending: bool = False) -> np.ndarray | None:
+    """First ``k`` indices of the stable ORDER BY permutation, or None.
+
+    ``np.argpartition`` selects the k extreme rows in O(n); the boundary
+    value's ties are refined to the smallest original indices and the
+    survivors ordered by a stable lexsort over (dense value rank, index)
+    -- bit-identical to ``sort_indices(values, descending)[:k]`` but
+    without sorting the other n-k rows.  Returns None when the dtype
+    needs the generic path or k is too large a fraction of n to pay off.
+    """
+    arr = np.asarray(values)
+    n = arr.shape[0]
+    if arr.dtype.kind not in "iuf" or k <= 0 or k >= n or k * 4 >= n:
+        return None
+    if _nan_positions(arr) is not None:
+        return None
+    if descending:
+        boundary = arr[np.argpartition(arr, n - k)[n - k]]
+        strict = np.flatnonzero(arr > boundary)
+    else:
+        boundary = arr[np.argpartition(arr, k - 1)[k - 1]]
+        strict = np.flatnonzero(arr < boundary)
+    ties = np.flatnonzero(arr == boundary)[:k - strict.shape[0]]
+    cand = np.concatenate([strict, ties])
+    # dense ranks avoid negating raw int64 keys (INT_MIN has no negation)
+    _, rank = np.unique(arr[cand], return_inverse=True)
+    key = -rank.astype(np.int64) if descending else rank
+    return cand[np.lexsort((cand, key))]
+
+
 def _execute_columnar(db: Database,
                       query: SelectQuery) -> tuple[list[Row], bool]:
-    cols, n = _scan_cols(db, query.table, query.alias or query.table)
-    for join in query.joins:
-        cols, n = _join_columnar(db, cols, join)
+    # planner step: a clean persistent table may answer scan + WHERE
+    # (and ORDER BY + LIMIT) from its B-tree indexes
+    planned = plan_scan(db, query) if not query.joins else None
+    if planned is not None:
+        cols, n, index_ordered = planned
+    else:
+        index_ordered = False
+        cols, n = _scan_cols(db, query.table, query.alias or query.table)
+        for join in query.joins:
+            cols, n = _join_columnar(db, cols, join)
 
-    if query.where is not None:
-        mask = np.asarray(query.where.eval_batch(cols))
-        if mask.ndim == 0:
-            mask = np.full(n, bool(mask))
-        mask = mask.astype(bool)
-        cols = gather(cols, mask)
-        n = int(mask.sum())
+        if query.where is not None:
+            mask = np.asarray(query.where.eval_batch(cols))
+            if mask.ndim == 0:
+                mask = np.full(n, bool(mask))
+            mask = mask.astype(bool)
+            cols = gather(cols, mask)
+            n = int(mask.sum())
 
     if query.group_by or _has_aggregates(query):
         return _group_aggregate_columnar(cols, n, query), False
@@ -297,14 +357,18 @@ def _execute_columnar(db: Database,
     # arrays and slice before materializing dict rows, so a LIMIT k query
     # builds k rows instead of n.  HAVING (applied to projected rows in
     # _finalize) must run first, so the push-down is skipped when present.
-    presorted = False
-    if query.order_by is not None and query.having is None \
-            and query.order_by in aliases:
-        order = sort_indices(out_arrays[aliases.index(query.order_by)],
-                             query.descending)
-        if order is not None:
-            if query.limit is not None:
+    presorted = index_ordered
+    if not presorted and query.order_by is not None \
+            and query.having is None and query.order_by in aliases:
+        key_array = out_arrays[aliases.index(query.order_by)]
+        order = None
+        if query.limit is not None:
+            order = topk_indices(key_array, query.limit, query.descending)
+        if order is None:
+            order = sort_indices(key_array, query.descending)
+            if order is not None and query.limit is not None:
                 order = order[:query.limit]
+        if order is not None:
             out_arrays = [a[order] for a in out_arrays]
             presorted = True
 

@@ -495,7 +495,8 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
     out_columns = [item.alias for item in select_items]
     cols, n = execute_catalog_plan(db, plan_catalog(spec.tables, where))
     if n == 0:
-        return Frame.from_records([], columns=out_columns)
+        return _persist_into(db, spec,
+                             Frame.from_records([], columns=out_columns))
 
     # factorize GROUP BY keys over the joined relation
     if group_by:
@@ -580,8 +581,25 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
     s_cols = _materialize_s(catalog_keep, workloads, outcomes_by_did,
                             plan_index, hyp_col_of, len(measures),
                             spec.inspect_alias)
-    return _finish_columnar(db, s_cols, select_items, having, spec,
-                            out_schema, out_columns)
+    frame = _finish_columnar(db, s_cols, select_items, having, spec,
+                             out_schema, out_columns)
+    return _persist_into(db, spec, frame)
+
+
+def _persist_into(db: Database, spec: InspectSpec, frame: Frame) -> Frame:
+    """SELECT ... INTO t INSPECT ...: keep the score frame as a table.
+
+    On a persistent database the committed table gets automatic B-tree
+    indexes on its hot columns, so later ``SELECT``s over the saved
+    scores run index-backed — and a reopened session answers them with
+    zero extraction or re-scoring.
+    """
+    if spec.into:
+        table = db.create_table(spec.into, frame.columns, replace=True)
+        table.insert_many([tuple(row[c] for c in frame.columns)
+                           for row in frame.rows()])
+        db.commit()  # no-op for in-memory databases
+    return frame
 
 
 def _materialize_s(cols: dict[str, np.ndarray],

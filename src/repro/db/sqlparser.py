@@ -2,9 +2,9 @@
 
 Grammar subset::
 
-    query      := SELECT items [inspect] FROM tables [WHERE pred]
-                  [GROUP BY exprs] [HAVING pred] [ORDER BY col [DESC]]
-                  [LIMIT n]
+    query      := SELECT items [INTO name] [inspect] FROM tables
+                  [WHERE pred] [GROUP BY exprs] [HAVING pred]
+                  [ORDER BY col [DESC]] [LIMIT n]
     inspect    := INSPECT colref AND colref [USING name (, name)*]
                   OVER colref AS alias
     items      := expr [AS alias] (, expr [AS alias])*
@@ -36,7 +36,7 @@ _TOKEN_RE = re.compile(r"""
 
 _KEYWORDS = {"select", "inspect", "and", "or", "not", "using", "over", "as",
              "from", "where", "group", "by", "having", "order", "limit",
-             "desc", "asc"}
+             "desc", "asc", "into"}
 
 
 @dataclass
@@ -85,6 +85,7 @@ class InspectSpec:
     order_by: str | None = None              # an output-column alias
     descending: bool = False
     limit: int | None = None
+    into: str | None = None                  # persist the result (INTO t)
 
 
 class _Parser:
@@ -132,6 +133,10 @@ class _Parser:
         self.expect_keyword("select")
         items = self._select_items()
 
+        into = None
+        if self.accept_keyword("into"):
+            into = self.expect_name()
+
         inspect_part = None
         if self.accept_keyword("inspect"):
             inspect_part = self._inspect_clause()
@@ -169,7 +174,8 @@ class _Parser:
                 measures=measures, dataset_ref=dataset_ref,
                 inspect_alias=alias, tables=tables, where=where,
                 group_by=group_by or [], having=having,
-                order_by=order_by, descending=descending, limit=limit)
+                order_by=order_by, descending=descending, limit=limit,
+                into=into)
 
         # plain SELECT: express FROM list as base table + equi-joins
         base_table, base_alias = tables[0]
@@ -177,7 +183,7 @@ class _Parser:
                            joins=self._joins_from(tables[1:], where),
                            where=where, group_by=group_by or [],
                            having=having, order_by=order_by,
-                           descending=descending, limit=limit)
+                           descending=descending, limit=limit, into=into)
 
     @staticmethod
     def _joins_from(tables: list[tuple[str, str]],

@@ -1,0 +1,36 @@
+"""Paged, B-tree-indexed on-disk storage for the relational engine.
+
+Layers, bottom up:
+
+* :mod:`.pager` — fixed-size pages, LRU cache, shadow-paged atomic
+  commits with per-page checksums (:class:`CorruptPageError` on torn
+  writes).
+* :mod:`.rowcodec` — fixed-width typed rows for the columnar schema
+  (int64 / float64 / dictionary-encoded object columns).
+* :mod:`.heap` — append-only slotted-page heap files addressed by rid.
+* :mod:`.btree` — on-disk B+-tree ``(key, rid)`` indexes with
+  stable-order range scans.
+* :mod:`.tablestore` — the table catalog gluing it together behind
+  :class:`repro.db.engine.Database`.
+"""
+
+from .btree import BTree
+from .heap import HeapFile
+from .pager import PAGE_SIZE, CorruptPageError, Page, Pager
+from .rowcodec import DictEncoder, RowCodec, UnsupportedColumnError, derive_kinds
+from .tablestore import AUTO_INDEX_COLUMNS, TableStorage
+
+__all__ = [
+    "PAGE_SIZE",
+    "Page",
+    "Pager",
+    "CorruptPageError",
+    "RowCodec",
+    "DictEncoder",
+    "UnsupportedColumnError",
+    "derive_kinds",
+    "HeapFile",
+    "BTree",
+    "TableStorage",
+    "AUTO_INDEX_COLUMNS",
+]

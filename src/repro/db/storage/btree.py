@@ -1,0 +1,380 @@
+"""On-disk B+-tree index over pager pages.
+
+Keys are 8-byte scalars (``int64`` column values, dictionary codes, or
+``float64`` scores — NaN is never indexed, so float ordering is total).
+Entries are ordered by ``(key, rid)``: within one key, row ids ascend.
+The engine only ever appends rows with increasing rids, so a plain
+``searchsorted(..., side="right")`` insert preserves that invariant; bulk
+loads sort with a stable argsort for the same reason.
+
+Node layout (all 8-byte little-endian fields, order from the page size):
+
+* header  — ``[type, count, prev, next]`` (prev/next used by leaves)
+* leaf    — ``count`` keys at byte 32, then ``count`` rids in a second
+  fixed block at ``32 + leaf_cap*8``
+* internal — ``count`` separator keys at byte 32, then ``count+1`` child
+  page ids; separator ``i`` is the first key of child ``i+1``'s subtree
+
+Duplicate keys may span node boundaries, so descents are one-sided:
+lower-bound searches descend with ``side='left'`` (duplicates equal to a
+separator can spill into the left child) and insert/upper-bound searches
+with ``side='right'``.  Range scans stream rid batches in ``(key, rid)``
+order; descending scans emit keys high-to-low but keep each equal-key run
+in ascending rid order (buffering runs across leaf boundaries), which
+makes index-ordered output bit-identical to a stable argsort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pager import Pager
+
+LEAF, INTERNAL = 1, 2
+HEADER = 32
+
+
+def _merge_run(parts: list[np.ndarray]) -> np.ndarray:
+    # parts are collected walking right-to-left; earlier leaves hold the
+    # smaller rids of the run, so the ascending order is the reverse
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts[::-1])
+
+
+class BTree:
+    """B+-tree of ``(key, rid)`` entries stored in pager pages."""
+
+    def __init__(self, pager: Pager, *, key_dtype: str | np.dtype = "<i8",
+                 root: int = -1, n_entries: int = 0):
+        self.pager = pager
+        self.key_dtype = np.dtype(key_dtype)
+        self.root = int(root)
+        self.n_entries = int(n_entries)
+        ps = pager.page_size
+        self.leaf_cap = (ps - HEADER) // 16
+        self.int_cap = (ps - HEADER - 8) // 16
+        if self.leaf_cap < 2 or self.int_cap < 3:
+            raise ValueError(f"page size {ps} too small for a B-tree node")
+
+    # -- node views -----------------------------------------------------
+    def _hdr(self, page):
+        return np.frombuffer(page.data, dtype="<i8", count=4)
+
+    def _lkeys(self, page):
+        return np.frombuffer(page.data, dtype=self.key_dtype,
+                             count=self.leaf_cap, offset=HEADER)
+
+    def _lrids(self, page):
+        return np.frombuffer(page.data, dtype="<i8", count=self.leaf_cap,
+                             offset=HEADER + self.leaf_cap * 8)
+
+    def _ikeys(self, page):
+        return np.frombuffer(page.data, dtype=self.key_dtype,
+                             count=self.int_cap, offset=HEADER)
+
+    def _ichildren(self, page):
+        return np.frombuffer(page.data, dtype="<i8", count=self.int_cap + 1,
+                             offset=HEADER + self.int_cap * 8)
+
+    def _new_node(self, kind: int):
+        page = self.pager.allocate()
+        hdr = self._hdr(page)
+        hdr[0] = kind
+        hdr[1] = 0
+        hdr[2] = -1
+        hdr[3] = -1
+        return page
+
+    # -- insertion ------------------------------------------------------
+    def insert(self, key, rid: int) -> None:
+        """Insert one entry (rid must exceed every rid already present)."""
+        if self.root < 0:
+            page = self._new_node(LEAF)
+            self._lkeys(page)[0] = key
+            self._lrids(page)[0] = rid
+            self._hdr(page)[1] = 1
+            self.root = page.page_id
+            self.pager.unpin(page.page_id)
+            self.n_entries = 1
+            return
+        path: list[tuple[int, int]] = []  # (page_id, child index taken)
+        pid = self.root
+        page = self.pager.get(pid)
+        hdr = self._hdr(page)
+        while hdr[0] == INTERNAL:
+            n = int(hdr[1])
+            ci = int(np.searchsorted(self._ikeys(page)[:n], key,
+                                     side="right"))
+            child = int(self._ichildren(page)[ci])
+            path.append((pid, ci))
+            self.pager.unpin(pid)
+            pid = child
+            page = self.pager.get(pid)
+            hdr = self._hdr(page)
+        n = int(hdr[1])
+        keys, rids = self._lkeys(page), self._lrids(page)
+        pos = int(np.searchsorted(keys[:n], key, side="right"))
+        if n < self.leaf_cap:
+            keys[pos + 1:n + 1] = keys[pos:n].copy()
+            rids[pos + 1:n + 1] = rids[pos:n].copy()
+            keys[pos] = key
+            rids[pos] = rid
+            hdr[1] = n + 1
+            self.pager.mark_dirty(pid)
+            self.pager.unpin(pid)
+        else:
+            ck = np.insert(keys[:n], pos, key)
+            cr = np.insert(rids[:n], pos, rid)
+            left_n = (n + 1) // 2
+            right_n = n + 1 - left_n
+            new = self._new_node(LEAF)
+            nh = self._hdr(new)
+            self._lkeys(new)[:right_n] = ck[left_n:]
+            self._lrids(new)[:right_n] = cr[left_n:]
+            nh[1] = right_n
+            nh[2] = pid
+            old_next = int(hdr[3])
+            nh[3] = old_next
+            keys[:left_n] = ck[:left_n]
+            rids[:left_n] = cr[:left_n]
+            hdr[1] = left_n
+            hdr[3] = new.page_id
+            if old_next >= 0:
+                with self.pager.page(old_next) as nxt:
+                    self._hdr(nxt)[2] = new.page_id
+                    self.pager.mark_dirty(old_next)
+            self.pager.mark_dirty(pid)
+            sep = ck[left_n]
+            new_pid = new.page_id
+            self.pager.unpin(pid)
+            self.pager.unpin(new_pid)
+            self._insert_into_parent(path, sep, new_pid)
+        self.n_entries += 1
+
+    def _insert_into_parent(self, path, sep, right_pid: int) -> None:
+        while path:
+            pid, ci = path.pop()
+            page = self.pager.get(pid)
+            hdr = self._hdr(page)
+            n = int(hdr[1])
+            keys, ch = self._ikeys(page), self._ichildren(page)
+            if n < self.int_cap:
+                keys[ci + 1:n + 1] = keys[ci:n].copy()
+                ch[ci + 2:n + 2] = ch[ci + 1:n + 1].copy()
+                keys[ci] = sep
+                ch[ci + 1] = right_pid
+                hdr[1] = n + 1
+                self.pager.mark_dirty(pid)
+                self.pager.unpin(pid)
+                return
+            ck = np.insert(keys[:n], ci, sep)
+            cc = np.insert(ch[:n + 1], ci + 1, right_pid)
+            mid = (n + 1) // 2
+            up = ck[mid]
+            new = self._new_node(INTERNAL)
+            nh = self._hdr(new)
+            right_n = n - mid
+            self._ikeys(new)[:right_n] = ck[mid + 1:]
+            self._ichildren(new)[:right_n + 1] = cc[mid + 1:]
+            nh[1] = right_n
+            keys[:mid] = ck[:mid]
+            ch[:mid + 1] = cc[:mid + 1]
+            hdr[1] = mid
+            self.pager.mark_dirty(pid)
+            sep, right_pid = up, new.page_id
+            self.pager.unpin(pid)
+            self.pager.unpin(new.page_id)
+        # the root itself split
+        page = self._new_node(INTERNAL)
+        self._hdr(page)[1] = 1
+        self._ikeys(page)[0] = sep
+        ch = self._ichildren(page)
+        ch[0] = self.root
+        ch[1] = right_pid
+        self.root = page.page_id
+        self.pager.unpin(page.page_id)
+
+    def insert_many(self, keys: np.ndarray, rids: np.ndarray) -> None:
+        for k, r in zip(keys.tolist(), rids.tolist()):
+            self.insert(k, r)
+
+    # -- bulk load ------------------------------------------------------
+    def bulk_load(self, keys: np.ndarray, rids: np.ndarray,
+                  fill: float = 0.8) -> None:
+        """Rebuild from entries already sorted by ``(key, rid)``."""
+        self.free()
+        n = int(keys.shape[0])
+        self.n_entries = n
+        if n == 0:
+            return
+        per = min(max(2, int(self.leaf_cap * fill)), self.leaf_cap)
+        n_leaves = -(-n // per)
+        base, extra = divmod(n, n_leaves)
+        level: list[tuple[object, int]] = []  # (first key, page id)
+        prev_page = None
+        pos = 0
+        for i in range(n_leaves):
+            cnt = base + (1 if i < extra else 0)
+            page = self._new_node(LEAF)
+            hdr = self._hdr(page)
+            hdr[1] = cnt
+            self._lkeys(page)[:cnt] = keys[pos:pos + cnt]
+            self._lrids(page)[:cnt] = rids[pos:pos + cnt]
+            if prev_page is not None:
+                hdr[2] = prev_page.page_id
+                self._hdr(prev_page)[3] = page.page_id
+                self.pager.unpin(prev_page.page_id)
+            level.append((keys[pos], page.page_id))
+            prev_page = page
+            pos += cnt
+        self.pager.unpin(prev_page.page_id)
+        while len(level) > 1:
+            per_i = min(max(2, int(self.int_cap * fill)), self.int_cap)
+            total = len(level)
+            n_nodes = max(1, min(-(-total // per_i), total // 2))
+            base, extra = divmod(total, n_nodes)
+            nxt: list[tuple[object, int]] = []
+            pos = 0
+            for i in range(n_nodes):
+                cnt = base + (1 if i < extra else 0)
+                chunk = level[pos:pos + cnt]
+                pos += cnt
+                page = self._new_node(INTERNAL)
+                self._hdr(page)[1] = cnt - 1
+                ik, ic = self._ikeys(page), self._ichildren(page)
+                for j, (first_key, pid) in enumerate(chunk):
+                    ic[j] = pid
+                    if j:
+                        ik[j - 1] = first_key
+                nxt.append((chunk[0][0], page.page_id))
+                self.pager.unpin(page.page_id)
+            level = nxt
+        self.root = level[0][1]
+
+    # -- scans ----------------------------------------------------------
+    def _leaf_for_lower(self, lo, incl: bool):
+        pid = self.root
+        page = self.pager.get(pid)
+        hdr = self._hdr(page)
+        while hdr[0] == INTERNAL:
+            n = int(hdr[1])
+            if lo is None:
+                ci = 0
+            else:
+                ci = int(np.searchsorted(self._ikeys(page)[:n], lo,
+                                         side="left" if incl else "right"))
+            child = int(self._ichildren(page)[ci])
+            self.pager.unpin(pid)
+            pid = child
+            page = self.pager.get(pid)
+            hdr = self._hdr(page)
+        return page, hdr
+
+    def _leaf_for_upper(self, hi, incl: bool):
+        pid = self.root
+        page = self.pager.get(pid)
+        hdr = self._hdr(page)
+        while hdr[0] == INTERNAL:
+            n = int(hdr[1])
+            if hi is None:
+                ci = n
+            else:
+                ci = int(np.searchsorted(self._ikeys(page)[:n], hi,
+                                         side="right" if incl else "left"))
+            child = int(self._ichildren(page)[ci])
+            self.pager.unpin(pid)
+            pid = child
+            page = self.pager.get(pid)
+            hdr = self._hdr(page)
+        return page, hdr
+
+    def scan(self, lo=None, hi=None, lo_incl: bool = True,
+             hi_incl: bool = True, descending: bool = False):
+        """Yield rid arrays in ``(key, rid)`` order over ``[lo, hi]``.
+
+        Descending scans yield one batch per distinct key, highest key
+        first, rids ascending within the batch.
+        """
+        if self.root < 0:
+            return iter(())
+        if descending:
+            return self._scan_desc(lo, hi, lo_incl, hi_incl)
+        return self._scan_asc(lo, hi, lo_incl, hi_incl)
+
+    def _scan_asc(self, lo, hi, lo_incl, hi_incl):
+        page, hdr = self._leaf_for_lower(lo, lo_incl)
+        while True:
+            n = int(hdr[1])
+            keys = self._lkeys(page)[:n]
+            start = 0 if lo is None else int(
+                np.searchsorted(keys, lo, side="left" if lo_incl else "right"))
+            end = n if hi is None else int(
+                np.searchsorted(keys, hi, side="right" if hi_incl else "left"))
+            batch = self._lrids(page)[start:end].copy()
+            nxt = int(hdr[3])
+            stop = (hi is not None and end < n) or nxt < 0
+            self.pager.unpin(page.page_id)
+            if batch.size:
+                yield batch
+            if stop:
+                return
+            lo, lo_incl = None, True  # later leaves only hold larger keys
+            page = self.pager.get(nxt)
+            hdr = self._hdr(page)
+
+    def _scan_desc(self, lo, hi, lo_incl, hi_incl):
+        page, hdr = self._leaf_for_upper(hi, hi_incl)
+        pend_key = None
+        pend_parts: list[np.ndarray] = []
+        while True:
+            n = int(hdr[1])
+            keys = self._lkeys(page)[:n]
+            start = 0 if lo is None else int(
+                np.searchsorted(keys, lo, side="left" if lo_incl else "right"))
+            end = n if hi is None else int(
+                np.searchsorted(keys, hi, side="right" if hi_incl else "left"))
+            sk = keys[start:end].copy()
+            sr = self._lrids(page)[start:end].copy()
+            prev = int(hdr[2])
+            stop = start > 0 or prev < 0
+            self.pager.unpin(page.page_id)
+            if sk.size:
+                run_starts = np.flatnonzero(sk[1:] != sk[:-1]) + 1
+                bounds = np.concatenate(([0], run_starts, [sk.size]))
+                for ri in range(bounds.shape[0] - 2, -1, -1):
+                    a, b = int(bounds[ri]), int(bounds[ri + 1])
+                    k = sk[a]
+                    if pend_key is not None and k == pend_key:
+                        # this key's run continues from the next leaf over
+                        pend_parts.append(sr[a:b])
+                    else:
+                        if pend_key is not None:
+                            yield _merge_run(pend_parts)
+                        pend_key, pend_parts = k, [sr[a:b]]
+            if stop:
+                if pend_key is not None:
+                    yield _merge_run(pend_parts)
+                return
+            hi, hi_incl = None, True  # earlier leaves only hold smaller keys
+            page = self.pager.get(prev)
+            hdr = self._hdr(page)
+
+    # -- maintenance ----------------------------------------------------
+    def free(self) -> None:
+        """Release every node back to the pager."""
+        if self.root < 0:
+            self.n_entries = 0
+            return
+        stack = [self.root]
+        while stack:
+            pid = stack.pop()
+            page = self.pager.get(pid)
+            hdr = self._hdr(page)
+            if hdr[0] == INTERNAL:
+                n = int(hdr[1])
+                stack.extend(int(c) for c in self._ichildren(page)[:n + 1])
+            self.pager.unpin(pid)
+            self.pager.free(pid)
+        self.root = -1
+        self.n_entries = 0

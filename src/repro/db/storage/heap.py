@@ -1,0 +1,107 @@
+"""Slotted-page heap file: fixed-width rows appended across pager pages.
+
+A heap file owns an ordered list of logical page ids.  Rows are
+fixed-width (one :class:`~repro.db.storage.rowcodec.RowCodec` structured
+record), so a row id is simply the global row ordinal and locating it is
+arithmetic: ``page = rid // rows_per_page``, ``slot = rid %
+rows_per_page``.  Each page starts with an 8-byte header holding the
+page's row count; rows follow back-to-back.
+
+The file is append-only — the engine models updates as whole-table
+replacement (drop + create), which keeps row ids stable for every index
+that references them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pager import Pager
+
+HEADER = 8
+
+
+class HeapFile:
+    """Fixed-width rows over a list of pager pages, addressed by rid."""
+
+    def __init__(self, pager: Pager, row_width: int,
+                 page_ids: list[int] | None = None, n_rows: int = 0):
+        if row_width <= 0:
+            raise ValueError("heap rows must be at least one byte wide")
+        self.pager = pager
+        self.row_width = int(row_width)
+        self.rows_per_page = (pager.page_size - HEADER) // self.row_width
+        if self.rows_per_page < 1:
+            raise ValueError(
+                f"row of {row_width} bytes does not fit a "
+                f"{pager.page_size}-byte page")
+        self.page_ids: list[int] = list(page_ids) if page_ids else []
+        self.n_rows = int(n_rows)
+
+    def append(self, packed: np.ndarray) -> int:
+        """Append structured rows; returns the first new rid."""
+        first_rid = self.n_rows
+        pos, total = 0, int(packed.shape[0])
+        while pos < total:
+            slot = self.n_rows % self.rows_per_page
+            if slot == 0:
+                page = self.pager.allocate()
+                self.page_ids.append(page.page_id)
+            else:
+                page = self.pager.get(self.page_ids[-1])
+            pid = page.page_id
+            take = min(self.rows_per_page - slot, total - pos)
+            off = HEADER + slot * self.row_width
+            page.data[off:off + take * self.row_width] = \
+                packed[pos:pos + take].tobytes()
+            np.frombuffer(page.data, dtype="<i8", count=1)[0] = slot + take
+            self.pager.mark_dirty(pid)
+            self.pager.unpin(pid)
+            self.n_rows += take
+            pos += take
+        return first_rid
+
+    def read_all(self, dtype: np.dtype) -> np.ndarray:
+        """Every row in rid order as one structured array."""
+        out = np.empty(self.n_rows, dtype=dtype)
+        done = 0
+        for pid in self.page_ids:
+            if done >= self.n_rows:
+                break
+            take = min(self.rows_per_page, self.n_rows - done)
+            with self.pager.page(pid) as page:
+                out[done:done + take] = np.frombuffer(
+                    page.data, dtype=dtype, count=take, offset=HEADER)
+            done += take
+        return out
+
+    def gather(self, rids: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Rows at ``rids``, in the order given (one page visit per page)."""
+        rids = np.asarray(rids, dtype=np.int64)
+        out = np.empty(rids.shape[0], dtype=dtype)
+        if rids.shape[0] == 0:
+            return out
+        if rids.min() < 0 or rids.max() >= self.n_rows:
+            raise IndexError("rid out of range")
+        page_idx = rids // self.rows_per_page
+        slots = rids % self.rows_per_page
+        order = np.argsort(page_idx, kind="stable")
+        sorted_pages = page_idx[order]
+        bounds = np.flatnonzero(np.diff(sorted_pages)) + 1
+        starts = np.concatenate(([0], bounds, [order.shape[0]]))
+        for gi in range(starts.shape[0] - 1):
+            a, b = int(starts[gi]), int(starts[gi + 1])
+            sel = order[a:b]
+            pid = self.page_ids[int(sorted_pages[a])]
+            with self.pager.page(pid) as page:
+                view = np.frombuffer(page.data, dtype=dtype,
+                                     count=self.rows_per_page, offset=HEADER)
+                out[sel] = view[slots[sel]]
+        return out
+
+    def free(self) -> None:
+        """Release every page back to the pager."""
+        for pid in self.page_ids:
+            self.pager.free(pid)
+        self.page_ids = []
+        self.n_rows = 0

@@ -1,0 +1,325 @@
+"""Fixed-size page store with a pinned LRU cache and shadow-paged commits.
+
+The relational engine's persistence layer stores everything — heap pages,
+B-tree nodes — as fixed-size pages in one ``pages.bin`` file, addressed by
+*logical* page id.  The durability design reuses the behavior store's
+atomic-manifest pattern (:mod:`repro.store.disk`):
+
+* **Shadow paging.**  A committed page is never overwritten in place.  The
+  first time a logical page is dirtied after a commit it is assigned a
+  fresh *physical* slot; all writes (including eviction write-back) go to
+  that slot, which no committed state references.
+* **Atomic manifest.**  ``manifest.json`` maps logical ids to physical
+  slots and carries a CRC32 per page plus caller metadata (the table
+  catalog).  :meth:`Pager.commit` writes every dirty page, fsyncs the data
+  file, and then atomically renames a new manifest into place — the single
+  commit point.  A crash at any moment leaves the previous manifest (and
+  every physical slot it references) untouched, so reopening recovers to
+  the last commit; at worst the data file carries orphan slots, which the
+  next commit reuses.
+* **Checksums.**  Every page read from disk is verified against its
+  manifest CRC; a torn or truncated page raises :class:`CorruptPageError`
+  instead of being served.
+
+The page cache holds decoded pages under a byte budget with LRU eviction;
+pinned pages are never evicted, and evicted dirty pages are written back
+to their shadow slot (re-read through their recorded CRC).
+
+Single-writer: one process commits at a time (an flock around the commit
+guards against accidental concurrent writers); readers need no lock
+because the manifest swap is atomic.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import zlib
+from collections import OrderedDict
+from pathlib import Path
+
+try:  # POSIX advisory locking, like the behavior store
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+PAGE_SIZE = 4096
+MANIFEST = "manifest.json"
+DATA_FILE = "pages.bin"
+_VERSION = 1
+
+
+class CorruptPageError(Exception):
+    """A page's bytes disagree with the committed checksum."""
+
+
+class Page:
+    """One cached page: a mutable ``bytearray`` of ``page_size`` bytes."""
+
+    __slots__ = ("page_id", "data", "pins", "dirty")
+
+    def __init__(self, page_id: int, data: bytearray):
+        self.page_id = page_id
+        self.data = data
+        self.pins = 0
+        self.dirty = False
+
+
+class Pager:
+    """Logical pages over one data file, committed via an atomic manifest."""
+
+    def __init__(self, root: str | os.PathLike, *, page_size: int = PAGE_SIZE,
+                 cache_bytes: int = 64 << 20):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.page_size = int(page_size)
+        self.cache_bytes = int(cache_bytes)
+        self._path = self.root / DATA_FILE
+        if not self._path.exists():
+            self._path.touch()
+        self._file = open(self._path, "r+b")
+        manifest = self._load_manifest()
+        if manifest.get("page_size", self.page_size) != self.page_size:
+            self.page_size = int(manifest["page_size"])
+        #: committed logical -> physical slot (-1 = free logical id)
+        self._table: list[int] = list(manifest.get("table", []))
+        self._crc: list[int] = list(manifest.get("crc", []))
+        self._n_slots: int = int(manifest.get("n_slots", 0))
+        self._free_phys: list[int] = list(manifest.get("free_phys", []))
+        self._free_logical: list[int] = [
+            lid for lid, phys in enumerate(self._table) if phys < 0]
+        self.meta: dict = manifest.get("meta", {})
+        # uncommitted transaction state
+        self._shadow: dict[int, int] = {}      # dirty logical -> fresh slot
+        self._shadow_crc: dict[int, int] = {}  # crc of evicted dirty pages
+        self._freed: set[int] = set()          # logical ids freed this txn
+        self._cache: OrderedDict[int, Page] = OrderedDict()
+        # instrumentation
+        self.pages_read = 0
+        self.pages_written = 0
+        self.evictions = 0
+        self.commits = 0
+
+    # -- manifest -------------------------------------------------------
+    def _load_manifest(self) -> dict:
+        path = self.root / MANIFEST
+        if not path.exists():
+            return {}
+        with open(path, encoding="utf-8") as f:
+            manifest = json.load(f)
+        if manifest.get("version") != _VERSION:
+            raise ValueError(f"unsupported pager manifest version "
+                             f"{manifest.get('version')!r} at {path}")
+        return manifest
+
+    @contextlib.contextmanager
+    def _commit_lock(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self.root / ".lock", "a+b") as lock:
+            fcntl.flock(lock.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def _write_manifest(self, manifest: dict) -> None:
+        path = self.root / MANIFEST
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        payload = json.dumps(manifest).encode("utf-8")
+        with open(tmp, "wb") as f:
+            f.write(payload)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+
+    # -- physical I/O ---------------------------------------------------
+    def _read_slot(self, phys: int) -> bytearray:
+        self._file.seek(phys * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:  # truncated tail
+            data = data + b"\x00" * (self.page_size - len(data))
+        self.pages_read += 1
+        return bytearray(data)
+
+    def _write_slot(self, phys: int, data: bytes) -> int:
+        self._file.seek(phys * self.page_size)
+        self._file.write(data)
+        self.pages_written += 1
+        return zlib.crc32(data)
+
+    def _take_slot(self) -> int:
+        if self._free_phys:
+            return self._free_phys.pop()
+        slot = self._n_slots
+        self._n_slots += 1
+        return slot
+
+    # -- page API -------------------------------------------------------
+    def __len__(self) -> int:
+        """Logical pages currently allocated (committed + this txn)."""
+        return len(self._table) - len(self._free_logical) - len(self._freed)
+
+    def allocate(self) -> Page:
+        """A fresh zeroed page, pinned and dirty."""
+        if self._free_logical:
+            lid = self._free_logical.pop()
+        else:
+            lid = len(self._table)
+            self._table.append(-1)
+            self._crc.append(0)
+        self._freed.discard(lid)
+        self._shadow[lid] = self._take_slot()
+        page = Page(lid, bytearray(self.page_size))
+        page.pins = 1
+        page.dirty = True
+        self._insert(page)
+        return page
+
+    def get(self, page_id: int, pin: bool = True) -> Page:
+        """Fetch a page (cache hit or disk read with CRC verification)."""
+        page = self._cache.get(page_id)
+        if page is not None:
+            self._cache.move_to_end(page_id)
+            if pin:
+                page.pins += 1
+            return page
+        if page_id in self._shadow and page_id in self._shadow_crc:
+            phys, crc = self._shadow[page_id], self._shadow_crc[page_id]
+        else:
+            if page_id >= len(self._table) or self._table[page_id] < 0 \
+                    or page_id in self._freed:
+                raise KeyError(f"page {page_id} is not allocated")
+            phys, crc = self._table[page_id], self._crc[page_id]
+        data = self._read_slot(phys)
+        if zlib.crc32(bytes(data)) != crc:
+            raise CorruptPageError(
+                f"page {page_id} (slot {phys}) failed its checksum: "
+                f"torn or truncated write; the table recovers only to the "
+                f"last committed state")
+        page = Page(page_id, data)
+        # a page read back from its shadow slot is still part of the
+        # uncommitted transaction: keep it marked dirty so commit()
+        # rewrites its final bytes and records the final CRC
+        page.dirty = page_id in self._shadow
+        if pin:
+            page.pins = 1
+        self._insert(page)
+        return page
+
+    def unpin(self, page_id: int) -> None:
+        page = self._cache.get(page_id)
+        if page is None:
+            return
+        if page.pins <= 0:
+            raise RuntimeError(f"page {page_id} is not pinned")
+        page.pins -= 1
+
+    @contextlib.contextmanager
+    def page(self, page_id: int):
+        """``with pager.page(pid) as p:`` — pinned for the block."""
+        page = self.get(page_id)
+        try:
+            yield page
+        finally:
+            self.unpin(page_id)
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record a mutation; assigns the page's shadow slot (COW)."""
+        page = self._cache.get(page_id)
+        if page is None:
+            raise KeyError(f"page {page_id} is not cached; get() it first")
+        page.dirty = True
+        if page_id not in self._shadow:
+            self._shadow[page_id] = self._take_slot()
+
+    def free(self, page_id: int) -> None:
+        """Release a logical page (effective at the next commit)."""
+        self._cache.pop(page_id, None)
+        shadow = self._shadow.pop(page_id, None)
+        self._shadow_crc.pop(page_id, None)
+        if shadow is not None:
+            self._free_phys.append(shadow)  # never committed-referenced
+        if page_id < len(self._table) and self._table[page_id] >= 0:
+            self._freed.add(page_id)  # committed slot released at commit
+        else:
+            self._free_logical.append(page_id)
+
+    # -- cache ----------------------------------------------------------
+    def _insert(self, page: Page) -> None:
+        self._cache[page.page_id] = page
+        self._cache.move_to_end(page.page_id)
+        budget = max(self.cache_bytes // self.page_size, 8)
+        if len(self._cache) <= budget:
+            return
+        for lid in list(self._cache):
+            if len(self._cache) <= budget:
+                break
+            victim = self._cache[lid]
+            if victim.pins > 0 or victim is page:
+                continue
+            if victim.dirty:
+                crc = self._write_slot(self._shadow[lid], bytes(victim.data))
+                self._shadow_crc[lid] = crc
+            del self._cache[lid]
+            self.evictions += 1
+
+    # -- commit ---------------------------------------------------------
+    def commit(self, meta: dict | None = None) -> None:
+        """Write dirty pages, fsync, and atomically publish the manifest."""
+        if meta is not None:
+            self.meta = meta
+        for lid, page in self._cache.items():
+            if page.dirty:
+                self._shadow_crc[lid] = self._write_slot(
+                    self._shadow[lid], bytes(page.data))
+                page.dirty = False
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        # fold the transaction into the committed page table
+        for lid, phys in self._shadow.items():
+            old = self._table[lid]
+            if old >= 0:
+                self._free_phys.append(old)
+            self._table[lid] = phys
+            self._crc[lid] = self._shadow_crc.get(lid, 0)
+        for lid in self._freed:
+            old = self._table[lid]
+            if old >= 0:
+                self._free_phys.append(old)
+            self._table[lid] = -1
+            self._free_logical.append(lid)
+        self._shadow.clear()
+        self._shadow_crc.clear()
+        self._freed.clear()
+        manifest = {
+            "version": _VERSION,
+            "page_size": self.page_size,
+            "n_slots": self._n_slots,
+            "table": self._table,
+            "crc": self._crc,
+            "free_phys": self._free_phys,
+            "meta": self.meta,
+        }
+        with self._commit_lock():
+            self._write_manifest(manifest)
+        self.commits += 1
+
+    @property
+    def has_uncommitted(self) -> bool:
+        return bool(self._shadow or self._freed)
+
+    def close(self) -> None:
+        """Release the file handle (uncommitted pages are discarded)."""
+        try:
+            self._file.close()
+        except ValueError:  # pragma: no cover - already closed
+            pass
+
+    def stats(self) -> dict:
+        return {"pages": len(self), "page_size": self.page_size,
+                "slots": self._n_slots, "cached": len(self._cache),
+                "reads": self.pages_read, "writes": self.pages_written,
+                "evictions": self.evictions, "commits": self.commits}

@@ -1,0 +1,182 @@
+"""Typed row (de)serialization for the columnar schema.
+
+The engine's tables hold three physical column kinds:
+
+* ``i8``   -- ``int64`` arrays,
+* ``f8``   -- ``float64`` arrays,
+* ``dict`` -- everything else (``object`` arrays: strings, None, bools,
+  mixed values), stored as dictionary codes.
+
+Every kind maps to an 8-byte field, so a whole table row is fixed-width
+and a page of rows is one numpy structured array: encoding a million-row
+batch is a handful of vectorized field assignments, and decoding a page is
+one ``np.frombuffer``.  Dictionary columns keep their value list in the
+table catalog (pickled, so values round-trip exactly); the in-memory
+column is rebuilt with one fancy-index over the value array, which for
+pure-string columns also makes equality predicates index-able (a string
+literal becomes a code, codes live in a B-tree).
+
+Columns whose values cannot be dictionary-encoded (unhashable or
+unpicklable objects, or pathologically high cardinality that would bloat
+the catalog) raise :class:`UnsupportedColumnError`; the database keeps
+such tables memory-only instead of corrupting them.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+import numpy as np
+
+KINDS = ("i8", "f8", "dict")
+
+#: refuse dictionaries that would bloat the manifest catalog
+MAX_DICT_VALUES = 1 << 18
+
+
+class UnsupportedColumnError(ValueError):
+    """A column cannot be serialized (unhashable / unpicklable values)."""
+
+
+class DictEncoder:
+    """Append-only value dictionary for one column (code = list index)."""
+
+    def __init__(self, values: list | None = None):
+        self.values: list = list(values) if values else []
+        self._code: dict = {}
+        for i, v in enumerate(self.values):
+            self._code[_dict_key(v)] = i
+
+    def encode(self, column: np.ndarray) -> np.ndarray:
+        codes = np.empty(column.shape[0], dtype=np.int64)
+        code_of = self._code
+        values = self.values
+        try:
+            for i, v in enumerate(column.tolist()):
+                key = _dict_key(v)
+                code = code_of.get(key)
+                if code is None:
+                    code = len(values)
+                    if code >= MAX_DICT_VALUES:
+                        raise UnsupportedColumnError(
+                            f"column exceeds {MAX_DICT_VALUES} distinct "
+                            f"values; too wide for dictionary encoding")
+                    values.append(v)
+                    code_of[key] = code
+                codes[i] = code
+        except TypeError as exc:  # unhashable value
+            raise UnsupportedColumnError(
+                f"unhashable column value: {exc}") from exc
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        lookup = np.empty(len(self.values), dtype=object)
+        lookup[:] = self.values
+        return lookup[codes]
+
+    def all_str(self) -> bool:
+        return all(isinstance(v, str) for v in self.values)
+
+    def code_for(self, value) -> int | None:
+        """Dictionary code of ``value``, or None if it was never stored."""
+        try:
+            return self._code.get(_dict_key(value))
+        except TypeError:
+            return None
+
+    def serialize(self) -> str:
+        try:
+            return base64.b64encode(
+                pickle.dumps(self.values, protocol=4)).decode("ascii")
+        except Exception as exc:
+            raise UnsupportedColumnError(
+                f"unpicklable column value: {exc}") from exc
+
+    @classmethod
+    def deserialize(cls, payload: str) -> "DictEncoder":
+        return cls(pickle.loads(base64.b64decode(payload.encode("ascii"))))
+
+
+def _dict_key(value):
+    """Hash key distinguishing values numpy equality would conflate.
+
+    ``1 == 1.0 == True`` under both ``dict`` lookup and numpy broadcasting,
+    but dictionary codes must round-trip the *exact* stored value; keying
+    by (type, value) keeps ``1`` and ``1.0`` as distinct dictionary
+    entries.  (Such mixed columns are never indexed — only all-string
+    dictionary columns are — so predicate semantics stay numpy's.)
+    """
+    return (type(value).__name__, value)
+
+
+def derive_kinds(arrays: list[np.ndarray]) -> list[str]:
+    """Physical kind of each column array (``i8`` / ``f8`` / ``dict``)."""
+    kinds = []
+    for arr in arrays:
+        if arr.dtype.kind == "i":
+            kinds.append("i8")
+        elif arr.dtype.kind == "f":
+            kinds.append("f8")
+        else:
+            kinds.append("dict")
+    return kinds
+
+
+class RowCodec:
+    """Fixed-width row codec for one table's schema."""
+
+    def __init__(self, kinds: list[str],
+                 encoders: dict[int, DictEncoder] | None = None):
+        self.kinds = list(kinds)
+        self.encoders: dict[int, DictEncoder] = encoders or {}
+        for i, kind in enumerate(self.kinds):
+            if kind not in KINDS:
+                raise ValueError(f"unknown column kind {kind!r}")
+            if kind == "dict" and i not in self.encoders:
+                self.encoders[i] = DictEncoder()
+        self.dtype = np.dtype([(f"f{i}", "<i8" if k != "f8" else "<f8")
+                               for i, k in enumerate(self.kinds)])
+
+    @property
+    def row_width(self) -> int:
+        return self.dtype.itemsize
+
+    def encode(self, arrays: list[np.ndarray]) -> np.ndarray:
+        """Columns -> one structured array (a flat block of rows)."""
+        n = arrays[0].shape[0] if arrays else 0
+        out = np.empty(n, dtype=self.dtype)
+        for i, (kind, arr) in enumerate(zip(self.kinds, arrays)):
+            if kind == "i8":
+                out[f"f{i}"] = arr.astype(np.int64, copy=False)
+            elif kind == "f8":
+                out[f"f{i}"] = arr.astype(np.float64, copy=False)
+            else:
+                out[f"f{i}"] = self.encoders[i].encode(arr)
+        return out
+
+    def decode(self, packed: np.ndarray) -> list[np.ndarray]:
+        """Structured rows -> column arrays (exact value round-trip)."""
+        columns: list[np.ndarray] = []
+        for i, kind in enumerate(self.kinds):
+            field = np.ascontiguousarray(packed[f"f{i}"])
+            if kind == "dict":
+                columns.append(self.encoders[i].decode(field))
+            else:
+                columns.append(field)
+        return columns
+
+    def key_column(self, packed: np.ndarray, col: int) -> np.ndarray:
+        """One column's raw key values (codes for dict columns)."""
+        return np.ascontiguousarray(packed[f"f{col}"])
+
+    # -- catalog round-trip --------------------------------------------
+    def serialize_dicts(self) -> dict[str, str]:
+        return {str(i): enc.serialize() for i, enc in self.encoders.items()}
+
+    @classmethod
+    def from_catalog(cls, kinds: list[str],
+                     dicts: dict[str, str]) -> "RowCodec":
+        encoders = {int(i): DictEncoder.deserialize(payload)
+                    for i, payload in dicts.items()}
+        return cls(kinds, encoders)

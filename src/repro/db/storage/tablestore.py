@@ -1,0 +1,270 @@
+"""Table-level persistence: heap files, auto-indexes, and the catalog.
+
+``TableStorage`` is the storage engine behind a persistent
+:class:`repro.db.engine.Database`.  It keeps one :class:`Pager` whose
+manifest ``meta`` carries the whole table catalog — column names, kinds,
+dictionary payloads, heap page lists, and index roots — so one pager
+commit atomically publishes every table mutation staged since the last
+commit.
+
+Indexes are created automatically on hot columns (unit/model/hypothesis
+ids, epochs, scores) when a table is created or rebuilt.  Float columns
+containing NaN and dictionary columns holding non-string values are never
+indexed — their comparison semantics under numpy diverge from key order —
+and an append that introduces such values drops the affected index rather
+than serving wrong answers.
+
+Tables whose values cannot be serialized at all (unhashable or
+unpicklable objects) raise :class:`UnsupportedColumnError`; the engine
+keeps those tables memory-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .btree import BTree
+from .heap import HeapFile
+from .pager import PAGE_SIZE, Pager
+from .rowcodec import RowCodec, UnsupportedColumnError, derive_kinds
+
+#: hot columns of the catalog/score schemas that get automatic indexes
+AUTO_INDEX_COLUMNS = frozenset({
+    "uid", "mid", "hid", "h", "did", "name", "layer", "epoch",
+    "unit_score", "group_score", "score",
+})
+
+
+class TableStorage:
+    """All persistent tables of one database, over one pager."""
+
+    def __init__(self, path, *, page_size: int = PAGE_SIZE,
+                 cache_bytes: int = 64 << 20, auto_index: bool = True):
+        self.pager = Pager(path, page_size=page_size, cache_bytes=cache_bytes)
+        self.auto_index = auto_index
+        meta = self.pager.meta or {}
+        self._catalog: dict = meta.get("tables", {})
+        self._codecs: dict[str, RowCodec] = {}
+        self._heaps: dict[str, HeapFile | None] = {}
+        self._btrees: dict[str, dict[str, BTree]] = {}
+
+    # -- catalog --------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return list(self._catalog)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._catalog
+
+    def columns(self, name: str) -> list[str]:
+        return list(self._catalog[name]["columns"])
+
+    def n_rows(self, name: str) -> int:
+        return int(self._catalog[name]["n_rows"])
+
+    def kinds(self, name: str) -> list[str]:
+        return list(self._catalog[name]["kinds"])
+
+    def codec_for(self, name: str) -> RowCodec:
+        if name not in self._codecs:
+            ent = self._catalog[name]
+            self._codecs[name] = RowCodec.from_catalog(
+                ent["kinds"], ent.get("dicts", {}))
+        return self._codecs[name]
+
+    def _heap(self, name: str) -> HeapFile | None:
+        if name not in self._heaps:
+            ent = self._catalog[name]
+            codec = self.codec_for(name)
+            heap = None
+            if codec.row_width > 0:
+                heap = HeapFile(self.pager, codec.row_width,
+                                ent["heap_pages"], ent["n_rows"])
+            self._heaps[name] = heap
+        return self._heaps[name]
+
+    # -- table mutation (staged; published by commit()) -----------------
+    def create(self, name: str, columns: list[str],
+               arrays: list[np.ndarray], n_rows: int | None = None) -> None:
+        """(Re)write a table wholesale and build its auto-indexes.
+
+        Raises :class:`UnsupportedColumnError` before any page is touched
+        if a column cannot be serialized; the table is left absent.
+        """
+        kinds = derive_kinds(arrays)
+        codec = RowCodec(kinds)
+        packed = codec.encode(arrays)
+        dicts = codec.serialize_dicts()  # validates picklability up front
+        self.drop(name)
+        n = int(n_rows if n_rows is not None else
+                (arrays[0].shape[0] if arrays else 0))
+        heap = None
+        if codec.row_width > 0:
+            heap = HeapFile(self.pager, codec.row_width)
+            if n:
+                heap.append(packed)
+        ent = {
+            "columns": list(columns),
+            "kinds": kinds,
+            "dicts": dicts,
+            "n_rows": n,
+            "heap_pages": heap.page_ids if heap is not None else [],
+            "indexes": {},
+        }
+        self._catalog[name] = ent
+        self._codecs[name] = codec
+        self._heaps[name] = heap
+        self._btrees[name] = {}
+        if self.auto_index:
+            for ci, col in enumerate(columns):
+                if col in AUTO_INDEX_COLUMNS:
+                    self._build_index(name, col, ci, packed)
+
+    def append(self, name: str, arrays: list[np.ndarray]) -> None:
+        """Append rows and maintain every live index."""
+        ent = self._catalog[name]
+        codec = self.codec_for(name)
+        packed = codec.encode(arrays)
+        ent["dicts"] = codec.serialize_dicts()
+        heap = self._heap(name)
+        n_new = int(packed.shape[0])
+        if heap is None or n_new == 0:
+            ent["n_rows"] = int(ent["n_rows"]) + n_new
+            return
+        start_rid = heap.append(packed)
+        ent["n_rows"] = heap.n_rows
+        ent["heap_pages"] = heap.page_ids
+        for col in list(ent["indexes"]):
+            ci = ent["columns"].index(col)
+            keys = codec.key_column(packed, ci)
+            if not self._indexable(codec, ci, keys):
+                self.drop_index(name, col)
+                continue
+            tree = self.btree(name, col)
+            if n_new > tree.n_entries:
+                full = codec.key_column(heap.read_all(codec.dtype), ci)
+                order = np.argsort(full, kind="stable")
+                tree.bulk_load(full[order],
+                               order.astype(np.int64, copy=False))
+            else:
+                rids = np.arange(start_rid, start_rid + n_new,
+                                 dtype=np.int64)
+                order = np.argsort(keys, kind="stable")
+                tree.insert_many(keys[order], rids[order])
+            info = ent["indexes"][col]
+            info["root"] = tree.root
+            info["n"] = tree.n_entries
+
+    def drop(self, name: str) -> None:
+        if name not in self._catalog:
+            return
+        for col in list(self._catalog[name]["indexes"]):
+            self.drop_index(name, col)
+        heap = self._heap(name)
+        if heap is not None:
+            heap.free()
+        del self._catalog[name]
+        self._codecs.pop(name, None)
+        self._heaps.pop(name, None)
+        self._btrees.pop(name, None)
+
+    # -- indexes --------------------------------------------------------
+    def _indexable(self, codec: RowCodec, ci: int, keys: np.ndarray) -> bool:
+        kind = codec.kinds[ci]
+        if kind == "f8" and bool(np.isnan(keys).any()):
+            return False
+        if kind == "dict" and not codec.encoders[ci].all_str():
+            return False
+        return True
+
+    def _build_index(self, name: str, col: str, ci: int,
+                     packed: np.ndarray) -> None:
+        codec = self.codec_for(name)
+        keys = codec.key_column(packed, ci)
+        if not self._indexable(codec, ci, keys):
+            return
+        key_dtype = "<f8" if codec.kinds[ci] == "f8" else "<i8"
+        tree = BTree(self.pager, key_dtype=key_dtype)
+        order = np.argsort(keys, kind="stable")
+        tree.bulk_load(keys[order], order.astype(np.int64, copy=False))
+        self._catalog[name]["indexes"][col] = {
+            "root": tree.root,
+            "n": tree.n_entries,
+            "dtype": key_dtype,
+            "eq_only": codec.kinds[ci] == "dict",
+        }
+        self._btrees.setdefault(name, {})[col] = tree
+
+    def drop_index(self, name: str, col: str) -> None:
+        tree = self.btree(name, col)
+        if tree is not None:
+            tree.free()
+        self._catalog[name]["indexes"].pop(col, None)
+        self._btrees.get(name, {}).pop(col, None)
+
+    def btree(self, name: str, col: str) -> BTree | None:
+        trees = self._btrees.setdefault(name, {})
+        if col not in trees:
+            info = self._catalog.get(name, {}).get("indexes", {}).get(col)
+            if info is None:
+                return None
+            trees[col] = BTree(self.pager, key_dtype=info["dtype"],
+                               root=info["root"], n_entries=info["n"])
+        return trees[col]
+
+    def index_info(self, name: str, col: str) -> dict | None:
+        if name not in self._catalog:
+            return None
+        return self._catalog[name]["indexes"].get(col)
+
+    # -- reads ----------------------------------------------------------
+    def load_columns(self, name: str) -> tuple[list[str], list[np.ndarray]]:
+        """Decode a whole table into (column names, column arrays)."""
+        ent = self._catalog[name]
+        codec = self.codec_for(name)
+        heap = self._heap(name)
+        if heap is None or ent["n_rows"] == 0:
+            empty = []
+            for kind in codec.kinds:
+                dtype = {"i8": np.int64, "f8": np.float64}.get(kind, object)
+                empty.append(np.empty(0, dtype=dtype))
+            return list(ent["columns"]), empty
+        packed = heap.read_all(codec.dtype)
+        return list(ent["columns"]), codec.decode(packed)
+
+    def gather(self, name: str, rids: np.ndarray,
+               cols: list[str]) -> dict[str, np.ndarray]:
+        """Decode only ``cols`` at ``rids`` (rid order preserved)."""
+        ent = self._catalog[name]
+        codec = self.codec_for(name)
+        heap = self._heap(name)
+        packed = heap.gather(rids, codec.dtype)
+        out: dict[str, np.ndarray] = {}
+        for col in cols:
+            ci = ent["columns"].index(col)
+            field = codec.key_column(packed, ci)
+            if codec.kinds[ci] == "dict":
+                out[col] = codec.encoders[ci].decode(field)
+            else:
+                out[col] = field
+        return out
+
+    # -- durability -----------------------------------------------------
+    def commit(self) -> None:
+        """Atomically publish every staged table mutation."""
+        self.pager.commit({"tables": self._catalog})
+
+    @property
+    def has_uncommitted(self) -> bool:
+        return self.pager.has_uncommitted
+
+    def close(self) -> None:
+        self.pager.close()
+
+    def stats(self) -> dict:
+        s = self.pager.stats()
+        s["tables"] = len(self._catalog)
+        s["indexes"] = sum(len(t["indexes"]) for t in self._catalog.values())
+        return s
+
+
+__all__ = ["TableStorage", "AUTO_INDEX_COLUMNS", "UnsupportedColumnError"]

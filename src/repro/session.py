@@ -48,6 +48,8 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
+import tempfile
 import weakref
 from collections.abc import Iterable, Iterator
 
@@ -102,6 +104,7 @@ class Session:
     def __init__(self, store_path=None, *,
                  store: DiskBehaviorStore | None = None,
                  db: Database | None = None,
+                 db_path: str | None = None,
                  models: dict | None = None,
                  hypotheses: dict[str, HypothesisFunction] | None = None,
                  datasets: dict[str, Dataset] | None = None,
@@ -127,7 +130,10 @@ class Session:
             hypotheses if hypotheses is not None else {})
         self.datasets: dict[str, Dataset] = (
             datasets if datasets is not None else {})
+        if db is not None and db_path is not None:
+            raise ValueError("pass either db= or db_path=, not both")
         self._db = db
+        self._db_path = db_path
         if extractor is None:
             from repro.extract.rnn import RnnActivationExtractor
             extractor = RnnActivationExtractor()
@@ -166,9 +172,23 @@ class Session:
     # -- lifecycle ------------------------------------------------------
     @property
     def db(self) -> Database:
-        """The SQL catalog (created lazily on first use)."""
+        """The SQL catalog (created lazily on first use).
+
+        ``db_path=`` opens a persistent paged catalog at that directory —
+        reopening the same path restores every committed table, indexes
+        included.  Without it, the ``REPRO_DB_PATH`` environment variable
+        forces default sessions onto persistent catalogs (each under a
+        fresh directory), so the whole test suite can exercise the paged
+        storage engine unchanged.
+        """
         if self._db is None:
-            self._db = Database()
+            path = self._db_path
+            if path is None:
+                env = os.environ.get("REPRO_DB_PATH")
+                if env:
+                    os.makedirs(env, exist_ok=True)
+                    path = tempfile.mkdtemp(prefix="db-", dir=env)
+            self._db = Database(path) if path is not None else Database()
         return self._db
 
     @property
@@ -190,6 +210,8 @@ class Session:
         self._closed = True
         if self.store is not None:
             self.store.flush()
+        if self._db is not None:
+            self._db.close()  # commits staged catalog/score tables
         if isinstance(self.scheduler, Scheduler):
             self.scheduler.shutdown()
 
@@ -250,13 +272,14 @@ class Session:
         catalog rows, mirroring the registry overwrite.
         """
         self._check_open()
-        replacing = mid in self.models
         self.models[mid] = model
         if not catalog:
             return
-        if replacing:
-            self._drop_catalog_rows("models", "mid", mid)
-            self._drop_catalog_rows("units", "mid", mid)
+        # drop unconditionally: on a reopened persistent catalog the rows
+        # survive while the registry dict starts empty, so gating on the
+        # registry would duplicate every joined row downstream
+        self._drop_catalog_rows("models", "mid", mid)
+        self._drop_catalog_rows("units", "mid", mid)
         table = self.db.tables.get("models")
         if table is None:
             table = self.db.create_table("models", ["mid"] + sorted(attrs))
@@ -288,12 +311,10 @@ class Session:
         """Register a dataset under ``did`` (and as an ``inputs`` row);
         re-registering a ``did`` replaces its row."""
         self._check_open()
-        replacing = did in self.datasets
         self.datasets[did] = dataset
         if not catalog:
             return
-        if replacing:
-            self._drop_catalog_rows("inputs", "did", did)
+        self._drop_catalog_rows("inputs", "did", did)
         attrs.setdefault("seq", "seq")
         table = self.db.tables.get("inputs")
         if table is None:
@@ -320,7 +341,7 @@ class Session:
         by_name = {hyp.name: hyp for hyp in hypotheses}
         hypotheses = list(by_name.values())
         for hyp in hypotheses:
-            if catalog and hyp.name in self.hypotheses:
+            if catalog:
                 self._drop_catalog_rows("hypotheses", "h", hyp.name)
             self.hypotheses[hyp.name] = hyp
         if not catalog:
