@@ -75,7 +75,7 @@ def test_fig14_report(benchmark, epoch_snapshots):
     def _report():
         workload, snapshots, train_result = epoch_snapshots
         hyps = _tracked_hypotheses(workload)
-        print(f"\nmodel accuracy trajectory: "
+        print("\nmodel accuracy trajectory: "
               f"{[round(a, 3) for a in train_result.val_acc]}")
         by_model = {}
         rows = []

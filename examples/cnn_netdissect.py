@@ -80,7 +80,7 @@ def main() -> None:
     nd_all = np.concatenate([nd[c] for c in CONCEPTS])
     db_all = np.concatenate([deepbase[c] for c in CONCEPTS])
     r = np.corrcoef(nd_all, db_all)[0, 1]
-    print(f"Pearson correlation across all (channel, concept) pairs: "
+    print("Pearson correlation across all (channel, concept) pairs: "
           f"r={r:.3f}")
     print("The paper reports strong but imperfect agreement, attributing "
           "differences to non-deterministic pipeline components (here: the "

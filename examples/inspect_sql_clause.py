@@ -70,13 +70,13 @@ def main() -> None:
         frame = session.sql(sql)
         cold = time.perf_counter() - t0
         print(f"\ntop {len(frame)} high-affinity (epoch, unit, hypothesis) "
-              f"rows:")
+              "rows:")
         print(frame.to_string(max_rows=15))
 
         stats = session.unit_cache.stats()
         print(f"\nshared plan: {stats['extractions']} unit extractions for "
               f"{len(snapshots)} snapshots across {len(snapshots)} GROUP BY "
-              f"groups (once per model), "
+              "groups (once per model), "
               f"{session.hyp_cache.stats()['extractions']} hypothesis "
               f"extractions for {len(hyps)} hypotheses (once each).")
 

@@ -40,7 +40,7 @@ def main() -> None:
     model = train_nmt_model(corpus, n_units=48, epochs=15, seed=0,
                             lr=5e-3, verbose=True)
     control = untrained_nmt_model(corpus, n_units=48)
-    print(f"teacher-forced accuracy: trained="
+    print("teacher-forced accuracy: trained="
           f"{translation_accuracy(model, corpus):.3f} untrained="
           f"{translation_accuracy(control, corpus):.3f}")
 
@@ -72,7 +72,7 @@ def main() -> None:
     b = np.array([x[2] for x in both])
     r = np.corrcoef(a, b)[0, 1] if len(both) > 2 else float("nan")
     print(f"precision correlation between approaches: r={r:.2f} "
-          f"(paper reports r=0.84)")
+          "(paper reports r=0.84)")
 
     # ---- Figure 12a: correlation histogram ----------------------------
     # open-class tags only: closed-class tags (DT, '.', CC) are word-identity

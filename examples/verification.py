@@ -46,7 +46,7 @@ def main() -> None:
     random_units = rng.choice(16, size=4, replace=False)
     print(f"L1 probe F1={result.group_scores[0]:.3f}; "
           f"selected units {selected.tolist()} "
-          f"(specialized were [0, 1, 2, 3])")
+          "(specialized were [0, 1, 2, 3])")
 
     # --- verification: selected vs random units -------------------------
     print("\n== verification: parentheses-detector hypothesis ==")

@@ -1,0 +1,94 @@
+"""CLI entry point: ``python -m repro.analysis [paths]``.
+
+Exit codes: 0 clean (or everything grandfathered), 1 new findings,
+2 usage error (unknown checker id, bad path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (apply_baseline, load_baseline,
+                                     write_baseline)
+from repro.analysis.driver import analyze_paths, iter_python_files
+from repro.analysis.registry import checker_classes
+from repro.analysis.report import render_text, write_json
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-specific AST checkers for repro invariants")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--select", action="append", metavar="REPnnn",
+                        help="run only these checker ids (repeatable)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help="baseline JSON of grandfathered findings "
+                             f"(default: {DEFAULT_BASELINE}; missing file "
+                             "= empty baseline)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "and exit 0")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="also write a JSON report to PATH")
+    parser.add_argument("--list", action="store_true", dest="list_checkers",
+                        help="list registered checkers and exit")
+    parser.add_argument("--include-excluded", action="store_true",
+                        help="also analyze normally-excluded directories "
+                             "(fixture trees)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checkers:
+        for cls in checker_classes():
+            print(f"{cls.id}  {cls.name:<24} {cls.description}")
+        return 0
+
+    try:
+        files = iter_python_files(args.paths,
+                                  include_excluded=args.include_excluded)
+        findings = analyze_paths(args.paths, select=args.select,
+                                 include_excluded=args.include_excluded)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(findings, args.baseline)
+        print(f"wrote {len(findings)} finding(s) to baseline "
+              f"{args.baseline}")
+        return 0
+
+    grandfathered = 0
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, grandfathered = apply_baseline(findings, baseline)
+
+    display_paths = [str(Path(p)) for p in args.paths]
+    if args.json_path:
+        write_json(args.json_path, findings, n_files=len(files),
+                   n_grandfathered=grandfathered, paths=display_paths)
+    print(render_text(findings, n_files=len(files),
+                      n_grandfathered=grandfathered))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

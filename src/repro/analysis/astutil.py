@@ -1,0 +1,94 @@
+"""Small AST helpers shared by the checkers."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of a call's callee (``os.replace`` for os.replace(...))."""
+    return dotted_name(node.func)
+
+
+def last_part(name: str | None) -> str:
+    return (name or "").rsplit(".", 1)[-1]
+
+
+def functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every function/method definition anywhere in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, _SCOPES):
+            yield node
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested def/class.
+
+    The node itself is yielded first; nested function and class bodies
+    are skipped so per-function rules (e.g. "fsync before rename in the
+    same function") see exactly one scope.
+    """
+    yield node
+    stack = [child for child in ast.iter_child_nodes(node)]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, (*_SCOPES, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, _SCOPES):
+            yield node
+
+
+def param_names(fn: ast.FunctionDef) -> set[str]:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return set(names)
+
+
+def is_constant_expr(node: ast.AST) -> bool:
+    """Literals and literal containers (safe to repr for identity)."""
+    if isinstance(node, ast.Constant):
+        return True
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return all(is_constant_expr(elt) for elt in node.elts)
+    if isinstance(node, ast.Dict):
+        return all(k is not None and is_constant_expr(k)
+                   and is_constant_expr(v)
+                   for k, v in zip(node.keys, node.values))
+    return False
+
+
+def unparse(node: ast.AST, max_len: int = 60) -> str:
+    text = ast.unparse(node)
+    if len(text) > max_len:
+        text = text[:max_len - 3] + "..."
+    return text

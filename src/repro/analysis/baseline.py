@@ -1,0 +1,77 @@
+"""Committed-baseline support for grandfathered findings.
+
+The baseline is a JSON file listing findings that predate a checker (or
+were reviewed and deliberately left).  It matches on
+``(path, checker, message)`` with a count, never on line numbers, so
+unrelated edits that shift a grandfathered finding around its file do not
+resurface it — but a *second* occurrence of the same defect in the same
+file does fail, as does any finding in a new location.
+
+``python -m repro.analysis --write-baseline`` regenerates the file from
+the current findings; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path | None) -> Counter:
+    """Baseline counts keyed by ``(path, checker, message)``.
+
+    A missing file is an empty baseline (the common case for new repos);
+    a malformed one raises — silently ignoring it would let regressions
+    through.
+    """
+    if path is None:
+        return Counter()
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}")
+    counts: Counter = Counter()
+    for entry in payload.get("entries", []):
+        key = (entry["path"], entry["checker"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(findings: list[Finding], path: str | Path) -> None:
+    counts = Counter(item.baseline_key() for item in findings)
+    entries = [
+        {"path": key[0], "checker": key[1], "message": key[2],
+         "count": count}
+        for key, count in sorted(counts.items())]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: Counter) -> tuple[list[Finding], int]:
+    """Split findings into (new, n_grandfathered).
+
+    Each baseline entry absorbs up to ``count`` matching findings; the
+    rest are new.
+    """
+    remaining = Counter(baseline)
+    fresh: list[Finding] = []
+    absorbed = 0
+    for item in findings:
+        key = item.baseline_key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            fresh.append(item)
+    return fresh, absorbed

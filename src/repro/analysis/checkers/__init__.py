@@ -1,0 +1,8 @@
+"""Importing this package registers every built-in checker."""
+
+from repro.analysis.checkers import (atomic_commit, counters, degradation,
+                                     extractor_protocol, identity, lifecycle,
+                                     lock_order, picklable)
+
+__all__ = ["atomic_commit", "counters", "degradation", "extractor_protocol",
+           "identity", "lifecycle", "lock_order", "picklable"]

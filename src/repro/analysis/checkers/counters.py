@@ -1,0 +1,127 @@
+"""REP006: counter-fold symmetry across stats()/reset_counters()/fold_counts().
+
+Cross-process counter folding (PR 6) only keeps extraction-once
+assertions meaningful if three key sets stay aligned per class:
+
+* every parameter of ``fold_counts(**counts)`` must be a key ``stats()``
+  reports — a folded counter nobody can read is lost observability;
+* every attribute ``reset_counters()`` zeroes must be a ``stats()`` key —
+  resetting something unreported hints at a renamed counter;
+* when a class defines both, the fold-parameter set and the reset-zeroed
+  set must be *equal*: a counter that folds but never resets poisons
+  before/after assertions, and one that resets but never folds silently
+  under-counts under the process scheduler.
+
+Gauges (``entries``, ``bytes``, ...) live only in ``stats()`` and are
+unconstrained.  ``reset_counters`` implementations that delegate to a
+same-class helper (``_reset_counters_locked``) are followed one level.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import classes, dotted_name, methods
+from repro.analysis.driver import Checker, FileContext
+from repro.analysis.registry import register
+
+
+def _stats_keys(fn: ast.FunctionDef) -> set[str] | None:
+    """String keys stats() reports, or None when not statically knowable."""
+    keys: set[str] = set()
+    knowable = False
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            knowable = True
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value,
+                                                                str):
+                    keys.add(key.value)
+        # out["key"] = ... accumulation style
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.slice, ast.Constant) \
+                        and isinstance(target.slice.value, str):
+                    knowable = True
+                    keys.add(target.slice.value)
+    return keys if knowable else None
+
+
+def _zeroed_attrs(fn: ast.FunctionDef,
+                  class_methods: dict[str, ast.FunctionDef],
+                  _depth: int = 1) -> set[str]:
+    """Attributes assigned a zero constant, following one self-call level."""
+    zeroed: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Constant) \
+                and node.value.value in (0, 0.0):
+            for target in node.targets:
+                name = dotted_name(target)
+                if name is not None and name.startswith("self."):
+                    zeroed.add(name[len("self."):])
+        if _depth > 0 and isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            if callee is not None and callee.startswith("self."):
+                helper = class_methods.get(callee[len("self."):])
+                if helper is not None and helper is not fn:
+                    zeroed |= _zeroed_attrs(helper, class_methods,
+                                            _depth - 1)
+    return zeroed
+
+
+def _fold_params(fn: ast.FunctionDef) -> set[str]:
+    args = fn.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)]
+    return {name for name in names if name not in ("self", "cls")}
+
+
+@register
+class CounterFoldSymmetryChecker(Checker):
+    id = "REP006"
+    name = "counter-fold-symmetry"
+    description = ("stats()/reset_counters()/fold_counts() key sets must "
+                   "agree per class")
+    hint = ("report every foldable/resettable counter from stats(), and "
+            "keep fold_counts parameters and reset_counters zeroing in "
+            "sync")
+
+    def visit_file(self, ctx: FileContext):
+        for cls in classes(ctx.tree):
+            named = {fn.name: fn for fn in methods(cls)}
+            stats = named.get("stats")
+            reset = named.get("reset_counters")
+            fold = named.get("fold_counts")
+            stats_keys = _stats_keys(stats) if stats is not None else None
+            fold_keys = _fold_params(fold) if fold is not None else None
+            reset_keys = (_zeroed_attrs(reset, named)
+                          if reset is not None else None)
+            if stats_keys is not None and fold_keys is not None:
+                missing = sorted(fold_keys - stats_keys)
+                if missing:
+                    yield self.finding(
+                        ctx, fold,
+                        f"{cls.name}.fold_counts folds {missing} but "
+                        f"stats() never reports them")
+            if stats_keys is not None and reset_keys is not None:
+                missing = sorted(reset_keys - stats_keys)
+                if missing:
+                    yield self.finding(
+                        ctx, reset,
+                        f"{cls.name}.reset_counters zeroes {missing} but "
+                        f"stats() never reports them")
+            if fold_keys is not None and reset_keys is not None \
+                    and reset_keys and fold_keys != reset_keys:
+                only_fold = sorted(fold_keys - reset_keys)
+                only_reset = sorted(reset_keys - fold_keys)
+                detail = []
+                if only_fold:
+                    detail.append(f"folded but never reset: {only_fold}")
+                if only_reset:
+                    detail.append(f"reset but never folded: {only_reset}")
+                yield self.finding(
+                    ctx, fold,
+                    f"{cls.name} counter sets disagree — "
+                    f"{'; '.join(detail)}")

@@ -1,0 +1,88 @@
+"""REP003: address-free identity in cache-key and fingerprint code.
+
+PR 4's identity bug class: a cache key built from ``id()``, ``hash()`` or
+a default ``object.__repr__`` embeds a process-local address (or a
+hash-seed-dependent value).  The key then never matches across processes
+— defeating the persistent store — or worse, *aliases* after address
+reuse, serving one object's cached behaviors for another.  The fix
+(``util/identity.py``) renders content, never addresses; this checker
+keeps every key path that way.
+
+Scope: functions whose name mentions ``identity``/``key``/
+``fingerprint``/``hash`` (the key-producing paths), repo-wide.  Inside
+them:
+
+* ``id(x)`` — always address-derived; recycled after GC, so it aliases.
+* ``hash(x)`` — PYTHONHASHSEED-dependent for strings, address-derived by
+  default for objects.
+* ``repr(x)`` / f-string ``{x!r}`` on a non-literal — falls back to
+  ``object.__repr__`` (an address) for arbitrary objects, and numpy
+  truncates large-array reprs so distinct values alias.
+
+Reviewed-and-safe uses (e.g. repr of a value already proven primitive)
+carry ``# repro: allow[REP003]`` with the justification alongside.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.astutil import (call_name, functions, is_constant_expr,
+                                    unparse, walk_scope)
+from repro.analysis.driver import Checker, FileContext
+from repro.analysis.registry import register
+
+_KEY_FN = re.compile(r"identity|key(?!word)|fingerprint|hash", re.IGNORECASE)
+_BANNED_CALLS = {"id": "process-local address, recycled after gc",
+                 "hash": "hash-seed and address dependent"}
+
+
+@register
+class AddressFreeIdentityChecker(Checker):
+    id = "REP003"
+    name = "address-free-identity"
+    description = ("no id()/hash()/repr() of arbitrary objects inside "
+                   "identity/key/fingerprint functions")
+    hint = ("render content instead: repro.util.identity.attr_identity, "
+            "hashes of bytes, or obj.cache_key()")
+
+    def visit_file(self, ctx: FileContext):
+        for fn in functions(ctx.tree):
+            if not _KEY_FN.search(fn.name):
+                continue
+            where = f"{fn.name}()"
+            for node in walk_scope(fn):
+                # nested lambdas run in this key path too (sort keys!)
+                if isinstance(node, ast.Lambda):
+                    for sub in ast.walk(node):
+                        yield from self._check_node(ctx, sub, where)
+                else:
+                    yield from self._check_node(ctx, node, where)
+
+    def _check_node(self, ctx: FileContext, node: ast.AST, where: str):
+        if isinstance(node, ast.Call):
+            callee = call_name(node)
+            if callee in _BANNED_CALLS and node.args:
+                yield self.finding(
+                    ctx, node,
+                    f"{callee}({unparse(node.args[0])}) inside {where} is "
+                    f"not address-free ({_BANNED_CALLS[callee]})")
+            elif callee == "repr" and node.args \
+                    and not is_constant_expr(node.args[0]):
+                yield self.finding(
+                    ctx, node,
+                    f"repr({unparse(node.args[0])}) inside {where} may "
+                    f"fall back to object.__repr__ (embeds an address)")
+            elif callee is not None and callee.endswith("object.__repr__"):
+                yield self.finding(
+                    ctx, node,
+                    f"object.__repr__ used inside {where} embeds the "
+                    f"object's address")
+        elif isinstance(node, ast.FormattedValue) \
+                and node.conversion == ord("r") \
+                and not is_constant_expr(node.value):
+            yield self.finding(
+                ctx, node,
+                f"f-string {{{unparse(node.value)}!r}} inside {where} may "
+                f"fall back to object.__repr__ (embeds an address)")

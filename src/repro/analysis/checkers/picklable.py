@@ -1,0 +1,139 @@
+"""REP004: shard task payloads must be pickle-safe by construction.
+
+``ShardTask`` values cross the process boundary on every shard-parallel
+run; a field that can hold a lambda, a lock, a live mmap or a pool
+doesn't fail until a worker is spawned — under the *spawn* start method,
+possibly only on another platform.  This checker enforces the invariant
+at the type level: every field of a shard-task dataclass (any
+``@dataclass`` named ``Shard*Task``) must be annotated with a
+whitelisted, pickle-safe-by-construction type, and field defaults must
+not be lambdas.
+
+Models, extractors and hypotheses therefore travel *encoded* (arch-spec
+dicts, pickled ``bytes`` blobs produced by the coordinator, which
+degrades gracefully when pickling fails) — never as live objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.astutil import classes, dotted_name, last_part, unparse
+from repro.analysis.driver import Checker, FileContext
+from repro.analysis.registry import register
+
+_TASK_NAME = re.compile(r"^Shard\w*Task$")
+
+#: annotation atoms that are picklable by construction
+_ALLOWED_NAMES = frozenset({
+    "str", "int", "float", "bool", "bytes", "bytearray", "complex",
+    "list", "dict", "tuple", "set", "frozenset", "None", "Optional",
+    "Union", "Sequence", "Mapping", "Iterable",
+    "ndarray",  # numpy arrays pickle by value
+})
+
+#: safe default_factory callables
+_ALLOWED_FACTORIES = frozenset({"list", "dict", "tuple", "set"})
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for deco in cls.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if last_part(dotted_name(target)) == "dataclass":
+            return True
+    return False
+
+
+def _annotation_offender(node: ast.AST) -> ast.AST | None:
+    """The first sub-expression of an annotation not in the whitelist."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or isinstance(node.value, str):
+            # string annotations re-parse (from __future__ import
+            # annotations writes them as plain syntax, but be thorough)
+            if isinstance(node.value, str):
+                try:
+                    parsed = ast.parse(node.value, mode="eval").body
+                except SyntaxError:
+                    return node
+                return _annotation_offender(parsed)
+            return None
+        return node
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = last_part(dotted_name(node))
+        return None if name in _ALLOWED_NAMES or _TASK_NAME.match(name) \
+            else node
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_annotation_offender(node.left)
+                or _annotation_offender(node.right))
+    if isinstance(node, ast.Subscript):
+        offender = _annotation_offender(node.value)
+        if offender is not None:
+            return offender
+        inner = node.slice
+        parts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for part in parts:
+            offender = _annotation_offender(part)
+            if offender is not None:
+                return offender
+        return None
+    return node
+
+
+@register
+class ShardPicklableChecker(Checker):
+    id = "REP004"
+    name = "shard-picklable"
+    description = ("Shard*Task dataclass fields must be annotated with "
+                   "pickle-safe types; no lambda defaults")
+    hint = ("ship encoded payloads (bytes blobs / plain dicts via "
+            "encode_model-style helpers) instead of live objects")
+
+    def visit_file(self, ctx: FileContext):
+        for cls in classes(ctx.tree):
+            if not _TASK_NAME.match(cls.name) or not _is_dataclass(cls):
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) \
+                        or not isinstance(stmt.target, ast.Name):
+                    continue
+                field_name = stmt.target.id
+                offender = _annotation_offender(stmt.annotation)
+                if offender is not None:
+                    yield self.finding(
+                        ctx, stmt,
+                        f"field {cls.name}.{field_name} is annotated "
+                        f"{unparse(stmt.annotation)}; "
+                        f"{unparse(offender)} is not pickle-safe by "
+                        f"construction")
+                yield from self._check_default(ctx, cls.name, field_name,
+                                               stmt.value)
+
+    def _check_default(self, ctx: FileContext, cls_name: str,
+                       field_name: str, value: ast.AST | None):
+        if value is None:
+            return
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                ctx, value,
+                f"field {cls_name}.{field_name} defaults to a lambda, "
+                f"which cannot cross the process boundary")
+            return
+        if isinstance(value, ast.Call) \
+                and last_part(dotted_name(value.func)) == "field":
+            for kw in value.keywords:
+                if kw.arg != "default_factory":
+                    continue
+                if isinstance(kw.value, ast.Lambda):
+                    yield self.finding(
+                        ctx, kw.value,
+                        f"field {cls_name}.{field_name} uses a lambda "
+                        f"default_factory, which cannot cross the "
+                        f"process boundary")
+                elif last_part(dotted_name(kw.value)) \
+                        not in _ALLOWED_FACTORIES:
+                    yield self.finding(
+                        ctx, kw.value,
+                        f"field {cls_name}.{field_name} default_factory "
+                        f"{unparse(kw.value)} is not a builtin "
+                        f"container constructor")

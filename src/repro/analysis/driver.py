@@ -1,0 +1,186 @@
+"""Per-file visitor driver: parse, dispatch to checkers, collect findings.
+
+Checkers implement two hooks:
+
+* :meth:`Checker.visit_file` — called once per analyzed file with a
+  :class:`FileContext` (path, source, parsed AST); yields findings local
+  to that file.
+* :meth:`Checker.finalize` — called once after every file has been
+  visited; yields findings that need cross-file state (e.g. the lock
+  acquisition graph).
+
+Suppression: a line containing ``# repro: allow[REP003]`` (comma-separated
+ids, or ``*``) suppresses findings anchored to that line — use it for
+reviewed-and-legitimate code the checker cannot prove safe, with the
+reason in the surrounding comment.  Whole-file scoping: checkers that only
+apply to certain subsystems match on the path, or on a
+``# analysis-scope: <tag>`` comment in the first lines of a file (how test
+fixtures opt into a scoped checker).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: directories never analyzed (fixture trees hold deliberate violations)
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".ruff_cache", "analysis_fixtures"})
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+_SCOPE_RE = re.compile(r"#\s*analysis-scope:\s*([\w\-, ]+)")
+
+
+@dataclass
+class FileContext:
+    """Everything a checker needs about one analyzed file."""
+
+    path: Path                    # resolved filesystem path
+    display_path: str             # what findings and baselines report
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    scope_tags: frozenset[str] = frozenset()
+    #: line -> set of checker ids allowed ("*" allows all)
+    allows: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, path: Path, display_path: str,
+              source: str) -> "FileContext":
+        tree = ast.parse(source, filename=display_path)
+        lines = source.splitlines()
+        allows: dict[int, set[str]] = {}
+        for lineno, line in enumerate(lines, 1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")
+                       if part.strip()}
+                allows.setdefault(lineno, set()).update(ids)
+        tags: set[str] = set()
+        for line in lines[:10]:
+            match = _SCOPE_RE.search(line)
+            if match:
+                tags.update(part.strip()
+                            for part in match.group(1).split(",")
+                            if part.strip())
+        return cls(path=path, display_path=display_path, source=source,
+                   tree=tree, lines=lines, scope_tags=frozenset(tags),
+                   allows=allows)
+
+    def in_scope(self, *tags: str) -> bool:
+        """Whether this file opts into a scoped checker.
+
+        True when the display path contains any tag as a substring or the
+        file declares it via ``# analysis-scope:``.
+        """
+        lowered = self.display_path.lower()
+        return any(tag in lowered or tag in self.scope_tags for tag in tags)
+
+    def allowed(self, checker_id: str, line: int) -> bool:
+        ids = self.allows.get(line)
+        return bool(ids) and ("*" in ids or checker_id in ids)
+
+
+class Checker:
+    """Base class for repo-invariant checkers.
+
+    Subclasses set ``id`` (stable ``REPnnn`` code), ``name`` (short slug),
+    ``description`` (one line for ``--list``) and ``hint`` (default fix
+    hint), then implement :meth:`visit_file` and optionally
+    :meth:`finalize`.
+    """
+
+    id = ""
+    name = ""
+    description = ""
+    hint = ""
+
+    def visit_file(self, ctx: FileContext):
+        return ()
+
+    def finalize(self):
+        return ()
+
+    def finding(self, ctx_or_path, node_or_line, message: str,
+                hint: str | None = None) -> Finding:
+        """Build a finding anchored at an AST node (or explicit line)."""
+        if isinstance(ctx_or_path, FileContext):
+            path = ctx_or_path.display_path
+        else:
+            path = str(ctx_or_path)
+        if isinstance(node_or_line, ast.AST):
+            line = getattr(node_or_line, "lineno", 1)
+            col = getattr(node_or_line, "col_offset", 0)
+        else:
+            line, col = int(node_or_line), 0
+        return Finding(checker=self.id, name=self.name, path=path,
+                       line=line, col=col, message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+def iter_python_files(paths: list[str | Path],
+                      include_excluded: bool = False) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if not include_excluded and parts & EXCLUDED_DIR_NAMES:
+                    continue
+                seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return list(seen)
+
+
+def display_path_for(path: Path) -> str:
+    """Path relative to the cwd when possible (stable baseline keys)."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd().resolve()))
+    except ValueError:
+        return str(path)
+
+
+def analyze_paths(paths: list[str | Path],
+                  select: list[str] | None = None,
+                  include_excluded: bool = False) -> list[Finding]:
+    """Run every (selected) checker over ``paths``; sorted findings."""
+    from repro.analysis.registry import create_checkers
+    checkers = create_checkers(select)
+    files = iter_python_files(paths, include_excluded=include_excluded)
+    findings: list[Finding] = []
+    contexts: dict[str, FileContext] = {}
+    for path in files:
+        display = display_path_for(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext.build(path, display, source)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            findings.append(Finding(
+                checker="REP000", name="parse-error", path=display,
+                line=lineno, col=0,
+                message=f"file does not parse: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                hint="fix the syntax error; nothing else can be checked"))
+            continue
+        contexts[display] = ctx
+        for checker in checkers:
+            findings.extend(checker.visit_file(ctx))
+    for checker in checkers:
+        findings.extend(checker.finalize())
+    kept = []
+    for item in findings:
+        ctx = contexts.get(item.path)
+        if ctx is not None and ctx.allowed(item.checker, item.line):
+            continue
+        kept.append(item)
+    kept.sort(key=lambda item: item.sort_key())
+    return kept

@@ -1,0 +1,44 @@
+"""The :class:`Finding` record every checker emits.
+
+A finding pins a defect to ``path:line:col``, names the checker that
+produced it, and carries a one-line message plus a fix hint.  Messages
+deliberately contain **no line numbers** — the committed baseline matches
+findings by ``(path, checker, message)``, so grandfathered findings stay
+matched while unrelated edits shift them around the file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker hit at a source location."""
+
+    checker: str            # checker id, e.g. "REP001"
+    path: str               # display path (relative when under the cwd)
+    line: int               # 1-indexed
+    col: int                # 0-indexed, as in the ast module
+    message: str            # what is wrong (stable: never embeds lines)
+    hint: str = ""          # how to fix it
+    name: str = field(default="", compare=False)  # checker short name
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """The identity the baseline matches on (line numbers excluded)."""
+        return (self.path, self.checker, self.message)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.checker, self.message)
+
+    def format(self) -> str:
+        label = f"{self.checker}[{self.name}]" if self.name else self.checker
+        text = f"{self.path}:{self.line}:{self.col + 1}: {label} {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {"checker": self.checker, "name": self.name,
+                "path": self.path, "line": self.line, "col": self.col,
+                "message": self.message, "hint": self.hint}

@@ -1,0 +1,43 @@
+"""Checker registry: ``@register`` collects checker classes by id."""
+
+from __future__ import annotations
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls):
+    """Class decorator adding a checker to the registry (keyed by id)."""
+    checker_id = getattr(cls, "id", None)
+    if not checker_id:
+        raise ValueError(f"checker {cls.__name__} has no id")
+    existing = _REGISTRY.get(checker_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"checker id {checker_id!r} already registered by "
+            f"{existing.__name__}")
+    _REGISTRY[checker_id] = cls
+    return cls
+
+
+def checker_classes() -> list[type]:
+    """Every registered checker class, sorted by id.
+
+    Importing :mod:`repro.analysis.checkers` is what populates the
+    registry; do it here so callers cannot observe a half-filled table.
+    """
+    import repro.analysis.checkers  # noqa: F401  (registration side effect)
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+def create_checkers(select: list[str] | None = None) -> list:
+    """Fresh checker instances, optionally restricted to ``select`` ids."""
+    classes = checker_classes()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {cls.id for cls in classes}
+        if unknown:
+            known = ", ".join(cls.id for cls in classes)
+            raise ValueError(
+                f"unknown checker id(s) {sorted(unknown)}; known: {known}")
+        classes = [cls for cls in classes if cls.id in wanted]
+    return [cls() for cls in classes]

@@ -1,0 +1,48 @@
+"""Human and JSON rendering of an analysis run."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+
+def render_text(findings: list[Finding], *, n_files: int,
+                n_grandfathered: int = 0) -> str:
+    """The human report: one block per finding plus a summary line."""
+    parts = [item.format() for item in findings]
+    if findings:
+        by_checker = Counter(item.checker for item in findings)
+        breakdown = ", ".join(f"{checker}: {count}" for checker, count
+                              in sorted(by_checker.items()))
+        summary = (f"{len(findings)} finding"
+                   f"{'s' if len(findings) != 1 else ''} "
+                   f"({breakdown}) in {n_files} files")
+    else:
+        summary = f"clean: 0 findings in {n_files} files"
+    if n_grandfathered:
+        summary += f" [{n_grandfathered} grandfathered by baseline]"
+    parts.append(summary)
+    return "\n".join(parts)
+
+
+def report_dict(findings: list[Finding], *, n_files: int,
+                n_grandfathered: int = 0,
+                paths: list[str] | None = None) -> dict:
+    return {
+        "files_analyzed": n_files,
+        "paths": list(paths or []),
+        "grandfathered": n_grandfathered,
+        "findings": [item.to_dict() for item in findings],
+    }
+
+
+def write_json(path: str | Path, findings: list[Finding], *, n_files: int,
+               n_grandfathered: int = 0,
+               paths: list[str] | None = None) -> None:
+    payload = report_dict(findings, n_files=n_files,
+                          n_grandfathered=n_grandfathered, paths=paths)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")

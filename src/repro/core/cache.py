@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import threading
+import weakref
 from collections import OrderedDict
 
 import numpy as np
@@ -48,11 +49,16 @@ from repro.extract.base import (Extractor, finalize_rows_of, raw_key_of,
                                 raw_rows_of)
 from repro.hypotheses.base import HypothesisFunction
 from repro.store import DiskBehaviorStore
+from repro.util.debuglog import degraded
 
 
 #: process-unique tokens for parameter-less models (id() can be recycled
 #: after garbage collection, so raw id() may alias two different models)
 _FALLBACK_TOKENS = itertools.count()
+
+#: tokens for models that cannot be stamped (slots/frozen); keyed weakly
+#: so the token dies with the model and can never alias a successor
+_UNSTAMPABLE_TOKENS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
 
 def _compact(identity: str, max_len: int = 64) -> str:
@@ -107,11 +113,22 @@ def model_fingerprint(model) -> str:
             pass
     token = getattr(model, "_repro_cache_token", None)
     if token is None:
+        try:
+            token = _UNSTAMPABLE_TOKENS.get(model)
+        except TypeError:  # unhashable / not weakly referenceable
+            token = None
+    if token is None:
         token = f"{mid}#{next(_FALLBACK_TOKENS)}"
         try:
             model._repro_cache_token = token
         except (AttributeError, TypeError):
-            return f"{mid}@{id(model):x}"  # slots/frozen object: best effort
+            try:
+                _UNSTAMPABLE_TOKENS[model] = token
+            except TypeError:
+                # nowhere to pin an identity: fresh token per call, so the
+                # model re-extracts (slow) but can never alias another
+                # object's cached behaviors the way raw id() could
+                degraded("cache.fingerprint-unstable", mid)
     return token
 
 
@@ -441,7 +458,7 @@ class UnitBehaviorCache(_ByteBoundedLRU):
             block = raw_rows_of(extractor, model, dataset.symbols[missing])
             if block.shape[0] != missing.shape[0] * ns:
                 raise ValueError(
-                    f"extractor row mismatch: expected "
+                    "extractor row mismatch: expected "
                     f"{missing.shape[0] * ns} rows "
                     f"({missing.shape[0]} records x {ns} symbols), "
                     f"got {block.shape[0]}")

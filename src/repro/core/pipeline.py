@@ -302,7 +302,7 @@ class InspectConfig:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.scheduler is not None and not isinstance(
                 self.scheduler, (str, Scheduler)):
-            raise TypeError(f"scheduler must be a name or Scheduler, "
+            raise TypeError("scheduler must be a name or Scheduler, "
                             f"got {self.scheduler!r}")
         if isinstance(self.scheduler, str) \
                 and self.scheduler not in _SCHEDULERS:
@@ -319,8 +319,8 @@ class InspectConfig:
                     and tier_store is not self.store):
                 raise ValueError(
                     f"conflicting store wiring: {label} is backed by a "
-                    f"different DiskBehaviorStore than config.store; pass "
-                    f"one store object to both (or drop store=)")
+                    "different DiskBehaviorStore than config.store; pass "
+                    "one store object to both (or drop store=)")
         if self.stopwatch is None:
             self.stopwatch = Stopwatch()
 
@@ -449,16 +449,19 @@ class BehaviorSource:
         self._u_all: dict[int, np.ndarray] | None = None
         # fingerprints and raw keys are stable for the lifetime of one plan
         # execution; memoize so warm cache hits don't re-hash model
-        # parameters (or large extractor attributes) on every block
-        self._model_keys: dict[int, str] = {}
-        self._raw_keys: dict[int, str] = {}
+        # parameters (or large extractor attributes) on every block.
+        # id() is only the memo *index*, never part of the key — each
+        # entry pins its referent so the address cannot be recycled and
+        # handed to a different object while the memo lives
+        self._model_keys: dict[int, tuple[object, str]] = {}
+        self._raw_keys: dict[int, tuple[object, str | None]] = {}
 
     def _model_key(self, model) -> str:
-        key = self._model_keys.get(id(model))
-        if key is None:
-            key = model_fingerprint(model)
-            self._model_keys[id(model)] = key
-        return key
+        entry = self._model_keys.get(id(model))  # repro: allow[REP003]
+        if entry is None or entry[0] is not model:
+            entry = (model, model_fingerprint(model))
+            self._model_keys[id(model)] = entry  # repro: allow[REP003]
+        return entry[1]
 
     def _raw_key(self, extractor) -> str | None:
         """Stable raw identity, or None when the extractor has none.
@@ -467,13 +470,15 @@ class BehaviorSource:
         *cache or persist* under it still fails loudly downstream, exactly
         as calling ``extractor.cache_key()`` always did.
         """
-        if id(extractor) not in self._raw_keys:
+        entry = self._raw_keys.get(id(extractor))  # repro: allow[REP003]
+        if entry is None or entry[0] is not extractor:
             try:
                 key = raw_key_of(extractor)
             except AttributeError:
                 key = None
-            self._raw_keys[id(extractor)] = key
-        return self._raw_keys[id(extractor)]
+            entry = (extractor, key)
+            self._raw_keys[id(extractor)] = entry  # repro: allow[REP003]
+        return entry[1]
 
     # -- plumbing ------------------------------------------------------
     @property

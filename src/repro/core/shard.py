@@ -48,6 +48,7 @@ import numpy as np
 from repro.core.cache import (HypothesisCache, hyp_store_key, unit_store_key)
 from repro.extract.base import raw_rows_of
 from repro.store.disk import SHARD_DIR, _save_array
+from repro.util.debuglog import degraded
 from repro.util.timing import Stopwatch
 
 #: per-worker-process sequence for shard file stems
@@ -78,8 +79,9 @@ def encode_model(model) -> dict:
         try:
             from repro.nn.serialize import model_to_spec
             return {"kind": "spec", "spec": model_to_spec(model)}
-        except Exception:  # non-registry arch: fall through to pickle
-            pass
+        except Exception as exc:  # non-registry arch: fall through to pickle
+            degraded("shard.model-spec-fallback",
+                     type(model).__name__, exc=exc)
     return {"kind": "pickle", "blob": pickle.dumps(model)}
 
 
@@ -260,7 +262,8 @@ def _chunk_spans(n_positions: int, block_size: int,
 def _pickle_or_none(obj) -> bytes | None:
     try:
         return pickle.dumps(obj)
-    except Exception:
+    except Exception as exc:
+        degraded("shard.unpicklable", type(obj).__name__, exc=exc)
         return None
 
 
@@ -367,8 +370,11 @@ class ShardExchange:
                 continue
             try:
                 payload = encode_model(model)
-            except Exception:
-                continue  # unpicklable model: inline extraction covers it
+            except Exception as exc:
+                # unpicklable model: inline extraction covers it
+                degraded("shard.model-unpicklable",
+                         type(model).__name__, exc=exc)
+                continue
             ext_blob = _pickle_or_none(ext)
             if ext_blob is None:
                 continue
@@ -460,20 +466,23 @@ class ShardExchange:
         dispatch.collected = True
         try:
             result = dispatch.future.result()
-        except Exception:
+        except Exception as exc:
             # worker died or task failed: those records extract inline
+            degraded("shard.worker-failed",
+                     f"span {dispatch.lo}:{dispatch.hi}", exc=exc)
             return
         config = self.source.config
         dataset = self.source.dataset
         shard_dir = self.store.root / SHARD_DIR
-        extractions = 0
         for desc in result["descriptors"]:
             fill = dispatch.fills.get(desc["key"])
             try:
                 indices = np.load(shard_dir / desc["index"])
                 rows = np.load(shard_dir / desc["data"], mmap_mode="r")
-            except Exception:
-                continue  # shard vanished (concurrent gc): extracts inline
+            except Exception as exc:
+                # shard vanished (concurrent gc): extracts inline
+                degraded("shard.files-vanished", desc["key"], exc=exc)
+                continue
             if fill is not None and fill[0] == "unit":
                 config.unit_cache.fill_rows(dataset, indices, rows,
                                             model_key=fill[1],
@@ -490,7 +499,6 @@ class ShardExchange:
                 index_bytes=desc["index_bytes"],
                 n_records=desc["n_records"], row_width=desc["row_width"],
                 dtype=desc["dtype"])
-            extractions += 1
         tier = (config.unit_cache if dispatch.kind == "unit"
                 else config.cache)
         if tier is not None:
@@ -519,7 +527,7 @@ class ShardExchange:
             if scope is not None:
                 try:
                     scope.__exit__(None, None, None)
-                except Exception:
+                except Exception as exc:
                     # e.g. finalized from a GC'd generator after the
                     # session already tore the scratch store down
-                    pass
+                    degraded("shard.scope-exit-failed", exc=exc)

@@ -313,7 +313,9 @@ class Database:
                 elif n > synced:
                     self.storage.append(
                         name, [a[synced:] for a in arrays])
-            except UnsupportedColumnError:
+            except UnsupportedColumnError as exc:
+                from repro.util.debuglog import degraded
+                degraded("db.table-memory-only", name, exc=exc)
                 if name in self.storage:
                     self.storage.drop(name)
                 self._memory_only.add(name)

@@ -449,7 +449,7 @@ def _group_datasets(context: InspectQuery, spec: InspectSpec,
     for g in range(n_groups):
         group_dids = set(np.unique(did_col[gids == g]).tolist())
         if len(group_dids) != 1:
-            raise ValueError(f"INSPECT must target one dataset per group, "
+            raise ValueError("INSPECT must target one dataset per group, "
                              f"got {sorted(group_dids)}")
         dids.append(group_dids.pop())
     return dids
@@ -476,7 +476,7 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
     db = context.db
     if any(alias == spec.inspect_alias for _, alias in spec.tables):
         raise ValueError(f"INSPECT alias {spec.inspect_alias!r} collides "
-                         f"with a FROM table alias")
+                         "with a FROM table alias")
     catalog_schema = _catalog_schema(db, spec.tables)
 
     # the post-inspection scope adds the S relation's columns
@@ -533,7 +533,7 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
                 model = context.models[mid]
             except KeyError:
                 raise KeyError(f"model {mid!r} is not registered with the "
-                               f"InspectQuery context") from None
+                               "InspectQuery context") from None
             groups_d = runs.setdefault(workload.did, [])
             plan_index[key] = len(groups_d)
             groups_d.append(UnitGroup(model=model, unit_ids=uids,
@@ -542,7 +542,7 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
         hyp_objs = [context.hypotheses[name] for name in hyp_names]
     except KeyError as exc:
         raise KeyError(f"hypothesis {exc.args[0]!r} is not registered with "
-                       f"the InspectQuery context") from None
+                       "the InspectQuery context") from None
     hyp_col_of = {name: j for j, name in enumerate(hyp_names)}
 
     # resolve the scheduler once for the whole statement (a GROUP BY D.did
@@ -559,7 +559,7 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
                 dataset = context.datasets[did]
             except KeyError:
                 raise KeyError(f"dataset {did!r} is not registered with the "
-                               f"InspectQuery context") from None
+                               "InspectQuery context") from None
             outcomes_by_did[did] = run_inspection(
                 groups_d, dataset, measures, hyp_objs, context.extractor,
                 run_config)

@@ -249,8 +249,8 @@ def raw_key_of(extractor) -> str:
         return fn()
     raise AttributeError(
         f"{type(extractor).__name__} exposes neither raw_key() nor "
-        f"cache_key(); behavior caching/persistence needs a stable "
-        f"extractor identity")
+        "cache_key(); behavior caching/persistence needs a stable "
+        "extractor identity")
 
 
 def raw_rows_of(extractor, model, records: np.ndarray,

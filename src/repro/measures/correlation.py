@@ -95,7 +95,7 @@ class CorrelationScore(Measure):
         if method not in ("pearson",):
             raise ValueError(
                 f"unknown method {method!r}; use SpearmanCorrelationScore "
-                f"for rank correlation")
+                "for rank correlation")
         self.method = method
         self.score_id = f"corr:{method}"
 

@@ -145,6 +145,18 @@ class StoreEntryReader:
         self._loc = loc
         self.n_shards = len(meta["shards"])
 
+    def close(self) -> None:
+        """Drop shard references so their mmaps can be reclaimed.
+
+        Safe under the lock-free reader protocol: a concurrent
+        :meth:`rows` that already captured the shard list finishes from
+        its snapshot (gathers copy, never alias the maps), while gathers
+        starting after close() see an empty location table and raise
+        ``KeyError`` like any other unfilled read.
+        """
+        self._maps = []
+        self._loc = np.full(self.n_records, -1, dtype=np.int64)
+
     @staticmethod
     def _check_size(path: Path, expected: int) -> None:
         try:
@@ -175,7 +187,7 @@ class StoreEntryReader:
         loc = loc_table[indices]
         if loc.shape[0] and loc.min() < 0:
             raise KeyError(f"{self.key}: some requested records are not in "
-                           f"the store")
+                           "the store")
         shard_of = loc >> _ROW_BITS
         row_of = loc & _ROW_MASK
         out = np.empty((indices.shape[0], self.row_width), dtype=self.dtype)
@@ -246,7 +258,7 @@ class DiskBehaviorStore:
             with open(self._manifest_path, "rb") as f:
                 manifest = json.load(f)
             if manifest.get("version") != _VERSION:
-                raise ValueError(f"unsupported manifest version "
+                raise ValueError("unsupported manifest version "
                                  f"{manifest.get('version')}")
             return manifest
         except (OSError, ValueError):
@@ -352,7 +364,7 @@ class DiskBehaviorStore:
         indices = np.asarray(indices, dtype=np.int64)
         rows = np.ascontiguousarray(rows)
         if rows.ndim != 2 or rows.shape[0] != indices.shape[0]:
-            raise ValueError(f"rows must be (len(indices), row_width), got "
+            raise ValueError("rows must be (len(indices), row_width), got "
                              f"{rows.shape} for {indices.shape[0]} indices")
         if indices.shape[0] == 0:
             return
@@ -606,3 +618,17 @@ class DiskBehaviorStore:
                     "commits": self.commits,
                     "evictions": self.evictions,
                     "invalid_dropped": self.invalid_dropped}
+
+    def close(self) -> None:
+        """Publish pending state, then release every cached mmap reader.
+
+        The store stays usable afterwards (reads re-map on demand); close
+        simply returns it to its cold state so shard files can be
+        reclaimed by the OS and deleted on platforms that refuse to unlink
+        mapped files.
+        """
+        self.flush()
+        with self._lock:
+            for _, cached in self._readers.values():
+                cached.close()
+            self._readers.clear()

@@ -37,14 +37,19 @@ def attr_identity(value, depth: int = _OBJECT_DEPTH) -> str:
             np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
         return f"ndarray{value.shape}:{value.dtype}:{digest}"
     if isinstance(value, (_PRIMITIVES, np.generic)):
-        return repr(value)
+        # isinstance-proven primitive: repr is exact and address-free
+        return repr(value)  # repro: allow[REP003]
     if isinstance(value, (list, tuple)):
         inner = ", ".join(attr_identity(v, depth) for v in value)
         return f"{type(value).__name__}({inner})"
     if isinstance(value, dict):
+        # sort by the keys' *content* identities — a repr sort key would
+        # order object-keyed dicts by address, shuffling the rendered
+        # identity from process to process
         inner = ", ".join(
             f"{attr_identity(k, depth)}: {attr_identity(v, depth)}"
-            for k, v in sorted(value.items(), key=lambda kv: repr(kv[0])))
+            for k, v in sorted(value.items(),
+                               key=lambda kv: attr_identity(kv[0], depth)))
         return f"dict({inner})"
     if isinstance(value, (set, frozenset)):
         inner = ", ".join(sorted(attr_identity(v, depth) for v in value))
@@ -66,7 +71,8 @@ def _object_identity(value, depth: int) -> str:
         # meaningful address-free reprs; only the default object repr
         # (which embeds the address) is unsafe
         if type(value).__repr__ is not object.__repr__:
-            return repr(value)
+            # the guard above proves this is a custom (address-free) repr
+            return repr(value)  # repro: allow[REP003]
         return f"obj:{name}"
     if depth <= 0:
         return f"obj:{name}"
@@ -112,8 +118,10 @@ def _callable_identity(value, _seen: frozenset = frozenset(),
         digest.update(f"{key}={attr_identity(default)}".encode())
     # fold in global helper *functions* the bytecode references by name:
     # editing a helper's body must invalidate callers' identities too
-    if _depth > 0 and id(code) not in _seen:
-        seen = _seen | {id(code)}
+    # id() here is a *recursion guard* over live, referenced code objects
+    # (kept alive by _seen's enclosing call), never part of the identity
+    if _depth > 0 and id(code) not in _seen:  # repro: allow[REP003]
+        seen = _seen | {id(code)}  # repro: allow[REP003]
         helpers = getattr(value, "__globals__", None) or {}
         for referenced in code.co_names:
             helper = helpers.get(referenced)
@@ -152,4 +160,6 @@ def _const_identity(const) -> str:
         return f"frozenset({inner})"
     if isinstance(const, tuple):
         return f"({', '.join(_const_identity(c) for c in const)})"
-    return repr(const)
+    # code constants are compile-time literals (numbers, strings, None);
+    # their reprs are exact and address-free by construction
+    return repr(const)  # repro: allow[REP003]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.data.datasets import Dataset
 from repro.hypotheses.base import HypothesisFunction
+from repro.util.debuglog import degraded
 
 
 class Perturber:
@@ -69,8 +70,11 @@ class GenericPerturber(Perturber):
             perturbed = text[:pos] + ch + text[pos + 1:]
             try:
                 value = self._behavior_at(perturbed, pos)
-            except Exception:
-                continue  # hypothesis undefined on this perturbation
+            except Exception as exc:
+                # hypothesis undefined on this perturbation
+                degraded("verify.perturbation-undefined",
+                         self.hypothesis.name, exc=exc)
+                continue
             if abs(value - ref) <= self.atol:
                 baseline.append(ch)
             else:

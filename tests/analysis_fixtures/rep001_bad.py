@@ -1,0 +1,16 @@
+# analysis-scope: store
+"""Bad: publishes storage state with os.replace but never fsyncs."""
+
+import json
+import os
+
+
+def write_manifest(path, manifest):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(manifest, f)
+    os.replace(tmp, path)  # expect[REP001]
+
+
+def rotate(path):
+    os.rename(path, path + ".old")  # expect[REP001]

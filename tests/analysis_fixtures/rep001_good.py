@@ -1,0 +1,27 @@
+# analysis-scope: store
+"""Good: every publishing rename is preceded by an fsync."""
+
+import json
+import os
+
+
+def write_manifest(path, manifest):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(manifest, f)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _write_fsynced(path, payload):
+    with open(path, "wb") as f:
+        f.write(payload)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def publish(path, payload):
+    # the fsync lives in a local helper called before the rename
+    _write_fsynced(path + ".tmp", payload)
+    os.replace(path + ".tmp", path)

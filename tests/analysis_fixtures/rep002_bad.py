@@ -1,0 +1,28 @@
+"""Bad: inconsistent lock order, re-acquisition, callback under a lock."""
+
+import threading
+
+
+class BadCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
+
+    def flush(self):
+        with self._lock:
+            with self._io_lock:
+                pass
+
+    def drop(self):
+        with self._io_lock:
+            with self._lock:  # expect[REP002]
+                pass
+
+    def reenter(self):
+        with self._lock:
+            with self._lock:  # expect[REP002]
+                pass
+
+    def apply(self, fn):
+        with self._lock:
+            fn()  # expect[REP002]

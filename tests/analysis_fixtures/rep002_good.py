@@ -1,0 +1,23 @@
+"""Good: one global lock order; callbacks run outside the locked region."""
+
+import threading
+
+
+class GoodCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._io_lock = threading.Lock()
+
+    def flush(self):
+        with self._lock:
+            with self._io_lock:
+                pass
+
+    def drop(self):
+        with self._lock, self._io_lock:
+            pass
+
+    def apply(self, fn):
+        with self._lock:
+            snapshot = 1
+        fn(snapshot)

@@ -1,0 +1,18 @@
+"""Bad: cache keys built from addresses / hash seeds / object reprs."""
+
+
+def cache_key(obj):
+    return f"{id(obj):x}"  # expect[REP003]
+
+
+def entry_hash(obj):
+    return hash(obj)  # expect[REP003]
+
+
+def fingerprint(pairs):
+    ordered = sorted(pairs, key=lambda kv: repr(kv[0]))  # expect[REP003]
+    return str(ordered)
+
+
+def debug_key(obj):
+    return f"key={obj!r}"  # expect[REP003]

@@ -1,0 +1,15 @@
+"""Good: identities rendered from content, never addresses."""
+
+import hashlib
+
+
+def cache_key(obj):
+    return f"{type(obj).__name__}:{obj.name}"
+
+
+def entry_hash(payload: bytes):
+    return hashlib.sha1(payload).hexdigest()
+
+
+def fingerprint(values):
+    return ",".join(str(v) for v in sorted(values))

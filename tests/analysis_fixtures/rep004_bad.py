@@ -1,0 +1,10 @@
+"""Bad: shard task fields that only fail once a worker is spawned."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ShardBadTask:
+    kind: str
+    model: object  # expect[REP004]
+    fills: dict = field(default_factory=lambda: {})  # expect[REP004]

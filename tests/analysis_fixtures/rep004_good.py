@@ -1,0 +1,15 @@
+"""Good: every field pickle-safe by construction; payloads ship encoded."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ShardGoodTask:
+    kind: str
+    store_key: str | None = None
+    model_payload: dict | None = None
+    extractor_blob: bytes | None = None
+    indices: np.ndarray | None = None
+    items: list = field(default_factory=list)

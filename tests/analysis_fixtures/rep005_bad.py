@@ -1,0 +1,17 @@
+"""Bad: a broad except that swallows every failure invisibly."""
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return f.read()
+    except Exception:  # expect[REP005]
+        return None
+
+
+def cleanup(paths):
+    for path in paths:
+        try:
+            path.unlink()
+        except:  # noqa: E722  # expect[REP005]
+            continue

@@ -1,0 +1,27 @@
+"""Good: broad fallbacks route through the degradation hook (or re-raise)."""
+
+from repro.util.debuglog import degraded
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return f.read()
+    except Exception as exc:
+        degraded("fixture.load-failed", str(path), exc=exc)
+        return None
+
+
+def read_size(path):
+    try:
+        return path.stat().st_size
+    except OSError:  # typed: documents the one failure it absorbs
+        return 0
+
+
+def must_load(path):
+    try:
+        with open(path) as f:
+            return f.read()
+    except Exception as exc:
+        raise RuntimeError(f"unreadable: {path}") from exc

@@ -1,0 +1,41 @@
+"""Bad: counter key sets drift apart across stats/reset/fold."""
+
+
+class FoldsUnreported:
+    def __init__(self):
+        self.hits = 0
+
+    def stats(self):
+        return {"hits": self.hits}
+
+    def fold_counts(self, hits=0, evictions=0):  # expect[REP006]
+        self.hits += hits
+
+
+class ResetsUnreported:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self):
+        return {"hits": self.hits}
+
+    def reset_counters(self):  # expect[REP006]
+        self.hits = 0
+        self.misses = 0
+
+
+class FoldResetDisagree:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses}
+
+    def reset_counters(self):
+        self.hits = 0
+
+    def fold_counts(self, hits=0, misses=0):  # expect[REP006]
+        self.hits += hits
+        self.misses += misses

@@ -1,0 +1,16 @@
+"""Bad: resource owners with no way to release what they create."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+class BadScheduler:
+    def __init__(self, n_workers):
+        self._pool = ThreadPoolExecutor(n_workers)  # expect[REP007]
+
+
+class BadReader:
+    def load(self, path):
+        self._rows = np.load(path, mmap_mode="r")  # expect[REP007]
+        return self._rows

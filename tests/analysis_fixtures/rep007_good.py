@@ -1,0 +1,30 @@
+"""Good: every owned resource has an explicit lifecycle."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+class GoodScheduler:
+    def __init__(self, n_workers):
+        self._pool = ThreadPoolExecutor(n_workers)
+
+    def shutdown(self):
+        self._pool.shutdown()
+
+
+class GoodReader:
+    def load(self, path):
+        self._rows = np.load(path, mmap_mode="r")
+        return self._rows
+
+    def close(self):
+        self._rows = None
+
+
+class ScopedUser:
+    """With-scoped handles don't need a lifecycle: the block bounds them."""
+
+    def read(self, path):
+        with open(path) as f:
+            return f.read()

@@ -1,0 +1,36 @@
+"""Bad: incoherent Extractor override sets."""
+
+from repro.extract.base import Extractor
+
+
+class BadWidthExtractor(Extractor):
+    """Widens the raw sweep but never maps its view columns."""
+
+    def n_units(self, model):
+        return 4
+
+    def raw_states(self, model, records):
+        return None
+
+    def raw_width(self, model):  # expect[REP008]
+        return 8
+
+
+class BadViewExtractor(Extractor):  # expect[REP008]
+    """Raw-protocol method without a raw sweep: it never runs."""
+
+    def finalize_rows(self, model, raw, n_symbols, hid_units=None):  # expect[REP008]
+        return raw
+
+
+class BadMixedExtractor(Extractor):
+    """Opaque extract() on a raw-capable extractor bypasses the views."""
+
+    def n_units(self, model):
+        return 4
+
+    def raw_states(self, model, records):
+        return None
+
+    def extract(self, model, records, hid_units=None):  # expect[REP008]
+        return None

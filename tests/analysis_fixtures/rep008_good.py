@@ -1,0 +1,44 @@
+"""Good: the three legitimate extractor shapes."""
+
+from repro.extract.base import Extractor
+
+
+class PlainRawExtractor(Extractor):
+    """Raw-capable at its own width (the RNN shape)."""
+
+    def n_units(self, model):
+        return 4
+
+    def raw_states(self, model, records):
+        return None
+
+
+class LayeredRawExtractor(Extractor):
+    """Wider raw sweep with a column view (the encoder shape)."""
+
+    view_attrs = frozenset({"transform", "layer"})
+
+    def n_units(self, model):
+        return 4
+
+    def raw_states(self, model, records):
+        return None
+
+    def raw_width(self, model):
+        return 8
+
+    def view_columns(self, model):
+        return None
+
+    def view_states(self, model, records):
+        return None
+
+
+class OpaqueExtractor(Extractor):
+    """Overrides extract() wholesale (the CNN-pixel shape)."""
+
+    def n_units(self, model):
+        return 4
+
+    def extract(self, model, records, hid_units=None):
+        return None

@@ -508,7 +508,7 @@ def _random_query(rng: random.Random) -> str:
         ]))
     where = f" WHERE {' AND '.join(preds)}" if preds else ""
     if rng.random() < 0.3:
-        sql = (f"SELECT epoch, count(uid) AS n, sum(score) AS s, "
+        sql = ("SELECT epoch, count(uid) AS n, sum(score) AS s, "
                f"min(uid) AS lo FROM t{where} GROUP BY epoch ORDER BY epoch")
     else:
         order = rng.choice(["uid", "score", "epoch"])
@@ -532,7 +532,7 @@ class TestDifferentialRandom:
         noidx.commit()
         noidx.use_indexes = False
 
-        for i in range(60):
+        for _ in range(60):
             sql = _random_query(rng)
             expect = run_sql(mem, sql)
             assert run_sql(disk, sql) == expect, sql

@@ -250,7 +250,8 @@ class TestAttrIdentity:
         assert outs[0] == outs[1]
 
     def test_cache_keys_distinguish_container_selectors(self):
-        class _SelectorExtractor(Extractor):
+        # a cache-key-only helper: it never extracts
+        class _SelectorExtractor(Extractor):  # repro: allow[REP008]
             def __init__(self, selectors):
                 self.selectors = selectors
 

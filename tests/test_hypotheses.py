@@ -180,7 +180,7 @@ class TestParseHypotheses:
                    if m["offset"] < 7 and m["offset"] > -ds.n_symbols + 7)
         out = hyp.behavior(ds, idx)
         text = ds.record_text(idx)
-        for j, ch in enumerate(text):
+        for j in range(len(text)):
             pos = ds.meta[idx]["offset"] + j
             if 0 <= pos < 7:  # "SELECT " prefix belongs to select_clause
                 assert out[j] == 1.0

@@ -31,7 +31,7 @@ def test_all_matches_documented_surface():
     undocumented = exported - documented
     stale = documented - exported
     assert not undocumented, (
-        f"exports missing from README's public-api section: "
+        "exports missing from README's public-api section: "
         f"{sorted(undocumented)}")
     assert not stale, (
         f"README documents names repro no longer exports: {sorted(stale)}")
