@@ -1,0 +1,134 @@
+"""Cold forward-sweep kernels: gather projection + inference-mode LSTM.
+
+Times one full cold extraction sweep (every record, full unit width) under:
+
+* ``seed_kernels``      -- an inline port of the pre-kernel implementation:
+  dense one-hot materialization, the one-hot @ ``w_x`` matmul, per-gate
+  masked stable sigmoids and full gate/cell history.
+* ``training_path``     -- the current training-mode forward (dense one-hot
+  kept for BPTT, but the branch-free sigmoid kernel).
+* ``inference_kernels`` -- ``model.hidden_states``: embedding-gather
+  projection, in-place branch-free sigmoid/tanh, no history buffers.
+
+The three sweeps must be **bit-identical**; the inference kernels must beat
+the seed kernels >= 3x.  Results land in ``BENCH_forward.json`` so CI can
+smoke-check the cold path (the layer every cold run, new checkpoint and
+cache-missing client pays) stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import SETTING, print_table
+
+OUTPUT = "BENCH_forward.json"
+
+#: the tentpole gate: inference kernels vs the pre-kernel sweep
+MIN_SPEEDUP = 3.0
+#: timing repetitions (min-of wins over the odd scheduler hiccup)
+REPS = 5
+
+
+# ----------------------------------------------------------------------
+# inline port of the pre-kernel (seed) sweep, used as the baseline
+# ----------------------------------------------------------------------
+def _seed_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def _seed_sweep(model, ids: np.ndarray) -> np.ndarray:
+    """Dense one-hot + full-history LSTM loop, exactly as the seed ran it."""
+    x = np.zeros(ids.shape + (model.vocab_size,))
+    np.put_along_axis(x, ids[..., None], 1.0, axis=-1)
+    lstm = model.lstm
+    batch, time_, _ = x.shape
+    h = lstm.n_units
+    h_prev = np.zeros((batch, h))
+    c_prev = np.zeros((batch, h))
+    hs = np.empty((batch, time_, h))
+    cs = np.empty((batch, time_, h))
+    gates = np.empty((batch, time_, 4 * h))
+    x_proj = x.reshape(-1, lstm.n_in) @ lstm.w_x.value
+    x_proj = x_proj.reshape(batch, time_, 4 * h) + lstm.b.value
+    for t in range(time_):
+        z = x_proj[:, t] + h_prev @ lstm.w_h.value
+        i = _seed_sigmoid(z[:, :h])
+        f = _seed_sigmoid(z[:, h:2 * h])
+        o = _seed_sigmoid(z[:, 2 * h:3 * h])
+        g = np.tanh(z[:, 3 * h:])
+        c_prev = f * c_prev + i * g
+        h_prev = o * np.tanh(c_prev)
+        hs[:, t] = h_prev
+        cs[:, t] = c_prev
+        gates[:, t, :h] = i
+        gates[:, t, h:2 * h] = f
+        gates[:, t, 2 * h:3 * h] = o
+        gates[:, t, 3 * h:] = g
+    return hs
+
+
+def _best_of(fn, reps: int = REPS) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def test_forward_sweep_report(benchmark, bench_model, bench_workload):
+    def _report():
+        model = bench_model
+        ids = bench_workload.dataset.symbols
+
+        seed_hs = _seed_sweep(model, ids)
+        train_hs = model.lstm.forward(model.onehot.forward(ids))
+        infer_hs = model.hidden_states(ids)
+        # the kernels' whole contract: indistinguishable activations
+        assert train_hs.tobytes() == seed_hs.tobytes()
+        assert infer_hs.tobytes() == seed_hs.tobytes()
+
+        timings = {
+            "seed_kernels": _best_of(lambda: _seed_sweep(model, ids)),
+            "training_path": _best_of(
+                lambda: model.lstm.forward(model.onehot.forward(ids))),
+            "inference_kernels": _best_of(lambda: model.hidden_states(ids)),
+        }
+        baseline = timings["seed_kernels"]
+        rows = [{"sweep": name, "seconds": secs,
+                 "speedup_vs_seed": baseline / max(secs, 1e-9)}
+                for name, secs in timings.items()]
+        print_table("Cold forward sweep (full records, full width)", rows)
+
+        speedup = baseline / max(timings["inference_kernels"], 1e-9)
+        payload = {
+            "setting": {"n_records": int(ids.shape[0]),
+                        "n_symbols": int(ids.shape[1]),
+                        "vocab_size": model.vocab_size,
+                        "n_units": SETTING.n_units,
+                        "cpu_count": os.cpu_count()},
+            "timings_s": timings,
+            "speedup_vs_seed": {r["sweep"]: r["speedup_vs_seed"]
+                                for r in rows},
+            "bit_identical": True,
+            "gates": {"min_inference_speedup": MIN_SPEEDUP},
+        }
+        with open(OUTPUT, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {OUTPUT}")
+
+        assert speedup >= MIN_SPEEDUP, (
+            f"inference kernels {speedup:.2f}x vs seed kernels; the "
+            f"forward-sweep layer promises >= {MIN_SPEEDUP}x")
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

@@ -1,8 +1,8 @@
 """Importing this package registers every built-in checker."""
 
 from repro.analysis.checkers import (atomic_commit, counters, degradation,
-                                     extractor_protocol, identity, lifecycle,
-                                     lock_order, picklable)
+                                     extractor_protocol, identity, kernels,
+                                     lifecycle, lock_order, picklable)
 
 __all__ = ["atomic_commit", "counters", "degradation", "extractor_protocol",
-           "identity", "lifecycle", "lock_order", "picklable"]
+           "identity", "kernels", "lifecycle", "lock_order", "picklable"]

@@ -1,0 +1,87 @@
+"""REP009: forward-kernel allocation discipline in nn/ code.
+
+The forward-sweep kernel layer (PR 9) earns its speed from two
+allocation rules that silently erode under later edits:
+
+* **No dense one-hot materialization on inference paths.**  Scattering
+  ``1.0`` into a zeros tensor (``np.put_along_axis(x, ids, 1.0, ...)``)
+  rebuilds the ``(batch, time, vocab)`` one-hot that
+  :func:`repro.nn.kernels.gather_projection` exists to avoid — the
+  one-hot @ ``w_x`` matmul is the single largest cost of the pre-kernel
+  sweep.  Only the training path may keep it (BPTT's weight gradient
+  needs the dense input); mark such sites with
+  ``# repro: allow[REP009]``.
+
+* **Scratch buffers must pin a dtype.**  ``np.empty(shape)`` /
+  ``np.zeros(shape)`` default to float64, so a float32 model's sweep
+  quietly upcasts and doubles its memory traffic.  Kernel-path buffers
+  must pass ``dtype=`` (normally the parameter dtype); ``*_like``
+  allocators inherit one and are exempt.
+
+Scoped to ``repro/nn`` paths (fixtures opt in via
+``# analysis-scope: nn-kernels``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import call_name
+from repro.analysis.driver import Checker, FileContext
+from repro.analysis.registry import register
+
+_ALLOCATORS = {"empty", "zeros"}
+_NUMPY_BASES = {"np", "numpy"}
+
+
+def _numpy_call(node: ast.Call) -> str | None:
+    """The bare numpy function name for ``np.foo(...)`` calls, else None."""
+    name = call_name(node)
+    if name is None or "." not in name:
+        return None
+    base, _, func = name.rpartition(".")
+    return func if base in _NUMPY_BASES else None
+
+
+def _is_one(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and not isinstance(node.value, bool)
+            and node.value in (1, 1.0))
+
+
+@register
+class ForwardKernelAllocChecker(Checker):
+    id = "REP009"
+    name = "forward-kernel-allocs"
+    description = ("nn/ kernel paths must not materialize dense one-hots "
+                   "or allocate dtype-less scratch")
+    hint = ("gather rows with kernels.gather_projection instead of a "
+            "one-hot matmul, and pass dtype= (the parameter dtype) to "
+            "np.empty/np.zeros scratch buffers")
+
+    def visit_file(self, ctx: FileContext):
+        if not ctx.in_scope("repro/nn", "nn-kernels"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = _numpy_call(node)
+            if func == "put_along_axis":
+                # np.put_along_axis(x, ids, 1.0, axis) scatters ones: the
+                # dense one-hot encoding gather_projection replaces
+                values = (node.args[2] if len(node.args) > 2 else
+                          next((kw.value for kw in node.keywords
+                                if kw.arg == "values"), None))
+                if values is not None and _is_one(values):
+                    yield self.finding(
+                        ctx, node,
+                        "dense one-hot materialization (scattering 1.0); "
+                        "inference paths must use "
+                        "kernels.gather_projection")
+            elif func in _ALLOCATORS:
+                has_dtype = any(kw.arg == "dtype" for kw in node.keywords)
+                if not has_dtype and len(node.args) < 2:
+                    yield self.finding(
+                        ctx, node,
+                        f"np.{func} without dtype= defaults to float64; "
+                        f"kernel buffers must follow the parameter dtype")

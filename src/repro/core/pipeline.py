@@ -40,7 +40,7 @@ import os
 import shutil
 import tempfile
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -89,8 +89,27 @@ class Scheduler:
     #: whether submit_shards dispatches picklable shard tasks to workers
     executes_shards = False
 
+    #: whether submit() overlaps work with the caller — the block
+    #: executor's double-buffered prefetch only arms on schedulers that
+    #: actually run the submitted sweep concurrently
+    supports_prefetch = False
+
     def map(self, fn, items: list) -> list:
         raise NotImplementedError
+
+    def submit(self, fn) -> Future:
+        """Run ``fn()`` and return a Future over its result.
+
+        The base implementation executes inline at submit time (no
+        concurrency, identical scheduling to plain calls); overlapping
+        schedulers override this to hand the thunk to a worker.
+        """
+        future: Future = Future()
+        try:
+            future.set_result(fn())
+        except BaseException as exc:  # surfaced at .result(), like a pool's
+            future.set_exception(exc)
+        return future
 
     def shard_workers(self) -> int:
         """Worker slots available to shard tasks (sizes task chunking)."""
@@ -130,6 +149,7 @@ class ThreadPoolScheduler(Scheduler):
     """
 
     name = "threads"
+    supports_prefetch = True
 
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
@@ -141,9 +161,18 @@ class ThreadPoolScheduler(Scheduler):
         # skip dispatch cost and GIL contention, run inline
         if len(items) <= 1 or self.max_workers <= 1:
             return [fn(item) for item in items]
+        return list(self._ensure_pool().map(fn, items))
+
+    def submit(self, fn) -> Future:
+        # always through the pool: even a 1-worker pool overlaps a
+        # prefetched sweep with the caller's scoring (numpy releases the
+        # GIL inside BLAS and ufunc loops)
+        return self._ensure_pool().submit(fn)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        return list(self._pool.map(fn, items))
+        return self._pool
 
     def shutdown(self) -> None:
         if self._pool is not None:
@@ -291,6 +320,10 @@ class InspectConfig:
     scheduler: Scheduler | str | None = None  # None -> serial
     partition: bool = True      # per-hypothesis-column early stopping
     partition_min_rows: int = 0  # rows a state must see before freezing
+    #: double-buffered extraction: while block t scores, block t+1's raw
+    #: sweep runs on the scheduler (overlapping schedulers only; frames
+    #: stay bit-identical — see InspectionPlan._run_blocks)
+    prefetch: bool = True
     stopwatch: Stopwatch | None = None
     max_records: int | None = None
     # memoized store-backed tiers (see with_store_tiers); never replace()d
@@ -963,48 +996,106 @@ class InspectionPlan:
 
     def _run_blocks(self, scheduler: Scheduler, exchange, watch,
                     n_hyps: int):
+        """The per-block loop, double-buffered on overlapping schedulers.
+
+        With ``config.prefetch`` on and a scheduler whose :meth:`Scheduler
+        .submit` runs concurrently, block t+1's raw unit sweep is submitted
+        before block t's scoring starts, so extraction BLAS and measure
+        BLAS overlap.  Invariants:
+
+        * **Frames are bit-identical** to serial execution: block order,
+          per-block record slices and the per-group behavior values are
+          unchanged — a prefetched sweep covers the groups pending at
+          launch time, a superset of those pending at consumption (the
+          pending set shrinks monotonically), and each group's block is
+          independent of which other groups share the extraction call.
+        * **Counters are exact** while every prefetched block is consumed:
+          the consumed future *is* the block's extraction (the loop does
+          not re-probe the caches), so cache hit/miss/extraction and model
+          forward counts match serial execution.  Only a run whose tasks
+          all converge exactly at a block boundary pays one speculative
+          sweep serial execution would have skipped — the same surplus the
+          process scheduler's up-front shard dispatch already accepts.
+        * Shard-exchange runs keep their own overlap (``exchange`` already
+          dispatched all cold work to worker processes), and materialized
+          runs extracted everything in :meth:`BehaviorSource.prepare`, so
+          both leave prefetch off.
+
+        The background sweep runs with a serial scheduler (no nested pool
+        fan-out from inside a worker) and a throwaway stopwatch; the main
+        thread charges only its await-stall to ``unit_extraction``.
+        """
         self.source.prepare(scheduler, watch)
-        for sl in self.source.block_slices():
-            pending = [t for t in self.tasks if not t.done]
-            if not pending:
-                break
-            if exchange is not None:
-                exchange.ensure(sl, watch)
-            # hypothesis columns frozen in *every* pending task need no
-            # further extraction (streaming only; materialized already paid)
-            cols_union = None
-            if not self.source.materialize:
-                if any(t.active_cols.shape[0] < n_hyps for t in pending):
-                    cols_union = np.unique(np.concatenate(
-                        [t.active_cols for t in pending]))
-                    if cols_union.shape[0] == n_hyps:
-                        cols_union = None
-            h_block = self.source.hypothesis_block(sl, watch,
-                                                   columns=cols_union)
+        slices = list(self.source.block_slices())
+        use_prefetch = (self.config.prefetch
+                        and scheduler.supports_prefetch
+                        and not self.source.materialize
+                        and exchange is None)
+        prefetched: tuple[int, Future] | None = None
+        try:
+            for bi, sl in enumerate(slices):
+                pending = [t for t in self.tasks if not t.done]
+                if not pending:
+                    break
+                if exchange is not None:
+                    exchange.ensure(sl, watch)
+                # hypothesis columns frozen in *every* pending task need no
+                # further extraction (streaming only; materialized already
+                # paid)
+                cols_union = None
+                if not self.source.materialize:
+                    if any(t.active_cols.shape[0] < n_hyps for t in pending):
+                        cols_union = np.unique(np.concatenate(
+                            [t.active_cols for t in pending]))
+                        if cols_union.shape[0] == n_hyps:
+                            cols_union = None
+                h_block = self.source.hypothesis_block(sl, watch,
+                                                       columns=cols_union)
 
-            def h_for(task):
-                """This task's active columns, positioned within h_block."""
-                if cols_union is None:
-                    if task.active_cols.shape[0] == n_hyps:
+                def h_for(task):
+                    """This task's active columns, within h_block."""
+                    if cols_union is None:
+                        if task.active_cols.shape[0] == n_hyps:
+                            return h_block
+                        return h_block[:, task.active_cols]
+                    local = np.searchsorted(cols_union, task.active_cols)
+                    if local.shape[0] == h_block.shape[1]:
                         return h_block
-                    return h_block[:, task.active_cols]
-                local = np.searchsorted(cols_union, task.active_cols)
-                if local.shape[0] == h_block.shape[1]:
-                    return h_block
-                return h_block[:, local]
+                    return h_block[:, local]
 
-            needed: dict[int, UnitGroup] = {}
-            for task in pending:
-                needed.setdefault(task.gi, task.group)
-            u_blocks = self.source.unit_blocks(
-                sl, sorted(needed.items()), scheduler, watch)
-            n_records = sl.stop - sl.start
-            with watch.charge("inspection"):
-                scheduler.map(
-                    lambda task: task.process(u_blocks[task.gi], h_for(task),
-                                              n_records),
-                    pending)
-            yield sl
+                needed: dict[int, UnitGroup] = {}
+                for task in pending:
+                    needed.setdefault(task.gi, task.group)
+                needed_items = sorted(needed.items())
+                if prefetched is not None and prefetched[0] == bi:
+                    future = prefetched[1]
+                    prefetched = None
+                    with watch.charge("unit_extraction"):
+                        u_blocks = future.result()
+                else:
+                    u_blocks = self.source.unit_blocks(
+                        sl, needed_items, scheduler, watch)
+                if use_prefetch and bi + 1 < len(slices):
+                    nxt = slices[bi + 1]
+                    prefetched = (bi + 1, scheduler.submit(
+                        lambda sl=nxt, items=needed_items:
+                            self.source.unit_blocks(
+                                sl, items, SerialScheduler(), Stopwatch())))
+                n_records = sl.stop - sl.start
+                with watch.charge("inspection"):
+                    scheduler.map(
+                        lambda task: task.process(u_blocks[task.gi],
+                                                  h_for(task), n_records),
+                        pending)
+                yield sl
+        finally:
+            if prefetched is not None:
+                future = prefetched[1]
+                # a sweep already in flight must finish before the run's
+                # store scope closes (it may write through the caches);
+                # swallow its error — nobody consumes the result
+                if not future.cancel():
+                    future.exception()
 
 
 def run_inspection(groups: list[UnitGroup], dataset: Dataset,

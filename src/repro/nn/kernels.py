@@ -1,0 +1,130 @@
+"""Forward-sweep kernels: gather projections and inference-mode LSTM loops.
+
+The extraction hot path (``model.hidden_states`` under a cold cache) spends
+its time in three places the training-oriented layer code never optimized:
+a dense one-hot matmul that multiplies mostly zeros, a masked stable
+sigmoid whose boolean fancy indexing costs ~10x the arithmetic it guards,
+and per-step history buffers (``cs``/``gates``) nobody reads at inference
+time.  This module provides drop-in kernels for each, all **bit-identical**
+to the layer implementations they replace:
+
+* :func:`gather_projection` -- ``onehot(ids) @ W + b`` as a row gather of
+  the pre-biased table ``W + b``.  A one-hot row's dot product with a
+  weight column touches exactly one nonzero term, so the gather returns
+  the same bits the matmul would (the pre-bias add is the same elementwise
+  ``+ b`` the projection applies, just hoisted out of the batch).
+* :func:`sigmoid` / :func:`sigmoid_into` -- the numerically stable sigmoid
+  in branch-free form, ``exp(min(x, 0)) / (1 + exp(-|x|))``.  The
+  numerator is exactly ``1.0`` where ``x >= 0`` and exactly ``exp(x)``
+  where ``x < 0``, so every finite (and infinite) input produces the same
+  bits as the masked two-branch form; only the sign of a NaN *payload* for
+  NaN inputs may differ, which ``==`` cannot observe.
+* :func:`lstm_sweep` -- the LSTM recurrence over a pre-projected input
+  with preallocated scratch, in-place ``sigmoid``/``tanh`` and no gate or
+  cell history.  Elementwise ops are applied in the training loop's
+  evaluation order (IEEE addition is commutative bitwise on non-NaN
+  values), so the hidden-state sequence matches the training forward pass
+  bit for bit.
+
+Scratch buffers are allocated per call: they are small next to the sweep
+itself, and per-call allocation keeps the kernels thread-safe for the
+pipeline's double-buffered (prefetching) extraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function, branch-free.
+
+    Bit-identical to the masked form ``where(x >= 0, 1/(1+exp(-x)),
+    exp(x)/(1+exp(x)))`` on finite and infinite inputs (see module
+    docstring), roughly 4x faster because no boolean fancy indexing runs.
+    """
+    e = np.exp(-np.abs(x))
+    return np.exp(np.minimum(x, 0.0)) / (1.0 + e)
+
+
+def sigmoid_into(x: np.ndarray, out: np.ndarray,
+                 scratch: tuple[np.ndarray, np.ndarray] | None = None
+                 ) -> np.ndarray:
+    """Allocation-free :func:`sigmoid`: writes into ``out``.
+
+    ``scratch`` is a pair of arrays shaped/typed like ``x`` (allocated on
+    demand when omitted).  ``out`` may alias ``x``; the scratch arrays may
+    not alias either.
+    """
+    if scratch is None:
+        scratch = (np.empty_like(x), np.empty_like(x))
+    den, num = scratch
+    np.abs(x, out=den)
+    np.negative(den, out=den)
+    np.exp(den, out=den)
+    np.add(den, 1.0, out=den)          # den = 1 + exp(-|x|)
+    np.minimum(x, 0.0, out=num)
+    np.exp(num, out=num)               # num = exp(min(x, 0))
+    np.divide(num, den, out=out)
+    return out
+
+
+def gather_projection(ids: np.ndarray, weight: np.ndarray,
+                      bias: np.ndarray | None = None) -> np.ndarray:
+    """``onehot(ids) @ weight (+ bias)`` as a bit-identical row gather.
+
+    ``ids`` is any integer index array; the result has shape
+    ``ids.shape + (weight.shape[1],)`` and the weights' dtype.  With a
+    bias, the table is pre-biased once (``weight + bias`` is the same
+    elementwise add the projection would apply per row) so the gather
+    already carries it.
+    """
+    table = weight if bias is None else weight + bias
+    return table[ids]
+
+
+def lstm_sweep(x_proj: np.ndarray, w_h: np.ndarray, n_units: int,
+               h0: np.ndarray | None = None,
+               c0: np.ndarray | None = None) -> np.ndarray:
+    """Inference-only LSTM recurrence over a pre-projected input.
+
+    ``x_proj`` is the biased input projection ``(batch, time, 4h)`` (gate
+    order i, f, o, g -- the layout :class:`repro.nn.recurrent.LSTM` uses);
+    returns the hidden-state sequence ``(batch, time, h)``, bit-identical
+    to the training loop's ``hs``, without materializing gate or cell
+    history and without allocating inside the time loop.
+    """
+    batch, time, four_h = x_proj.shape
+    h = n_units
+    assert four_h == 4 * h, "x_proj width must be 4 * n_units"
+    dtype = x_proj.dtype
+    hs = np.empty((batch, time, h), dtype=dtype)
+
+    z = np.empty((batch, 4 * h), dtype=dtype)
+    gates = np.empty((batch, 3 * h), dtype=dtype)
+    scratch = (np.empty((batch, 3 * h), dtype=dtype),
+               np.empty((batch, 3 * h), dtype=dtype))
+    tmp = np.empty((batch, h), dtype=dtype)
+    c = (np.zeros((batch, h), dtype=dtype) if c0 is None
+         else c0.astype(dtype, copy=True))
+    hbuf = (np.zeros((batch, h), dtype=dtype) if h0 is None
+            else h0.astype(dtype, copy=True))
+
+    for t in range(time):
+        np.matmul(hbuf, w_h, out=z)
+        z += x_proj[:, t]              # x_proj + h @ w_h, commuted
+        # one fused sigmoid over the i|f|o block: elementwise, so the bits
+        # match three per-gate calls on the same slices
+        sigmoid_into(z[:, :3 * h], gates, scratch)
+        g = z[:, 3 * h:]
+        np.tanh(g, out=g)
+        i = gates[:, :h]
+        f = gates[:, h:2 * h]
+        o = gates[:, 2 * h:3 * h]
+        np.multiply(f, c, out=c)       # c = f * c_prev + i * g,
+        np.multiply(i, g, out=tmp)     # in the training loop's order
+        c += tmp
+        np.tanh(c, out=hbuf)
+        np.multiply(o, hbuf, out=hbuf)  # h = o * tanh(c)
+        hs[:, t] = hbuf
+    return hs

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import kernels
 from repro.nn.module import Module, Parameter, glorot
 
 
@@ -42,14 +43,26 @@ class Dense(Module):
 
 
 class OneHot(Module):
-    """Encodes integer symbol ids as one-hot vectors (no parameters)."""
+    """Encodes integer symbol ids as one-hot vectors (no parameters).
 
-    def __init__(self, n_symbols: int):
+    ``dtype`` should follow the parameters of the layer the encoding feeds
+    (a float32 model must project float32 activations); it defaults to
+    float64, the parameter default.  The dense encoding only exists for the
+    *training* path, whose BPTT needs the materialized input for its weight
+    gradient -- inference sweeps use the bit-identical row gather in
+    :mod:`repro.nn.kernels` instead and never build this tensor.
+    """
+
+    def __init__(self, n_symbols: int, dtype: np.dtype | str | None = None):
         self.n_symbols = n_symbols
+        self.dtype = np.dtype(dtype) if dtype is not None \
+            else np.dtype(np.float64)
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
-        out = np.zeros(ids.shape + (self.n_symbols,))
-        np.put_along_axis(out, ids[..., None], 1.0, axis=-1)
+        # the training path's dense encoding; inference sweeps go through
+        # kernels.gather_projection and never materialize this
+        out = np.zeros(ids.shape + (self.n_symbols,), dtype=self.dtype)
+        np.put_along_axis(out, ids[..., None], 1.0, axis=-1)  # repro: allow[REP009]
         return out
 
     def backward(self, dy: np.ndarray) -> None:
@@ -68,7 +81,7 @@ class Embedding(Module):
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
         self._ids = ids
-        return self.weight.value[ids]
+        return kernels.gather_projection(ids, self.weight.value)
 
     def backward(self, dy: np.ndarray) -> None:
         assert self._ids is not None
@@ -81,13 +94,10 @@ class Embedding(Module):
 # ----------------------------------------------------------------------
 # stateless activations
 # ----------------------------------------------------------------------
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    expx = np.exp(x[~pos])
-    out[~pos] = expx / (1.0 + expx)
-    return out
+#: the numerically stable sigmoid, in the branch-free form of
+#: :mod:`repro.nn.kernels` (bit-identical to the historical masked
+#: two-branch implementation; see the kernels module docstring)
+sigmoid = kernels.sigmoid
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

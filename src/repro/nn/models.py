@@ -28,21 +28,30 @@ class CharLSTMModel(Module):
         self.model_id = model_id
         self.vocab_size = vocab_size
         self.n_units = n_units
-        self.onehot = OneHot(vocab_size)
         self.lstm = LSTM(vocab_size, n_units, rng)
+        # the dense encoding only feeds the training path; its dtype
+        # follows the LSTM parameters so a float32 model stays float32
+        self.onehot = OneHot(vocab_size, dtype=self.lstm.w_x.value.dtype)
         self.head = Dense(n_units, vocab_size, rng)
 
     # ------------------------------------------------------------------
     def forward(self, ids: np.ndarray) -> np.ndarray:
-        """Predict logits for the character following each window."""
-        x = self.onehot.forward(ids)
-        hs = self.lstm.forward(x)
+        """Predict logits for the character following each window.
+
+        Prediction never backprops, so the sweep runs the inference
+        kernels (embedding-gather projection, no gate/cell history);
+        :meth:`loss_and_grads` builds its own training-mode pass.
+        """
+        hs = self.lstm.forward(np.asarray(ids), training=False)
         return self.head.forward(hs[:, -1])
 
     def hidden_states(self, ids: np.ndarray) -> np.ndarray:
-        """Per-symbol activations (batch, time, units) -- the DNI behavior."""
-        x = self.onehot.forward(ids)
-        return self.lstm.forward(x)
+        """Per-symbol activations (batch, time, units) -- the DNI behavior.
+
+        Runs the inference-mode sweep of :mod:`repro.nn.kernels`:
+        bit-identical hidden states, no dense one-hot, no BPTT cache.
+        """
+        return self.lstm.forward(np.asarray(ids), training=False)
 
     def input_saliency(self, ids: np.ndarray,
                        unit: int | np.ndarray) -> np.ndarray:

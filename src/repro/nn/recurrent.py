@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import kernels
 from repro.nn.layers import sigmoid
 from repro.nn.module import Module, Parameter, glorot, orthogonal
 
@@ -37,20 +38,50 @@ class LSTM(Module):
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray,
                 h0: np.ndarray | None = None,
-                c0: np.ndarray | None = None) -> np.ndarray:
-        """Run the sequence; returns hidden states (batch, time, units)."""
-        batch, time, _ = x.shape
+                c0: np.ndarray | None = None, *,
+                training: bool = True) -> np.ndarray:
+        """Run the sequence; returns hidden states (batch, time, units).
+
+        ``x`` is either a dense ``(batch, time, n_in)`` tensor or an
+        integer ``(batch, time)`` id array; ids take the embedding-gather
+        projection of :mod:`repro.nn.kernels` (bit-identical to one-hot @
+        ``w_x`` without materializing the one-hot) and therefore require
+        ``training=False`` -- BPTT's weight gradient needs the dense input.
+
+        ``training=False`` runs the inference sweep: preallocated scratch,
+        in-place kernels, no gate/cell history and no backward cache.  The
+        hidden states are bit-identical to the training path's.
+        """
+        if x.ndim == 2 and np.issubdtype(x.dtype, np.integer):
+            if training:
+                raise ValueError(
+                    "integer id input requires training=False: the BPTT "
+                    "weight gradient needs the dense (one-hot) input")
+            batch, time = x.shape
+            x_proj = kernels.gather_projection(x, self.w_x.value,
+                                               self.b.value)
+        else:
+            batch, time, _ = x.shape
+            # hoist the input projection out of the time loop
+            x_proj = x.reshape(-1, self.n_in) @ self.w_x.value
+            x_proj = x_proj.reshape(batch, time, 4 * self.n_units) \
+                + self.b.value
+
+        if not training:
+            hs = kernels.lstm_sweep(x_proj, self.w_h.value, self.n_units,
+                                    h0, c0)
+            # enough cache for last_hidden(); backward() rejects it
+            self._cache = {"hs": hs, "inference": True}
+            return hs
+
         h_dim = self.n_units
-        h_prev = np.zeros((batch, h_dim)) if h0 is None else h0
-        c_prev = np.zeros((batch, h_dim)) if c0 is None else c0
+        dtype = x_proj.dtype  # buffers follow the parameters' dtype
+        h_prev = np.zeros((batch, h_dim), dtype=dtype) if h0 is None else h0
+        c_prev = np.zeros((batch, h_dim), dtype=dtype) if c0 is None else c0
 
-        hs = np.empty((batch, time, h_dim))
-        cs = np.empty((batch, time, h_dim))
-        gates = np.empty((batch, time, 4 * h_dim))
-
-        # hoist the input projection out of the time loop
-        x_proj = x.reshape(-1, self.n_in) @ self.w_x.value
-        x_proj = x_proj.reshape(batch, time, 4 * h_dim) + self.b.value
+        hs = np.empty((batch, time, h_dim), dtype=dtype)
+        cs = np.empty((batch, time, h_dim), dtype=dtype)
+        gates = np.empty((batch, time, 4 * h_dim), dtype=dtype)
 
         for t in range(time):
             z = x_proj[:, t] + h_prev @ self.w_h.value
@@ -69,8 +100,8 @@ class LSTM(Module):
 
         self._cache = {
             "x": x, "hs": hs, "cs": cs, "gates": gates,
-            "h0": np.zeros((batch, h_dim)) if h0 is None else h0,
-            "c0": np.zeros((batch, h_dim)) if c0 is None else c0,
+            "h0": np.zeros((batch, h_dim), dtype=dtype) if h0 is None else h0,
+            "c0": np.zeros((batch, h_dim), dtype=dtype) if c0 is None else c0,
         }
         return hs
 
@@ -85,14 +116,19 @@ class LSTM(Module):
         gradient with respect to the input sequence.
         """
         assert self._cache is not None, "forward must run before backward"
+        assert not self._cache.get("inference"), \
+            "backward needs a training-mode forward pass (training=True)"
         cache = self._cache
         x, hs, cs, gates = cache["x"], cache["hs"], cache["cs"], cache["gates"]
         batch, time, _ = x.shape
         h_dim = self.n_units
 
         dx = np.zeros_like(x)
-        dh_next = np.zeros((batch, h_dim)) if dh_final is None else dh_final.copy()
-        dc_next = np.zeros((batch, h_dim)) if dc_final is None else dc_final.copy()
+        dtype = hs.dtype
+        dh_next = (np.zeros((batch, h_dim), dtype=dtype)
+                   if dh_final is None else dh_final.copy())
+        dc_next = (np.zeros((batch, h_dim), dtype=dtype)
+                   if dc_final is None else dc_final.copy())
         dw_x = np.zeros_like(self.w_x.value)
         dw_h = np.zeros_like(self.w_h.value)
         db = np.zeros_like(self.b.value)
@@ -151,11 +187,11 @@ class StackedLSTM(Module):
         self.n_layers = n_layers
         self._layer_outputs: list[np.ndarray] | None = None
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
         out = x
         outputs = []
         for layer in self.layers:
-            out = layer.forward(out)
+            out = layer.forward(out, training=training)
             outputs.append(out)
         self._layer_outputs = outputs
         return out

@@ -133,8 +133,15 @@ class Seq2SeqModel(Module):
 
     # ------------------------------------------------------------------
     def encoder_states(self, src_ids: np.ndarray) -> list[np.ndarray]:
-        """Per-layer encoder hidden sequences -- the DNI extraction point."""
-        self.encoder.forward(self.src_embed.forward(src_ids))
+        """Per-layer encoder hidden sequences -- the DNI extraction point.
+
+        Extraction never backprops, so the stack runs the inference-mode
+        sweep (:mod:`repro.nn.kernels`): bit-identical hidden states
+        without gate/cell history or BPTT caches.  :meth:`forward` keeps
+        the training-mode pass -- its caches feed :meth:`_backward`.
+        """
+        self.encoder.forward(self.src_embed.forward(src_ids),
+                             training=False)
         return self.encoder.layer_states()
 
     def translate_greedy(self, src_ids: np.ndarray, bos_id: int, eos_id: int,

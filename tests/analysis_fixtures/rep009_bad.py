@@ -1,0 +1,23 @@
+# analysis-scope: nn-kernels
+"""Bad: dense one-hots and dtype-less scratch on kernel paths."""
+
+import numpy as np
+
+
+def onehot_projection(ids, vocab, w_x):
+    """The pre-kernel sweep: materialize, then matmul the sparsity away."""
+    x = np.zeros(ids.shape + (vocab,), dtype=np.float64)
+    np.put_along_axis(x, ids[..., None], 1.0, axis=-1)  # expect[REP009]
+    return x.reshape(-1, vocab) @ w_x
+
+
+def onehot_keyword_values(ids, vocab, dtype):
+    x = np.zeros(ids.shape + (vocab,), dtype=dtype)
+    np.put_along_axis(x, ids[..., None], axis=-1, values=1.0)  # expect[REP009]
+    return x
+
+
+def drifting_scratch(batch, n_units):
+    hs = np.empty((batch, n_units))  # expect[REP009]
+    c = np.zeros((batch, n_units))  # expect[REP009]
+    return hs, c

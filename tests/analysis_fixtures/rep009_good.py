@@ -1,0 +1,39 @@
+# analysis-scope: nn-kernels
+"""Good: kernel-path allocations pin a dtype; projections gather rows."""
+
+import numpy as np
+
+from repro.nn import kernels
+
+
+def gather_sweep(ids, weight, bias):
+    """Inference projection: a row gather, never a one-hot matmul."""
+    return kernels.gather_projection(ids, weight, bias)
+
+
+def scratch_buffers(batch, n_units, dtype):
+    hs = np.empty((batch, n_units), dtype=dtype)
+    c = np.zeros((batch, n_units), dtype=dtype)
+    mask = np.zeros(batch, dtype=bool)
+    return hs, c, mask
+
+
+def derived_buffers(x):
+    # *_like allocators inherit the source dtype and are exempt
+    out = np.empty_like(x)
+    acc = np.zeros_like(x)
+    return out, acc
+
+
+def training_one_hot(ids, vocab, dtype):
+    """BPTT needs the dense input: reviewed and suppressed."""
+    x = np.zeros(ids.shape + (vocab,), dtype=dtype)
+    # the weight gradient contracts over the one-hot, so training keeps it
+    np.put_along_axis(x, ids[..., None], 1.0, axis=-1)  # repro: allow[REP009]
+    return x
+
+
+def scatter_values(x, idx, values):
+    # scattering non-constant values is not a one-hot encoding
+    np.put_along_axis(x, idx, values, axis=-1)
+    return x
