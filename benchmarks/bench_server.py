@@ -1,0 +1,173 @@
+"""Multi-tenant inspection server: sustained SQL-over-HTTP throughput.
+
+One shared :class:`~repro.session.Session` serves N tenants over the
+asyncio front end.  Three phases on the same workload:
+
+* ``dedup_cold``  -- N tenants fire the *same* INSPECT statement at an
+  empty session concurrently.  The sweep registry's single-flight lease
+  must collapse them onto ONE extraction (counter-asserted against a
+  solo-session baseline), so the batch costs roughly one cold query.
+* ``warm``        -- the tenants then replay the statement
+  ``WARM_QUERIES`` times against the now-hot session caches; sustained
+  throughput is queries / wall-clock.
+* ``select``      -- plain catalog SELECTs, the protocol-overhead floor.
+
+Results go to ``BENCH_server.json``; the smoke gates assert the
+extraction-once invariant and that a warm served query beats the cold
+batch >= 5x per query.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro import InspectConfig, Session
+from repro.server import InspectClient, serve_in_thread
+from repro.util.testing import CountingForwardModel
+from benchmarks.conftest import SETTING, print_table
+
+OUTPUT = "BENCH_server.json"
+#: a warm served query must beat the cold dedup batch per-query cost
+WARM_WIN = 5.0
+N_TENANTS = 6
+WARM_QUERIES = 48
+SELECT_QUERIES = 96
+MAX_RECORDS = 200
+
+INSPECT_SQL = """
+    SELECT S.uid, S.hid, S.unit_score
+    INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+    FROM models M, units U, hypotheses H, inputs D
+    WHERE M.mid = U.mid
+"""
+
+
+def _make_session() -> Session:
+    return Session(config=InspectConfig(
+        mode="streaming", early_stop=False, block_size=128, seed=0,
+        max_records=MAX_RECORDS))
+
+
+def _register(session, model, workload, hyps):
+    session.register_model("m0", model)
+    session.register_dataset("d0", workload.dataset)
+    session.register_hypotheses(hyps, name="bench")
+
+
+def _fanout(fns) -> float:
+    """Run the thunks concurrently; return the batch wall-clock seconds."""
+    errors: list[BaseException] = []
+
+    def wrap(fn):
+        try:
+            fn()
+        except BaseException as exc:   # repro: allow[REP005]
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(fn,)) for fn in fns]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def test_server_report(benchmark, bench_model, bench_workload,
+                       bench_hypotheses):
+    def _report():
+        hyps = bench_hypotheses
+
+        # solo baseline: the forward-pass cost of exactly one extraction
+        solo = CountingForwardModel(bench_model)
+        with _make_session() as solo_session:
+            _register(solo_session, solo, bench_workload, hyps)
+            direct = solo_session.sql(INSPECT_SQL)
+        solo_calls = solo.forward_calls
+
+        counting = CountingForwardModel(bench_model)
+        session = _make_session()
+        _register(session, counting, bench_workload, hyps)
+        with session, serve_in_thread(
+                session, max_concurrent=8, per_client_inflight=4,
+                per_client_queue=32) as server:
+            clients = [InspectClient("127.0.0.1", server.port,
+                                     client_id=f"tenant-{i}")
+                       for i in range(N_TENANTS)]
+
+            # phase 1: N concurrent identical COLD queries -> one sweep
+            results: list = [None] * N_TENANTS
+            t_cold = _fanout([
+                (lambda i=i: results.__setitem__(
+                    i, clients[i].query(INSPECT_SQL)))
+                for i in range(N_TENANTS)])
+            dedup_calls = counting.forward_calls
+
+            # phase 2: sustained warm throughput across the tenants
+            per_client = WARM_QUERIES // N_TENANTS
+
+            def replay(client):
+                for _ in range(per_client):
+                    client.query(INSPECT_SQL)
+
+            t_warm = _fanout([(lambda c=c: replay(c)) for c in clients])
+
+            # phase 3: plain catalog SELECTs -- the protocol floor
+            per_client_sel = SELECT_QUERIES // N_TENANTS
+
+            def selects(client):
+                for _ in range(per_client_sel):
+                    client.query("SELECT mid FROM models")
+
+            t_select = _fanout([(lambda c=c: selects(c)) for c in clients])
+            stats = clients[0].stats()
+
+        warm_per_query = t_warm / WARM_QUERIES
+        rows = [
+            {"phase": "dedup_cold", "queries": N_TENANTS,
+             "seconds": t_cold, "qps": N_TENANTS / t_cold},
+            {"phase": "warm", "queries": WARM_QUERIES,
+             "seconds": t_warm, "qps": WARM_QUERIES / t_warm},
+            {"phase": "select", "queries": SELECT_QUERIES,
+             "seconds": t_select, "qps": SELECT_QUERIES / t_select},
+        ]
+        print_table(
+            f"Inspection server ({N_TENANTS} tenants x "
+            f"{SETTING.n_units} units x {len(hyps)} hypotheses)", rows)
+        print(f"forward sweeps: solo={solo_calls} "
+              f"dedup_batch={dedup_calls}")
+
+        payload = {
+            "setting": {"n_tenants": N_TENANTS,
+                        "n_units": SETTING.n_units,
+                        "n_hypotheses": len(hyps),
+                        "max_records": MAX_RECORDS,
+                        "warm_queries": WARM_QUERIES,
+                        "select_queries": SELECT_QUERIES},
+            "timings_s": {r["phase"]: r["seconds"] for r in rows},
+            "qps": {r["phase"]: r["qps"] for r in rows},
+            "forward_sweeps": {"solo": solo_calls, "dedup": dedup_calls},
+            "warm_speedup_per_query": t_cold / max(warm_per_query, 1e-9),
+            "server_stats": {"admission": stats["admission"]["totals"],
+                             "dedup": stats.get("dedup"),
+                             "session_queries": stats["session"]["queries"]},
+        }
+        with open(OUTPUT, "w", encoding="utf-8") as f:
+            json.dump(payload, f, indent=2)
+        print(f"wrote {OUTPUT}")
+
+        # smoke gates
+        assert dedup_calls == solo_calls, \
+            "N identical concurrent queries must extract exactly once"
+        for frame in results:
+            assert frame == direct, \
+                "served frames must match direct execution bit-for-bit"
+        assert stats["dedup"]["inflight"] == 0
+        assert warm_per_query * WARM_WIN <= t_cold
+
+    benchmark.pedantic(_report, rounds=1, iterations=1)

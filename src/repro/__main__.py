@@ -20,6 +20,13 @@ them: it is executed with the open ``session`` in its globals::
 Statements are split on ``;``; plain SELECTs (catalog queries) work too.
 With a ``--store`` path, re-running the same inspection in a new process
 serves behaviors from the store with zero model forward passes.
+
+``python -m repro serve`` starts the multi-tenant inspection server on
+the same session setup — many clients share one store, one scheduler
+pool and deduplicated forward sweeps (see :mod:`repro.server`)::
+
+    $ python -m repro serve --store ./behavior_store --setup setup.py \\
+          --port 8707 --max-concurrent 8
 """
 
 from __future__ import annotations
@@ -74,7 +81,87 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve INSPECT SQL to many concurrent clients over "
+                    "HTTP/websocket, multiplexed onto one shared Session.")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="open the session over a persistent "
+                             "DiskBehaviorStore at PATH")
+    parser.add_argument("--db", metavar="PATH", default=None,
+                        help="open the session catalog over a persistent "
+                             "paged database at PATH")
+    parser.add_argument("--setup", metavar="SCRIPT.py", default=None,
+                        help="python script run with the open 'session' in "
+                             "globals, to register models/datasets/"
+                             "hypotheses")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8707,
+                        help="bind port; 0 picks a free one (default 8707)")
+    parser.add_argument("--max-concurrent", type=int, default=4,
+                        help="queries executing at once across all clients "
+                             "(default 4)")
+    parser.add_argument("--per-client-inflight", type=int, default=2,
+                        help="running queries one client may hold "
+                             "(default 2)")
+    parser.add_argument("--per-client-queue", type=int, default=8,
+                        help="queued queries one client may hold before "
+                             "rejection (default 8)")
+    parser.add_argument("--no-dedup", action="store_true",
+                        help="disable the cross-query forward-sweep "
+                             "single-flight gate")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    import asyncio
+
+    from repro.server.app import InspectionServer
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+
+    async def run() -> int:
+        with Session(args.store, db_path=args.db) as session:
+            if args.setup is not None:
+                setup_path = Path(args.setup)
+                if not setup_path.exists():
+                    parser.error(f"no such setup script: {setup_path}")
+                code = compile(setup_path.read_text(encoding="utf-8"),
+                               str(setup_path), "exec")
+                exec(code, {"session": session, "__name__": "__setup__"})
+            server = InspectionServer(
+                session, host=args.host, port=args.port,
+                max_concurrent=args.max_concurrent,
+                per_client_inflight=args.per_client_inflight,
+                per_client_queue=args.per_client_queue,
+                dedup=not args.no_dedup)
+            await server.start()
+            print(f"inspection server listening on "
+                  f"http://{server.host}:{server.port}", flush=True)
+            try:
+                while True:           # until interrupted
+                    await asyncio.sleep(3600)
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if (args.command is None) == (args.sql_file is None):

@@ -1,8 +1,10 @@
 """Importing this package registers every built-in checker."""
 
-from repro.analysis.checkers import (atomic_commit, counters, degradation,
-                                     extractor_protocol, identity, kernels,
-                                     lifecycle, lock_order, picklable)
+from repro.analysis.checkers import (async_blocking, atomic_commit, counters,
+                                     degradation, extractor_protocol,
+                                     identity, kernels, lifecycle, lock_order,
+                                     picklable)
 
-__all__ = ["atomic_commit", "counters", "degradation", "extractor_protocol",
-           "identity", "kernels", "lifecycle", "lock_order", "picklable"]
+__all__ = ["async_blocking", "atomic_commit", "counters", "degradation",
+           "extractor_protocol", "identity", "kernels", "lifecycle",
+           "lock_order", "picklable"]

@@ -1,0 +1,125 @@
+"""REP010: no blocking calls inside ``async def`` bodies (server scope).
+
+The inspection server runs every query on a bounded worker pool; the
+event loop only parses envelopes, moves frames and enforces quotas.  A
+single blocking call inside a coroutine — ``time.sleep``, a synchronous
+socket read, a ``Future.result()`` wait, a subprocess — stalls *every*
+connected client for its duration, which is exactly the failure mode a
+multi-tenant front end must not have.
+
+Rule, applied to files in the ``server`` scope (path containing
+``server`` or a ``# analysis-scope: server`` tag): inside an
+``async def`` body (nested sync functions excluded — they run on worker
+threads),
+
+* no calls to known blocking APIs: ``time.sleep``, ``socket.*`` I/O
+  constructors/calls (``socket.create_connection``, ``sock.recv``,
+  ``sock.accept``...), ``subprocess.run/call/check_output``,
+  ``select.select``, ``queue.Queue().get`` — use their asyncio
+  equivalents or push the work onto the executor;
+* no ``.result()`` / ``.join()`` on futures, threads or pools — that is
+  a synchronous wait; ``await`` the future instead;
+* executor dispatch must be consumed: a bare expression statement
+  ``loop.run_in_executor(...)`` / ``executor.submit(...)`` drops the
+  future, so errors vanish and completion is unobservable — ``await``
+  it or keep a reference.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import dotted_name, functions, last_part
+from repro.analysis.driver import Checker, FileContext
+from repro.analysis.registry import register
+
+#: dotted names that block the calling thread outright
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "socket.create_connection",
+    "socket.socket",
+    "socket.getaddrinfo",
+    "select.select",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_output",
+    "subprocess.check_call",
+}
+
+#: method names that synchronously wait or perform socket I/O when
+#: invoked on *any* receiver inside a coroutine
+_BLOCKING_METHODS = {"result", "join", "recv", "recv_into", "sendall",
+                     "accept", "readinto"}
+
+#: executor-dispatch calls whose returned future must not be dropped
+_DISPATCH_METHODS = {"run_in_executor", "submit"}
+
+
+def _async_body_nodes(fn: ast.AsyncFunctionDef):
+    """Walk an async function's own body, skipping nested sync scopes."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlockingChecker(Checker):
+    id = "REP010"
+    name = "async-blocking"
+    description = ("server coroutines must not block: no time.sleep/"
+                   "socket I/O/.result() waits, no dropped executor "
+                   "futures inside async def")
+    hint = ("use the asyncio equivalent (asyncio.sleep, streams, await) "
+            "or move the blocking work onto the admission executor")
+
+    def visit_file(self, ctx: FileContext):
+        if not ctx.in_scope("server"):
+            return
+        for fn in functions(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            awaited: set[int] = set()
+            for node in _async_body_nodes(fn):
+                if isinstance(node, ast.Await):
+                    for inner in ast.walk(node):
+                        if isinstance(inner, ast.Call):
+                            awaited.add(id(inner))
+            for node in _async_body_nodes(fn):
+                if isinstance(node, ast.Expr) \
+                        and isinstance(node.value, ast.Call) \
+                        and id(node.value) not in awaited:
+                    method = self._method_name(node.value)
+                    if method in _DISPATCH_METHODS:
+                        yield self.finding(
+                            ctx, node,
+                            f"async {fn.name!r} drops the future from "
+                            f".{method}(...) — await it or keep a "
+                            f"reference")
+                        continue
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func) or ""
+                if name in _BLOCKING_CALLS:
+                    yield self.finding(
+                        ctx, node,
+                        f"async {fn.name!r} calls blocking {name}()")
+                    continue
+                method = self._method_name(node)
+                if method in _BLOCKING_METHODS \
+                        and isinstance(node.func, ast.Attribute) \
+                        and not isinstance(node.func.value, ast.Constant) \
+                        and id(node) not in awaited:
+                    yield self.finding(
+                        ctx, node,
+                        f"async {fn.name!r} waits synchronously via "
+                        f".{method}() — await the async form instead")
+
+    @staticmethod
+    def _method_name(call: ast.Call) -> str:
+        return last_part(dotted_name(call.func)) if isinstance(
+            call.func, ast.Attribute) else ""

@@ -154,6 +154,10 @@ class ThreadPoolScheduler(Scheduler):
     def __init__(self, max_workers: int | None = None):
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
         self._pool: ThreadPoolExecutor | None = None
+        # session-owned schedulers are shared by every query the session
+        # runs; concurrent first-touch (the server's many clients) must
+        # not race two pools into existence and leak one
+        self._pool_lock = threading.Lock()
 
     def map(self, fn, items: list) -> list:
         items = list(items)
@@ -170,14 +174,16 @@ class ThreadPoolScheduler(Scheduler):
         return self._ensure_pool().submit(fn)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return self._pool
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class ProcessPoolScheduler(Scheduler):
@@ -208,6 +214,10 @@ class ProcessPoolScheduler(Scheduler):
         self.mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._scratch: tuple[str, DiskBehaviorStore] | None = None
+        # concurrent queries on one session share this scheduler: pool and
+        # scratch-store creation must be single-flight or one of the two
+        # racing pools (or temp dirs) leaks
+        self._pool_lock = threading.Lock()
 
     def map(self, fn, items: list) -> list:
         # scoring and fallback extraction run inline on the coordinator:
@@ -220,13 +230,15 @@ class ProcessPoolScheduler(Scheduler):
 
     def submit_shards(self, tasks: list) -> list:
         from repro.core.shard import run_shard_task
-        if self._pool is None:
-            context = self.mp_context
-            if isinstance(context, str):
-                context = multiprocessing.get_context(context)
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers,
-                                             mp_context=context)
-        return [self._pool.submit(run_shard_task, task) for task in tasks]
+        with self._pool_lock:
+            if self._pool is None:
+                context = self.mp_context
+                if isinstance(context, str):
+                    context = multiprocessing.get_context(context)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=context)
+            pool = self._pool
+        return [pool.submit(run_shard_task, task) for task in tasks]
 
     def scratch_store(self) -> DiskBehaviorStore:
         """The temp-dir exchange store for sessions without one.
@@ -234,19 +246,20 @@ class ProcessPoolScheduler(Scheduler):
         Created lazily, reused across runs (cross-query warm reads), and
         deleted on :meth:`shutdown`.
         """
-        if self._scratch is None:
-            root = tempfile.mkdtemp(prefix="repro-shard-exchange-")
-            self._scratch = (root, DiskBehaviorStore(root))
-        return self._scratch[1]
+        with self._pool_lock:
+            if self._scratch is None:
+                root = tempfile.mkdtemp(prefix="repro-shard-exchange-")
+                self._scratch = (root, DiskBehaviorStore(root))
+            return self._scratch[1]
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-        if self._scratch is not None:
-            root, _ = self._scratch
-            self._scratch = None
-            shutil.rmtree(root, ignore_errors=True)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            scratch, self._scratch = self._scratch, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if scratch is not None:
+            shutil.rmtree(scratch[0], ignore_errors=True)
 
 
 def default_scheduler(store: DiskBehaviorStore | None = None) -> Scheduler:
@@ -324,6 +337,15 @@ class InspectConfig:
     #: sweep runs on the scheduler (overlapping schedulers only; frames
     #: stay bit-identical — see InspectionPlan._run_blocks)
     prefetch: bool = True
+    #: cross-query single-flight gate over cold raw sweeps.  Anything
+    #: exposing ``lease(keys, cold=predicate) -> context manager`` works
+    #: (the inspection server installs a
+    #: :class:`repro.server.dedup.SweepRegistry`): the plan executor
+    #: leases its sweep identities for the duration of the run, so
+    #: concurrent queries needing the same cold extraction attach to one
+    #: in-flight sweep instead of racing the caches.  ``None`` (the
+    #: default) leaves runs ungated.
+    sweep_gate: object | None = None
     stopwatch: Stopwatch | None = None
     max_records: int | None = None
     # memoized store-backed tiers (see with_store_tiers); never replace()d
@@ -361,7 +383,8 @@ class InspectConfig:
             self, cache: HypothesisCache | None = None,
             unit_cache: UnitBehaviorCache | None = None,
             scheduler: Scheduler | str | None = None,
-            store: DiskBehaviorStore | None = None) -> "InspectConfig":
+            store: DiskBehaviorStore | None = None,
+            sweep_gate: object | None = None) -> "InspectConfig":
         """A copy with unset sharing knobs filled from session defaults.
 
         The session layer keeps per-session caches, a persistent behavior
@@ -375,7 +398,8 @@ class InspectConfig:
         if (cache is None or self.cache is not None) \
                 and (unit_cache is None or self.unit_cache is not None) \
                 and (store is None or self.store is not None) \
-                and (scheduler is None or self.scheduler is not None):
+                and (scheduler is None or self.scheduler is not None) \
+                and (sweep_gate is None or self.sweep_gate is not None):
             return self  # nothing to fill: don't build a copy per query
         return dataclasses.replace(
             self,
@@ -384,7 +408,9 @@ class InspectConfig:
                         else unit_cache),
             store=self.store if self.store is not None else store,
             scheduler=(self.scheduler if self.scheduler is not None
-                       else scheduler))
+                       else scheduler),
+            sweep_gate=(self.sweep_gate if self.sweep_gate is not None
+                        else sweep_gate))
 
     def with_store_tiers(self) -> "InspectConfig":
         """A copy whose caches sit on top of ``store``, when one is set.
@@ -827,8 +853,13 @@ class ScoreTask:
             result = self._stitched_result()
         elif self._last is not None:
             result = self._last
-        else:  # zero blocks processed (empty dataset guard)
-            result = self.state.result()
+        else:  # zero blocks processed (empty dataset, or a progressive
+            # snapshot taken before this task's first block — single-shot
+            # tasks have no state yet, so build a throwaway empty one)
+            state = (self.state if self.state is not None
+                     else self.measure.new_state(self.group.n_units,
+                                                 self.n_hyps))
+            result = state.result()
         result.col_rows_seen = self.col_rows.copy()
         result.col_converged = self.col_converged.copy()
         return GroupMeasureOutcome(
@@ -925,6 +956,43 @@ class InspectionPlan:
             pass
         return self.outcomes()
 
+    # -- sweep identity (cross-query dedup surface) --------------------
+    def sweep_keys(self) -> list[tuple[str, str, str]]:
+        """Stable identities of the raw forward sweeps this run may issue.
+
+        One ``(model fingerprint, raw-extractor key, dataset hash)`` triple
+        per fused extraction pair — the exact granularity the
+        :class:`~repro.core.cache.UnitBehaviorCache` and the disk store
+        key entries by, so two plans that would fill the same cache entry
+        report the same key.  Extractors without a raw identity get a
+        process-local token (they can never share a sweep anyway).
+        """
+        dataset_key = self.dataset.cache_key()
+        keys: set[tuple[str, str, str]] = set()
+        for (_, raw_key), members in self.source.extraction_pairs().items():
+            _, group = members[0]
+            keys.add((self.source._model_key(group.model), raw_key,
+                      dataset_key))
+        return sorted(keys)
+
+    def sweep_is_cold(self, key: tuple[str, str, str]) -> bool:
+        """Whether serving ``key`` for this run still needs extraction.
+
+        Probes the memory tier only (no counters move): a warm key must
+        not be leased by a sweep gate, or concurrent warm queries would
+        serialize behind each other for no benefit.  Without a unit cache
+        there is nothing to share a sweep through, so everything counts
+        as cold.
+        """
+        cache = self.config.unit_cache
+        if cache is None:
+            return True
+        model_key, raw_key, _ = key
+        missing = cache.missing_records(self.dataset, self.order,
+                                        model_key=model_key,
+                                        raw_key=raw_key)
+        return bool(missing.shape[0])
+
     def execute_blocks(self):
         """Drive the executor loop, yielding once after each block.
 
@@ -936,13 +1004,23 @@ class InspectionPlan:
         visible together when the scope closes.  Callers snapshot whatever
         task state they need between steps (:meth:`outcomes`, or
         individual tasks for cheaper partial reads).
+
+        With ``config.sweep_gate`` set, the run first leases its sweep
+        identities: if another in-flight run is already extracting one of
+        them, this run waits for that sweep to land in the shared caches
+        instead of racing a duplicate forward pass (the server's
+        cross-client dedup).  The lease is released — and waiters woken —
+        even when the consumer abandons this generator mid-run.
         """
         scheduler, owned = _resolve_scheduler(self.config.scheduler)
         store_scope = (self.config.store.deferred_commits()
                        if self.config.store is not None
                        else contextlib.nullcontext())
+        gate = self.config.sweep_gate
+        gate_scope = (gate.lease(self.sweep_keys(), cold=self.sweep_is_cold)
+                      if gate is not None else contextlib.nullcontext())
         try:
-            with store_scope:
+            with gate_scope, store_scope:
                 yield from self._block_steps(scheduler)
         finally:
             if owned:

@@ -49,6 +49,7 @@ engine rather than interpreted row-at-a-time:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from dataclasses import dataclass, field
 from typing import Any
@@ -57,8 +58,8 @@ import numpy as np
 
 from repro.core.cache import HypothesisCache, UnitBehaviorCache
 from repro.core.groups import UnitGroup
-from repro.core.pipeline import (InspectConfig, Scheduler, _resolve_scheduler,
-                                 run_inspection)
+from repro.core.pipeline import (InspectConfig, InspectionPlan, Scheduler,
+                                 _resolve_scheduler, run_inspection)
 from repro.data.datasets import Dataset
 from repro.db.engine import Database, Table
 from repro.db.executor import (SelectItem, SelectQuery, _broadcast,
@@ -472,7 +473,153 @@ def run_inspect_sql(context, sql: str) -> Frame:
     return run_inspect_spec(context, spec)
 
 
+@dataclass
+class _CompiledInspect:
+    """An INSPECT statement compiled up to (but excluding) execution.
+
+    Everything the catalog stages decide — name resolution, the joined
+    catalog relation, the deduplicated per-dataset run list — happens
+    once in :func:`_compile_inspect`; the one-shot
+    (:func:`run_inspect_spec`) and progressive
+    (:func:`stream_inspect_spec`) executors then differ only in *when*
+    they call :meth:`assemble` on outcome snapshots, so their final
+    frames are bit-identical by construction.
+    """
+
+    context: Any
+    spec: InspectSpec
+    out_columns: list[str]
+    select_items: list[SelectItem] = field(default_factory=list)
+    having: Expr | None = None
+    out_schema: Schema | None = None
+    catalog_keep: dict[str, np.ndarray] = field(default_factory=dict)
+    workloads: list[_GroupWorkload] = field(default_factory=list)
+    runs: dict[str, list[UnitGroup]] = field(default_factory=dict)
+    plan_index: dict[tuple[str, str, bytes], int] = field(
+        default_factory=dict)
+    hyp_col_of: dict[str, int] = field(default_factory=dict)
+    measures: list = field(default_factory=list)
+    hyp_objs: list[HypothesisFunction] = field(default_factory=list)
+    empty: bool = False   # catalog plan produced zero rows
+
+    def dataset(self, did: str) -> Dataset:
+        try:
+            return self.context.datasets[did]
+        except KeyError:
+            raise KeyError(f"dataset {did!r} is not registered with the "
+                           "InspectQuery context") from None
+
+    def empty_frame(self) -> Frame:
+        return Frame.from_records([], columns=self.out_columns)
+
+    def assemble(self, outcomes_by_did: dict[str, list]) -> Frame:
+        """Materialize S from outcome snapshots and finish columnar."""
+        s_cols = _materialize_s(self.catalog_keep, self.workloads,
+                                outcomes_by_did, self.plan_index,
+                                self.hyp_col_of, len(self.measures),
+                                self.spec.inspect_alias)
+        return _finish_columnar(self.context.db, s_cols, self.select_items,
+                                self.having, self.spec, self.out_schema,
+                                self.out_columns)
+
+    def persist(self, frame: Frame) -> Frame:
+        return _persist_into(self.context.db, self.spec, frame)
+
+
 def run_inspect_spec(context, spec: InspectSpec) -> Frame:
+    compiled = _compile_inspect(context, spec)
+    if compiled.empty:
+        return compiled.persist(compiled.empty_frame())
+
+    # resolve the scheduler once for the whole statement (a GROUP BY D.did
+    # sweep runs one plan per dataset) and release its worker pool before
+    # returning when this statement created it — repeated queries must not
+    # leak pools, nor rebuild one per dataset
+    config = context.effective_config()
+    scheduler, owned = _resolve_scheduler(config.scheduler)
+    outcomes_by_did: dict[str, list] = {}
+    try:
+        run_config = dataclasses.replace(config, scheduler=scheduler)
+        for did, groups_d in compiled.runs.items():
+            outcomes_by_did[did] = run_inspection(
+                groups_d, compiled.dataset(did), compiled.measures,
+                compiled.hyp_objs, context.extractor, run_config)
+    finally:
+        if owned:
+            scheduler.shutdown()
+    return compiled.persist(compiled.assemble(outcomes_by_did))
+
+
+def stream_inspect_spec(context, spec: InspectSpec):
+    """Progressive INSPECT execution: one result frame per processed block.
+
+    Compiles the statement exactly like :func:`run_inspect_spec`, then
+    drives each per-dataset plan block by block, assembling the full
+    output relation (HAVING/projection/ORDER BY/LIMIT included) from the
+    current outcome snapshots after every block.  Datasets not yet
+    started contribute zero-score snapshots, so every partial frame has
+    the final frame's shape; the last yielded frame is bit-identical to
+    :func:`run_inspect_spec`'s return for the same statement.
+
+    Each frame carries ``records_processed`` / ``converged`` attributes
+    for progress reporting.  Abandoning the generator stops the run
+    cleanly — pending store scopes flush, owned scheduler pools shut
+    down, sweep-gate leases release — and skips the ``INTO`` persist
+    step (a cancelled query must not commit a half-scored table).
+    """
+    compiled = _compile_inspect(context, spec)
+    if compiled.empty:
+        frame = compiled.persist(compiled.empty_frame())
+        frame.records_processed = 0
+        frame.converged = True
+        yield frame
+        return
+
+    config = context.effective_config()
+    scheduler, owned = _resolve_scheduler(config.scheduler)
+    try:
+        run_config = dataclasses.replace(config, scheduler=scheduler)
+        plans = {did: InspectionPlan.build(
+                     groups_d, compiled.dataset(did), compiled.measures,
+                     compiled.hyp_objs, context.extractor, run_config)
+                 for did, groups_d in compiled.runs.items()}
+        # zero-snapshot every dataset up front: partial frames keep the
+        # full output shape while earlier datasets are still running
+        outcomes_by_did = {did: plan.outcomes()
+                           for did, plan in plans.items()}
+
+        def snapshot() -> Frame:
+            frame = compiled.assemble(outcomes_by_did)
+            frame.records_processed = max(
+                (o.records_processed
+                 for outs in outcomes_by_did.values() for o in outs),
+                default=0)
+            frame.converged = all(
+                task.done or bool(task.col_converged.all())
+                for plan in plans.values() for task in plan.tasks)
+            return frame
+
+        last: Frame | None = None
+        for did, plan in plans.items():
+            # closing(): GeneratorExit at our yield still runs the block
+            # generator's cleanup promptly (store flush, lease release)
+            with contextlib.closing(plan.execute_blocks()) as steps:
+                for _ in steps:
+                    outcomes_by_did[did] = plan.outcomes()
+                    last = snapshot()
+                    yield last
+        if last is None:   # zero-block run (empty dataset): still one frame
+            last = snapshot()
+            compiled.persist(last)
+            yield last
+        else:
+            compiled.persist(last)
+    finally:
+        if owned:
+            scheduler.shutdown()
+
+
+def _compile_inspect(context, spec: InspectSpec) -> _CompiledInspect:
     db = context.db
     if any(alias == spec.inspect_alias for _, alias in spec.tables):
         raise ValueError(f"INSPECT alias {spec.inspect_alias!r} collides "
@@ -495,8 +642,8 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
     out_columns = [item.alias for item in select_items]
     cols, n = execute_catalog_plan(db, plan_catalog(spec.tables, where))
     if n == 0:
-        return _persist_into(db, spec,
-                             Frame.from_records([], columns=out_columns))
+        return _CompiledInspect(context=context, spec=spec,
+                                out_columns=out_columns, empty=True)
 
     # factorize GROUP BY keys over the joined relation
     if group_by:
@@ -545,28 +692,6 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
                        "the InspectQuery context") from None
     hyp_col_of = {name: j for j, name in enumerate(hyp_names)}
 
-    # resolve the scheduler once for the whole statement (a GROUP BY D.did
-    # sweep runs one plan per dataset) and release its worker pool before
-    # returning when this statement created it — repeated queries must not
-    # leak pools, nor rebuild one per dataset
-    config = context.effective_config()
-    scheduler, owned = _resolve_scheduler(config.scheduler)
-    outcomes_by_did: dict[str, list] = {}
-    try:
-        run_config = dataclasses.replace(config, scheduler=scheduler)
-        for did, groups_d in runs.items():
-            try:
-                dataset = context.datasets[did]
-            except KeyError:
-                raise KeyError(f"dataset {did!r} is not registered with the "
-                               "InspectQuery context") from None
-            outcomes_by_did[did] = run_inspection(
-                groups_d, dataset, measures, hyp_objs, context.extractor,
-                run_config)
-    finally:
-        if owned:
-            scheduler.shutdown()
-
     # only catalog columns the SELECT/HAVING/ORDER BY actually reference
     # are replicated into the S relation
     needed: set[str] = set()
@@ -578,12 +703,12 @@ def run_inspect_spec(context, spec: InspectSpec) -> Frame:
         needed.add(out_schema.resolve(spec.order_by))
     catalog_keep = {q: arr for q, arr in cols.items() if q in needed}
 
-    s_cols = _materialize_s(catalog_keep, workloads, outcomes_by_did,
-                            plan_index, hyp_col_of, len(measures),
-                            spec.inspect_alias)
-    frame = _finish_columnar(db, s_cols, select_items, having, spec,
-                             out_schema, out_columns)
-    return _persist_into(db, spec, frame)
+    return _CompiledInspect(
+        context=context, spec=spec, out_columns=out_columns,
+        select_items=select_items, having=having, out_schema=out_schema,
+        catalog_keep=catalog_keep, workloads=workloads, runs=runs,
+        plan_index=plan_index, hyp_col_of=hyp_col_of, measures=measures,
+        hyp_objs=hyp_objs)
 
 
 def _persist_into(db: Database, spec: InspectSpec, frame: Frame) -> Frame:

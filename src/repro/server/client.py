@@ -1,0 +1,202 @@
+"""A stdlib client for the inspection server.
+
+Blocking and dependency-free (``http.client`` + a raw-socket websocket),
+so tests, examples and the load-generating benchmark can hammer the
+server without adding a client library.  The two query surfaces mirror
+the server's:
+
+* :meth:`InspectClient.query` — one-shot ``POST /query``; returns the
+  final :class:`~repro.util.frame.Frame`.
+* :meth:`InspectClient.stream` — websocket ``/stream``; yields
+  ``(final, frame)`` pairs as blocks are processed.  Closing the
+  iterator sends a ``cancel`` envelope — the server abandons the
+  session stream and releases its scheduler work.
+
+Server-side errors surface as :class:`ServerError` carrying the
+structured code (``rejected``, ``bad-request``, ``query-error``).
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import os
+import socket
+from collections.abc import Iterator
+
+from repro.server import protocol
+from repro.server.http import (OP_CLOSE, OP_PONG, OP_TEXT,
+                               WsMessageAssembler, encode_ws_frame)
+from repro.util.frame import Frame
+
+
+class ServerError(Exception):
+    """A structured error envelope from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class InspectClient:
+    """Talk to an :class:`~repro.server.app.InspectionServer`."""
+
+    def __init__(self, host: str, port: int, client_id: str = "default",
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- one-shot ------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = protocol.dumps(body).encode("utf-8") if body else None
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json",
+                                  "X-Client-Id": self.client_id})
+            response = conn.getresponse()
+            envelope = protocol.parse_envelope(response.read())
+        finally:
+            conn.close()
+        if envelope.get("type") == "error":
+            raise ServerError(envelope.get("code", "error"),
+                              envelope.get("message", ""))
+        return envelope
+
+    def query(self, sql: str) -> Frame:
+        """Execute one statement; returns the final frame."""
+        envelope = self._request("POST", "/query",
+                                 {"sql": sql, "client": self.client_id})
+        return protocol.frame_from_payload(envelope["frame"])
+
+    def stats(self) -> dict:
+        """The server's ``/stats`` snapshot."""
+        return self._request("GET", "/stats")
+
+    # -- streaming -----------------------------------------------------
+    def stream(self, sql: str, qid: str = "q0") -> "StreamHandle":
+        """Open a websocket and submit ``sql``; iterate the handle for
+        ``(final, frame)`` pairs."""
+        handle = StreamHandle(self.host, self.port, self.client_id,
+                              timeout=self.timeout)
+        handle.submit(qid, sql)
+        return handle
+
+
+class StreamHandle:
+    """One websocket connection running streamed queries."""
+
+    def __init__(self, host: str, port: int, client_id: str,
+                 timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._assembler = WsMessageAssembler(require_mask=False)
+        self._messages: list[str] = []
+        self._qid: str | None = None
+        self._closed = False
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        self._sock.sendall(
+            (f"GET /stream HTTP/1.1\r\nHost: {host}:{port}\r\n"
+             "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+             f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n"
+             f"X-Client-Id: {client_id}\r\n\r\n").encode("latin-1"))
+        response = b""
+        while b"\r\n\r\n" not in response:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("server closed during WS handshake")
+            response += chunk
+        head, _, rest = response.partition(b"\r\n\r\n")
+        if b" 101 " not in head.split(b"\r\n", 1)[0]:
+            raise ConnectionError(f"websocket upgrade refused: "
+                                  f"{head.splitlines()[0]!r}")
+        if rest:   # server bytes that arrived with the handshake
+            self._messages += [p for k, p in self._assembler.feed(rest)
+                               if k == "text"]
+
+    def _send(self, envelope: dict) -> None:
+        self._sock.sendall(encode_ws_frame(
+            protocol.dumps(envelope).encode("utf-8"), OP_TEXT,
+            mask=os.urandom(4)))
+
+    def submit(self, qid: str, sql: str) -> None:
+        self._qid = qid
+        self._send({"type": "query", "id": qid, "sql": sql})
+        accepted = self._next_message()
+        if accepted.get("type") == "error":
+            self.close()
+            raise ServerError(accepted.get("code", "error"),
+                              accepted.get("message", ""))
+
+    def cancel(self) -> None:
+        """Ask the server to abandon the in-flight stream."""
+        if not self._closed and self._qid is not None:
+            self._send({"type": "cancel", "id": self._qid})
+
+    def _next_message(self) -> dict:
+        while not self._messages:
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the websocket")
+            for kind, payload in self._assembler.feed(data):
+                if kind == "text":
+                    self._messages.append(payload)
+                elif kind == "ping":
+                    self._sock.sendall(encode_ws_frame(
+                        payload, OP_PONG, mask=os.urandom(4)))
+                elif kind == "close":
+                    self._closed = True
+                    raise ConnectionError("server closed the websocket")
+        return protocol.parse_envelope(self._messages.pop(0))
+
+    def __iter__(self) -> Iterator[tuple[bool, Frame]]:
+        """Yield ``(final, frame)`` until the stream finishes."""
+        try:
+            while True:
+                msg = self._next_message()
+                kind = msg.get("type")
+                if kind == "frame":
+                    frame = protocol.frame_from_payload(msg["frame"])
+                    yield msg["final"], frame
+                    if msg["final"]:
+                        return
+                elif kind == "cancelled":
+                    return
+                elif kind == "error":
+                    raise ServerError(msg.get("code", "error"),
+                                      msg.get("message", ""))
+        finally:
+            self.close()
+
+    def results(self) -> list[tuple[bool, Frame]]:
+        return list(self)
+
+    def final_frame(self) -> Frame:
+        """Drain the stream and return the final frame."""
+        frames = self.results()
+        if not frames or not frames[-1][0]:
+            raise ServerError(protocol.ERR_QUERY,
+                              "stream ended without a final frame")
+        return frames[-1][1]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._sock.sendall(encode_ws_frame(
+                (1000).to_bytes(2, "big"), OP_CLOSE, mask=os.urandom(4)))
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._closed = True
+
+    def __enter__(self) -> "StreamHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,101 @@
+"""JSON wire envelopes and the frame-over-JSON encoding.
+
+Everything the server and client exchange is a single JSON object — an
+*envelope* — with a ``type`` field:
+
+HTTP (one-shot)
+    ``POST /query`` body ``{"sql": ..., "client": ...}`` →
+    ``{"type": "result", "frame": ..., "elapsed_s": ...}`` or
+    ``{"type": "error", "code": ..., "message": ...}``.
+
+Websocket (progressive)
+    client → server: ``{"type": "query", "id": ..., "sql": ...}``,
+    ``{"type": "cancel", "id": ...}``;
+    server → client: ``{"type": "accepted", "id": ...}``, then
+    ``{"type": "frame", "id": ..., "seq": n, "final": bool,
+    "frame": ...}`` per processed block, closing with ``final: true``
+    — or ``{"type": "cancelled", "id": ...}`` /
+    ``{"type": "error", "id": ..., "code": ..., "message": ...}``.
+
+Frames travel as ``{"columns": [...], "data": {col: [...]}}`` plus the
+progress attributes (``records_processed``, ``converged``).  Python's
+``repr``-shortest float serialization round-trips IEEE doubles exactly,
+so a decoded frame compares equal (``Frame.__eq__``) to the original —
+the server's bit-identity guarantee rides on this.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.util.frame import Frame
+
+#: error codes carried by ``{"type": "error"}`` envelopes
+ERR_BAD_REQUEST = "bad-request"    # malformed envelope / unparsable SQL
+ERR_REJECTED = "rejected"          # admission control refused the query
+ERR_QUERY = "query-error"          # the query raised while executing
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+def dumps(obj: Any) -> str:
+    """Compact JSON with numpy values normalized."""
+    return json.dumps(jsonable(obj), separators=(",", ":"))
+
+
+def frame_payload(frame: Frame) -> dict:
+    """Encode a :class:`Frame` (and its progress attributes) as JSON data."""
+    return {
+        "columns": frame.columns,
+        "data": {name: jsonable(frame[name]) for name in frame.columns},
+        "records_processed": int(getattr(frame, "records_processed", 0)),
+        "converged": bool(getattr(frame, "converged", True)),
+    }
+
+
+def frame_from_payload(payload: dict) -> Frame:
+    """Rebuild a :class:`Frame` from :func:`frame_payload` output."""
+    frame = Frame({name: payload["data"][name]
+                   for name in payload["columns"]})
+    frame.records_processed = payload.get("records_processed", 0)
+    frame.converged = payload.get("converged", True)
+    return frame
+
+
+def error_envelope(code: str, message: str, **extra: Any) -> dict:
+    return {"type": "error", "code": code, "message": message, **extra}
+
+
+def result_envelope(frame: Frame, elapsed_s: float) -> dict:
+    return {"type": "result", "frame": frame_payload(frame),
+            "elapsed_s": elapsed_s}
+
+
+def frame_envelope(qid: str, seq: int, final: bool, frame: Frame) -> dict:
+    return {"type": "frame", "id": qid, "seq": seq, "final": final,
+            "frame": frame_payload(frame)}
+
+
+def parse_envelope(raw: str | bytes) -> dict:
+    """Decode one envelope; raise ``ValueError`` on malformed input."""
+    try:
+        obj = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid JSON envelope: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ValueError("envelope must be a JSON object")
+    return obj

@@ -50,6 +50,7 @@ import contextlib
 import dataclasses
 import os
 import tempfile
+import threading
 import weakref
 from collections.abc import Iterable, Iterator
 
@@ -113,8 +114,23 @@ class Session:
                  hyp_cache: HypothesisCache | None = None,
                  unit_cache: UnitBehaviorCache | None = None,
                  scheduler: Scheduler | str | None = None,
+                 sweep_gate=None,
                  session_defaults: bool = True):
         self.config = config or InspectConfig()
+        #: cross-query single-flight gate over cold raw sweeps (the
+        #: inspection server installs a SweepRegistry here); threaded into
+        #: every query's config via :meth:`effective_config`
+        self.sweep_gate = sweep_gate
+        # registration mutates the registries AND the SQL catalog (drop +
+        # re-insert rows, lazy table creation): concurrent server queries
+        # registering models must not interleave those steps.  RLock:
+        # register_model -> db property nests.
+        self._reg_lock = threading.RLock()
+        # per-query observability counters (served by Session.stats() and
+        # the server's /stats endpoint)
+        self._query_lock = threading.Lock()
+        self._query_counts = {"started": 0, "completed": 0, "failed": 0,
+                              "cancelled": 0, "streams_abandoned": 0}
         if store is None and store_path is not None:
             store = DiskBehaviorStore(store_path)
         if store is None:
@@ -181,15 +197,16 @@ class Session:
         fresh directory), so the whole test suite can exercise the paged
         storage engine unchanged.
         """
-        if self._db is None:
-            path = self._db_path
-            if path is None:
-                env = os.environ.get("REPRO_DB_PATH")
-                if env:
-                    os.makedirs(env, exist_ok=True)
-                    path = tempfile.mkdtemp(prefix="db-", dir=env)
-            self._db = Database(path) if path is not None else Database()
-        return self._db
+        with self._reg_lock:  # concurrent first touch builds one catalog
+            if self._db is None:
+                path = self._db_path
+                if path is None:
+                    env = os.environ.get("REPRO_DB_PATH")
+                    if env:
+                        os.makedirs(env, exist_ok=True)
+                        path = tempfile.mkdtemp(prefix="db-", dir=env)
+                self._db = Database(path) if path is not None else Database()
+            return self._db
 
     @property
     def closed(self) -> bool:
@@ -272,31 +289,33 @@ class Session:
         catalog rows, mirroring the registry overwrite.
         """
         self._check_open()
-        self.models[mid] = model
-        if not catalog:
-            return
-        # drop unconditionally: on a reopened persistent catalog the rows
-        # survive while the registry dict starts empty, so gating on the
-        # registry would duplicate every joined row downstream
-        self._drop_catalog_rows("models", "mid", mid)
-        self._drop_catalog_rows("units", "mid", mid)
-        table = self.db.tables.get("models")
-        if table is None:
-            table = self.db.create_table("models", ["mid"] + sorted(attrs))
-        table.insert(self._catalog_row(table, [mid], attrs, "model"))
-        if units is False:
-            return
-        if units is None:
-            units = self._n_units_of(model)
+        with self._reg_lock:
+            self.models[mid] = model
+            if not catalog:
+                return
+            # drop unconditionally: on a reopened persistent catalog the
+            # rows survive while the registry dict starts empty, so gating
+            # on the registry would duplicate every joined row downstream
+            self._drop_catalog_rows("models", "mid", mid)
+            self._drop_catalog_rows("units", "mid", mid)
+            table = self.db.tables.get("models")
+            if table is None:
+                table = self.db.create_table("models",
+                                             ["mid"] + sorted(attrs))
+            table.insert(self._catalog_row(table, [mid], attrs, "model"))
+            if units is False:
+                return
             if units is None:
-                return  # no unit count derivable: Python surface only
-        uids = (np.arange(int(units)) if np.isscalar(units)
-                else np.asarray(list(units), dtype=int))
-        units_table = self.db.tables.get("units")
-        if units_table is None:
-            units_table = self.db.create_table("units",
-                                               ["mid", "uid", "layer"])
-        units_table.insert_many([[mid, int(u), layer] for u in uids])
+                units = self._n_units_of(model)
+                if units is None:
+                    return  # no unit count derivable: Python surface only
+            uids = (np.arange(int(units)) if np.isscalar(units)
+                    else np.asarray(list(units), dtype=int))
+            units_table = self.db.tables.get("units")
+            if units_table is None:
+                units_table = self.db.create_table("units",
+                                                   ["mid", "uid", "layer"])
+            units_table.insert_many([[mid, int(u), layer] for u in uids])
 
     def _n_units_of(self, model) -> int | None:
         try:
@@ -311,16 +330,17 @@ class Session:
         """Register a dataset under ``did`` (and as an ``inputs`` row);
         re-registering a ``did`` replaces its row."""
         self._check_open()
-        self.datasets[did] = dataset
-        if not catalog:
-            return
-        self._drop_catalog_rows("inputs", "did", did)
-        attrs.setdefault("seq", "seq")
-        table = self.db.tables.get("inputs")
-        if table is None:
-            table = self.db.create_table(
-                "inputs", ["did"] + sorted(attrs))
-        table.insert(self._catalog_row(table, [did], attrs, "dataset"))
+        with self._reg_lock:
+            self.datasets[did] = dataset
+            if not catalog:
+                return
+            self._drop_catalog_rows("inputs", "did", did)
+            attrs.setdefault("seq", "seq")
+            table = self.db.tables.get("inputs")
+            if table is None:
+                table = self.db.create_table(
+                    "inputs", ["did"] + sorted(attrs))
+            table.insert(self._catalog_row(table, [did], attrs, "dataset"))
 
     def register_hypotheses(self, hypotheses, catalog: bool = True,
                             **attrs) -> None:
@@ -340,21 +360,22 @@ class Session:
         # object under a name wins) so catalog rows match the registry
         by_name = {hyp.name: hyp for hyp in hypotheses}
         hypotheses = list(by_name.values())
-        for hyp in hypotheses:
-            if catalog:
-                self._drop_catalog_rows("hypotheses", "h", hyp.name)
-            self.hypotheses[hyp.name] = hyp
-        if not catalog:
-            return
-        table = self.db.tables.get("hypotheses")
-        if table is None:
-            columns = ["h", "name"] + sorted(set(attrs) - {"name"})
-            table = self.db.create_table("hypotheses", columns)
-        for hyp in hypotheses:
-            row_attrs = dict(attrs)
-            row_attrs.setdefault("name", hyp.name)
-            table.insert(self._catalog_row(table, [hyp.name], row_attrs,
-                                           "hypothesis"))
+        with self._reg_lock:
+            for hyp in hypotheses:
+                if catalog:
+                    self._drop_catalog_rows("hypotheses", "h", hyp.name)
+                self.hypotheses[hyp.name] = hyp
+            if not catalog:
+                return
+            table = self.db.tables.get("hypotheses")
+            if table is None:
+                columns = ["h", "name"] + sorted(set(attrs) - {"name"})
+                table = self.db.create_table("hypotheses", columns)
+            for hyp in hypotheses:
+                row_attrs = dict(attrs)
+                row_attrs.setdefault("name", hyp.name)
+                table.insert(self._catalog_row(table, [hyp.name], row_attrs,
+                                               "hypothesis"))
 
     # -- name resolution ------------------------------------------------
     def model(self, ref):
@@ -408,7 +429,8 @@ class Session:
             return self.config
         return self.config.with_session_defaults(
             cache=self.hyp_cache, unit_cache=self.unit_cache,
-            scheduler=self.scheduler, store=self.store)
+            scheduler=self.scheduler, store=self.store,
+            sweep_gate=self.sweep_gate)
 
     def inspect(self, models=None, dataset=None, *,
                 extractor: Extractor | None = None) -> "InspectionQuery":
@@ -431,6 +453,10 @@ class Session:
         scheduler; plain ``SELECT`` statements run on the columnar engine.
         """
         self._check_open()
+        with self._track_query():
+            return self._sql(statement)
+
+    def _sql(self, statement: str) -> Frame:
         from repro.db.executor import execute_select
         from repro.db.inspect_clause import run_inspect_spec
         parsed = parse_sql(statement)
@@ -440,8 +466,77 @@ class Session:
         return Frame.from_records(
             rows, columns=[item.alias for item in parsed.items])
 
+    def stream_sql(self, statement: str) -> Iterator[Frame]:
+        """Execute one SQL statement progressively.
+
+        ``INSPECT`` statements yield one partial frame per processed
+        behavior block — scores refining as records arrive — with the
+        final frame bit-identical to :meth:`sql`'s result for the same
+        statement (same planning path, same executor states).  Plain
+        ``SELECT`` statements yield their single final frame.  Abandoning
+        the iterator stops the run cleanly (no further extraction; the
+        pending store scope flushes, an owned scheduler pool shuts down)
+        and is counted as a cancelled query — the server's client-initiated
+        cancellation rides on exactly this.
+        """
+        self._check_open()
+        from repro.db.inspect_clause import stream_inspect_spec
+        parsed = parse_sql(statement)
+        if isinstance(parsed, InspectSpec):
+            inner = stream_inspect_spec(self, parsed)
+        else:
+            inner = self._select_frames(statement)
+        return self._tracked_stream(inner)
+
+    def _select_frames(self, statement: str) -> Iterator[Frame]:
+        yield self._sql(statement)
+
+    # -- query accounting ----------------------------------------------
+    def _count_query(self, *keys: str) -> None:
+        with self._query_lock:
+            for key in keys:
+                self._query_counts[key] += 1
+
+    @contextlib.contextmanager
+    def _track_query(self):
+        """Count one query's lifecycle (started -> completed/failed)."""
+        self._count_query("started")
+        try:
+            yield
+        except BaseException:
+            self._count_query("failed")
+            raise
+        self._count_query("completed")
+
+    def _tracked_stream(self, frames: Iterator[Frame]) -> Iterator[Frame]:
+        """Wrap a progressive run with lifecycle counters.
+
+        A consumer that abandons the iterator (``close()``, ``break``, a
+        disconnecting websocket client) counts as a cancelled query and a
+        stream abandonment; the inner generator's own cleanup (store
+        flush, scheduler release) still runs via generator close
+        propagation.
+        """
+        self._count_query("started")
+        try:
+            yield from frames
+        except GeneratorExit:
+            self._count_query("cancelled", "streams_abandoned")
+            raise
+        except BaseException:
+            self._count_query("failed")
+            raise
+        self._count_query("completed")
+
     def stats(self) -> dict:
-        """Cache/store counters for the session's shared resources."""
+        """Cache/store/query counters for the session's shared resources.
+
+        ``queries`` counts every query issued through the session surfaces
+        (:meth:`sql`, :meth:`stream_sql`, the fluent builder): started,
+        completed, failed, cancelled (abandoned streams included), plus
+        ``streams_abandoned`` specifically — the numbers the server's
+        ``/stats`` endpoint reports per deployment.
+        """
         out: dict = {}
         if self.hyp_cache is not None:
             out["hypothesis_cache"] = self.hyp_cache.stats()
@@ -449,6 +544,8 @@ class Session:
             out["unit_cache"] = self.unit_cache.stats()
         if self.store is not None:
             out["store"] = self.store.stats()
+        with self._query_lock:
+            out["queries"] = dict(self._query_counts)
         return out
 
     def reset_counters(self) -> None:
@@ -592,10 +689,11 @@ class InspectionQuery:
         :class:`~repro.core.pipeline.GroupMeasureOutcome` list (cheaper
         for large unit counts; ``top_k`` does not apply).
         """
-        outcomes = self.plan().execute()
-        if not as_frame:
-            return outcomes
-        return self._postprocess(outcomes_to_frame(outcomes))
+        with self._session._track_query():
+            outcomes = self.plan().execute()
+            if not as_frame:
+                return outcomes
+            return self._postprocess(outcomes_to_frame(outcomes))
 
     def stream(self) -> Iterator[Frame]:
         """Execute progressively: one partial frame per processed block.
@@ -605,8 +703,12 @@ class InspectionQuery:
         ``frame.records_processed`` and ``frame.converged`` attributes;
         the final frame equals :meth:`run`'s bit for bit.  Abandoning the
         iterator stops the run cleanly (no further extraction; pending
-        store commits flush).
+        store commits flush) and counts as a cancelled query in
+        :meth:`Session.stats`.
         """
+        return self._session._tracked_stream(self._stream())
+
+    def _stream(self) -> Iterator[Frame]:
         plan = self.plan()
         # closing(): the run's store scope flushes and owned pools stop
         # deterministically even if the consumer abandons the iterator

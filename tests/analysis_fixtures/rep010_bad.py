@@ -1,0 +1,22 @@
+# analysis-scope: server
+"""Bad: coroutines that block the event loop (or drop executor futures)."""
+
+import socket
+import time
+
+
+async def handle_request(reader, writer, pool, fn):
+    time.sleep(0.5)  # expect[REP010]
+    conn = socket.create_connection(("127.0.0.1", 80))  # expect[REP010]
+    data = conn.recv(4096)  # expect[REP010]
+    future = pool.submit(fn)
+    return future.result()  # expect[REP010]
+
+
+async def fire_and_forget(loop, executor, fn):
+    loop.run_in_executor(executor, fn)  # expect[REP010]
+    executor.submit(fn)  # expect[REP010]
+
+
+async def wait_for_worker(worker_thread):
+    worker_thread.join()  # expect[REP010]

@@ -1,0 +1,36 @@
+# analysis-scope: server
+"""Good: coroutines defer blocking work; sync helpers may block freely."""
+
+import asyncio
+import socket
+import time
+
+
+async def handle_request(reader, writer, pool, fn):
+    await asyncio.sleep(0.5)
+    data = await reader.read(4096)
+    loop = asyncio.get_running_loop()
+    result = await loop.run_in_executor(pool, fn)
+    writer.write(data)
+    await writer.drain()
+    return ", ".join([str(result)])   # str.join is not a thread join
+
+
+async def spawn_tracked(loop, executor, fn, tasks):
+    future = loop.run_in_executor(executor, fn)   # kept: awaitable later
+    tasks.add(future)
+    return await future
+
+
+def blocking_helper(sock):
+    # sync functions run on worker threads; blocking is their job
+    time.sleep(0.01)
+    return sock.recv(4096)
+
+
+async def run_with_nested_worker(pool):
+    def worker():
+        conn = socket.create_connection(("127.0.0.1", 80))
+        return conn.recv(1)
+
+    return await asyncio.get_running_loop().run_in_executor(pool, worker)

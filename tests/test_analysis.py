@@ -44,8 +44,8 @@ def run_cli(*args, cwd=None):
 
 
 class TestRegistry:
-    def test_all_nine_checkers_registered(self):
-        assert CHECKER_IDS == [f"REP00{i}" for i in range(1, 10)]
+    def test_all_ten_checkers_registered(self):
+        assert CHECKER_IDS == [f"REP{i:03d}" for i in range(1, 11)]
 
     def test_unknown_select_rejected(self):
         with pytest.raises(ValueError, match="REP999"):

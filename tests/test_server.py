@@ -1,0 +1,481 @@
+"""Inspection server: protocol, framing, admission, dedup, streaming.
+
+The acceptance story of the server PR: many concurrent clients multiplex
+onto one shared :class:`~repro.session.Session`; N identical cold
+INSPECT queries extract the model exactly once (counter-asserted);
+streamed final frames are bit-identical to direct execution; quota
+violations come back as structured error envelopes; a client that
+disconnects mid-stream abandons its run without leaking scheduler work
+or uncommitted store state.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import InspectConfig, Session
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.server import InspectClient, SweepRegistry, serve_in_thread
+from repro.server import http as wire
+from repro.server import protocol
+from repro.server.client import ServerError
+from repro.util.frame import Frame
+from repro.util.testing import CountingForwardModel
+
+MAX_RECORDS = 60
+BLOCK = 16   # 60 records / 16 -> 4 blocks, so streams yield several frames
+
+INSPECT_SQL = """
+    SELECT S.uid, S.hid, S.unit_score
+    INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+    FROM models M, units U, hypotheses H, inputs D
+    WHERE M.mid = U.mid
+    ORDER BY S.unit_score DESC
+"""
+
+
+@pytest.fixture
+def hyps():
+    return sql_keyword_hypotheses(("SELECT", "FROM"))
+
+
+class SlowForwardModel:
+    """Delegating wrapper that naps per ``hidden_states`` sweep.
+
+    Keeps cancellation tests deterministic: a cancel or disconnect sent
+    after the first streamed frame always lands while later blocks are
+    still extracting, independent of host speed.  Used together with an
+    explicit ``scheduler="threads"`` pin — the process scheduler drains
+    whole shards up-front, so block-wise cancellation granularity only
+    exists on the in-process schedulers.
+    """
+
+    def __init__(self, inner, nap=0.2):
+        self._inner = inner
+        self._nap = nap
+        self.model_id = inner.model_id
+        self.n_units = inner.n_units
+        self.forward_calls = 0
+
+    def parameters(self):
+        return self._inner.parameters()
+
+    def architecture(self):
+        return self._inner.architecture()
+
+    def named_parameters(self):
+        return self._inner.named_parameters()
+
+    def hidden_states(self, ids):
+        self.forward_calls += 1
+        time.sleep(self._nap)
+        return self._inner.hidden_states(ids)
+
+
+def slow_config() -> InspectConfig:
+    return InspectConfig(max_records=MAX_RECORDS, block_size=BLOCK,
+                         early_stop=False, scheduler="threads")
+
+
+def make_session(model, workload, hyps, **kwargs) -> Session:
+    kwargs.setdefault("config", InspectConfig(
+        max_records=MAX_RECORDS, block_size=BLOCK, early_stop=False))
+    session = Session(**kwargs)
+    session.register_model("m0", model)
+    session.register_dataset("d0", workload.dataset)
+    session.register_hypotheses(hyps, name="keywords")
+    return session
+
+
+# ----------------------------------------------------------------------
+# protocol: envelopes and the frame-over-JSON encoding
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_frame_roundtrip_is_bit_identical(self):
+        frame = Frame({
+            "uid": [0, 1, 2],
+            "score": [0.1, 1.0 / 3.0, -2.5e-17],   # repr-exact floats
+            "hid": ["a", "b", "c"],
+        })
+        frame.records_processed = 42
+        frame.converged = False
+        decoded = protocol.frame_from_payload(
+            protocol.parse_envelope(protocol.dumps(
+                {"frame": protocol.frame_payload(frame)}))["frame"])
+        assert decoded == frame
+        assert decoded.records_processed == 42
+        assert decoded.converged is False
+
+    def test_numpy_values_are_jsonable(self):
+        import numpy as np
+        frame = Frame({"score": list(np.linspace(0, 1, 3)),
+                       "uid": list(np.arange(3))})
+        payload = protocol.dumps(protocol.frame_payload(frame))
+        decoded = protocol.frame_from_payload(
+            protocol.parse_envelope(payload))
+        assert decoded["uid"] == [0, 1, 2]
+        assert decoded["score"] == [0.0, 0.5, 1.0]
+
+    def test_malformed_envelopes_raise(self):
+        with pytest.raises(ValueError):
+            protocol.parse_envelope(b"{not json")
+        with pytest.raises(ValueError):
+            protocol.parse_envelope(b"[1, 2]")
+
+
+# ----------------------------------------------------------------------
+# websocket framing edge cases (pure layer, no sockets)
+# ----------------------------------------------------------------------
+class TestWsFraming:
+    def test_roundtrip_unmasked(self):
+        raw = wire.encode_ws_frame(b"hello", wire.OP_TEXT)
+        assembler = wire.WsMessageAssembler(require_mask=False)
+        assert assembler.feed(raw) == [("text", "hello")]
+
+    def test_roundtrip_masked_and_long_payloads(self):
+        for size in (5, 126, 70_000):   # 7-bit, 16-bit and 64-bit lengths
+            payload = bytes(i % 251 for i in range(size))
+            raw = wire.encode_ws_frame(payload, wire.OP_BINARY,
+                                       mask=b"\x01\x02\x03\x04")
+            events = wire.WsMessageAssembler().feed(raw)
+            assert events == [("binary", payload)]
+
+    def test_fragmented_message_reassembles(self):
+        # text split over three frames: TEXT(fin=0) CONT(fin=0) CONT(fin=1)
+        parts = [
+            wire.encode_ws_frame(b"he", wire.OP_TEXT, fin=False,
+                                 mask=b"maskmask"[:4]),
+            wire.encode_ws_frame(b"ll", wire.OP_CONT, fin=False,
+                                 mask=b"abcd"),
+            wire.encode_ws_frame(b"o", wire.OP_CONT, fin=True,
+                                 mask=b"wxyz"),
+        ]
+        assembler = wire.WsMessageAssembler()
+        stream = b"".join(parts)
+        events = []
+        # feed byte-by-byte: frame boundaries must not matter
+        for i in range(len(stream)):
+            events += assembler.feed(stream[i:i + 1])
+        assert events == [("text", "hello")]
+
+    def test_ping_between_fragments_is_surfaced_immediately(self):
+        assembler = wire.WsMessageAssembler()
+        events = assembler.feed(
+            wire.encode_ws_frame(b"par", wire.OP_TEXT, fin=False,
+                                 mask=b"aaaa")
+            + wire.encode_ws_frame(b"beat", wire.OP_PING, mask=b"bbbb")
+            + wire.encode_ws_frame(b"tial", wire.OP_CONT, fin=True,
+                                   mask=b"cccc"))
+        assert events == [("ping", b"beat"), ("text", "partial")]
+
+    def test_server_refuses_unmasked_client_frames(self):
+        assembler = wire.WsMessageAssembler()   # require_mask=True
+        with pytest.raises(wire.ProtocolError, match="masked"):
+            assembler.feed(wire.encode_ws_frame(b"x", wire.OP_TEXT))
+
+    def test_continuation_without_start_is_an_error(self):
+        assembler = wire.WsMessageAssembler(require_mask=False)
+        with pytest.raises(wire.ProtocolError, match="continuation"):
+            assembler.feed(wire.encode_ws_frame(b"x", wire.OP_CONT))
+
+    def test_interleaving_a_new_message_into_fragments_is_an_error(self):
+        assembler = wire.WsMessageAssembler(require_mask=False)
+        assembler.feed(wire.encode_ws_frame(b"a", wire.OP_TEXT, fin=False))
+        with pytest.raises(wire.ProtocolError, match="fragment"):
+            assembler.feed(wire.encode_ws_frame(b"b", wire.OP_TEXT))
+
+    def test_oversized_control_frame_refused_at_encode(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.encode_ws_frame(b"x" * 126, wire.OP_PING)
+
+    def test_close_frame_event(self):
+        assembler = wire.WsMessageAssembler(require_mask=False)
+        code = (1000).to_bytes(2, "big")
+        assert assembler.feed(
+            wire.encode_ws_frame(code, wire.OP_CLOSE)) == [("close", code)]
+
+    def test_accept_key_matches_rfc_example(self):
+        # the worked example from RFC 6455 §1.3
+        assert wire.websocket_accept_key(
+            "dGhlIHNhbXBsZSBub25jZQ==") == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+
+
+# ----------------------------------------------------------------------
+# sweep registry (cross-query dedup) unit semantics
+# ----------------------------------------------------------------------
+class TestSweepRegistry:
+    KEY = ("model-fp", "raw-key", "dataset-hash")
+
+    def test_leader_blocks_follower_until_release(self):
+        registry = SweepRegistry()
+        order: list[str] = []
+        leader_entered = threading.Event()
+        release_leader = threading.Event()
+
+        def leader():
+            with registry.lease([self.KEY]):
+                order.append("leader-in")
+                leader_entered.set()
+                release_leader.wait(5)
+                order.append("leader-out")
+
+        def follower():
+            leader_entered.wait(5)
+            with registry.lease([self.KEY]):
+                order.append("follower-in")
+
+        threads = [threading.Thread(target=leader),
+                   threading.Thread(target=follower)]
+        for t in threads:
+            t.start()
+        leader_entered.wait(5)
+        time.sleep(0.05)        # give the follower time to reach the wait
+        release_leader.set()
+        for t in threads:
+            t.join(5)
+        assert order == ["leader-in", "leader-out", "follower-in"]
+        stats = registry.stats()
+        assert stats["leads"] == 2 and stats["waits"] >= 1
+        assert stats["inflight"] == 0
+
+    def test_warm_keys_are_never_claimed_or_waited_for(self):
+        registry = SweepRegistry()
+        with registry.lease([self.KEY]):
+            # a second lease over the same key, but its cold predicate
+            # says the cache already has it: no wait, no claim
+            with registry.lease([self.KEY], cold=lambda key: False):
+                pass
+        stats = registry.stats()
+        assert stats["waits"] == 0 and stats["timeouts"] == 0
+
+    def test_follower_rechecks_cold_after_wakeup(self):
+        registry = SweepRegistry()
+        now_warm = threading.Event()
+
+        def cold(key):
+            return not now_warm.is_set()
+
+        got_in = threading.Event()
+
+        def follower():
+            with registry.lease([self.KEY], cold=cold):
+                got_in.set()
+
+        with registry.lease([self.KEY]):
+            thread = threading.Thread(target=follower)
+            thread.start()
+            time.sleep(0.05)
+            assert not got_in.is_set()   # still waiting behind the leader
+            now_warm.set()               # the sweep landed in the cache
+        thread.join(5)
+        assert got_in.is_set()
+        assert registry.stats()["joins"] == 1   # waited, then found warm
+
+    def test_wait_timeout_proceeds_ungated(self):
+        registry = SweepRegistry(wait_timeout=0.05)
+        with registry.lease([self.KEY]):
+            with registry.lease([self.KEY]):   # leader never releases
+                pass                            # timed out -> proceeds
+        assert registry.stats()["timeouts"] == 1
+
+    def test_disjoint_keys_do_not_interact(self):
+        registry = SweepRegistry()
+        other = ("other-fp", "raw", "ds")
+        with registry.lease([self.KEY]):
+            with registry.lease([other]):
+                assert registry.stats()["inflight"] == 2
+        assert registry.stats()["waits"] == 0
+
+
+# ----------------------------------------------------------------------
+# the server end to end
+# ----------------------------------------------------------------------
+class TestServerEndToEnd:
+    def test_concurrent_identical_queries_extract_once(
+            self, trained_sql_model, sql_workload, hyps):
+        # solo baseline: the forward-call cost of exactly one extraction
+        solo = CountingForwardModel(trained_sql_model)
+        with make_session(solo, sql_workload, hyps) as session:
+            direct = session.sql(INSPECT_SQL)
+        assert solo.forward_calls > 0
+
+        counting = CountingForwardModel(trained_sql_model)
+        session = make_session(counting, sql_workload, hyps)
+        with session, serve_in_thread(session, max_concurrent=8,
+                                      per_client_inflight=2) as server:
+            n = 5
+            results: list = [None] * n
+            clients = [InspectClient("127.0.0.1", server.port,
+                                     client_id=f"tenant-{i}")
+                       for i in range(n)]
+
+            def go(i: int) -> None:
+                results[i] = clients[i].query(INSPECT_SQL)
+
+            threads = [threading.Thread(target=go, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+
+            # N concurrent identical cold queries: ONE extraction
+            assert counting.forward_calls == solo.forward_calls
+            for frame in results:
+                assert frame == direct
+            stats = clients[0].stats()
+            assert stats["dedup"]["leads"] >= 1
+            assert stats["dedup"]["inflight"] == 0
+            assert stats["session"]["queries"]["completed"] >= n
+
+    def test_streamed_final_frame_bit_identical_to_direct(
+            self, trained_sql_model, sql_workload, hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            direct = session.sql(INSPECT_SQL)
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            frames = client.stream(INSPECT_SQL).results()
+        assert len(frames) > 1                    # progressive, per block
+        finals = [final for final, _ in frames]
+        assert finals == [False] * (len(frames) - 1) + [True]
+        assert frames[-1][1] == direct            # bit-identical
+        partial = frames[0][1]
+        assert partial.columns == direct.columns
+        assert partial != direct                  # genuinely progressive
+
+    def test_one_shot_query_matches_direct(
+            self, trained_sql_model, sql_workload, hyps):
+        with make_session(trained_sql_model, sql_workload, hyps) as session:
+            direct = session.sql(INSPECT_SQL)
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            assert client.query(INSPECT_SQL) == direct
+
+    def test_plain_select_over_the_wire(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            frame = client.query("SELECT mid FROM models")
+            assert frame["mid"] == ["m0"]
+
+    def test_query_error_is_structured(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            with pytest.raises(ServerError) as err:
+                client.query("SELECT nonsense FROM nowhere")
+            assert err.value.code == protocol.ERR_QUERY
+            stats = client.stats()
+            assert stats["session"]["queries"]["failed"] >= 1
+
+    def test_quota_rejection_is_structured(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session,
+                                      per_client_queue=0) as server:
+            client = InspectClient("127.0.0.1", server.port,
+                                   client_id="greedy")
+            with pytest.raises(ServerError) as err:
+                client.query("SELECT mid FROM models")
+            assert err.value.code == protocol.ERR_REJECTED
+            stats = client.stats()
+            assert stats["admission"]["per_client"]["greedy"][
+                "rejected"] == 1
+
+    def test_stats_endpoint_shape(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port,
+                                   client_id="observer")
+            client.query("SELECT mid FROM models")
+            stats = client.stats()
+        assert {"server", "session", "admission", "dedup"} <= stats.keys()
+        assert "queries" in stats["session"]
+        per_client = stats["admission"]["per_client"]["observer"]
+        assert per_client["submitted"] == 1
+        assert per_client["completed"] == 1
+
+    def test_ws_cancel_stops_the_stream(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(SlowForwardModel(trained_sql_model),
+                               sql_workload, hyps, config=slow_config())
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            handle = client.stream(INSPECT_SQL)
+            stream = iter(handle)
+            next(stream)               # one partial frame arrived
+            handle.cancel()
+            leftovers = list(stream)   # drains to cancelled/final quickly
+            assert len(leftovers) < 4  # far fewer than a full-run stream
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if session.stats()["queries"]["cancelled"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert session.stats()["queries"]["cancelled"] >= 1
+            # the session still serves queries afterwards
+            assert len(client.query("SELECT mid FROM models")) == 1
+
+    def test_mid_stream_disconnect_abandons_without_leaks(
+            self, trained_sql_model, sql_workload, hyps, tmp_path):
+        counting = SlowForwardModel(trained_sql_model)
+        session = make_session(counting, sql_workload, hyps,
+                               config=slow_config(),
+                               store_path=str(tmp_path / "store"))
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            handle = client.stream(INSPECT_SQL)
+            next(iter(handle))
+            handle._sock.close()       # hard disconnect, no close frame
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                if session.stats()["queries"]["streams_abandoned"] >= 1:
+                    break
+                time.sleep(0.02)
+            assert session.stats()["queries"]["streams_abandoned"] == 1
+            time.sleep(0.5)            # drain any in-flight prefetch
+            calls_after_abandon = counting.forward_calls
+            time.sleep(0.5)            # no further extraction happens
+            assert counting.forward_calls == calls_after_abandon
+            # the store is not wedged mid-commit: a fresh query completes
+            # and commits (deferred-commit depth unwound cleanly)
+            frame = client.query(INSPECT_SQL)
+            assert len(frame) > 0
+        # after server + session teardown no worker/server threads remain
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            leftover = [t for t in threading.enumerate()
+                        if t.name.startswith(("repro-query",
+                                              "repro-server"))]
+            if not leftover:
+                break
+            time.sleep(0.05)
+        assert not leftover
+
+    def test_http_404_and_bad_body(
+            self, trained_sql_model, sql_workload, hyps):
+        session = make_session(trained_sql_model, sql_workload, hyps)
+        with session, serve_in_thread(session) as server:
+            client = InspectClient("127.0.0.1", server.port)
+            with pytest.raises(ServerError) as err:
+                client._request("GET", "/nope")
+            assert err.value.code == protocol.ERR_BAD_REQUEST
+            # malformed body -> structured bad-request, connection usable
+            raw = socket.create_connection(("127.0.0.1", server.port))
+            try:
+                raw.sendall(b"POST /query HTTP/1.1\r\n"
+                            b"Content-Length: 9\r\n\r\nnot json!")
+                response = raw.recv(65536)
+            finally:
+                raw.close()
+            assert b"400" in response.split(b"\r\n", 1)[0]
+            assert b"bad-request" in response

@@ -1,0 +1,195 @@
+"""Thread-safety regression tests for a shared :class:`Session`.
+
+The inspection server multiplexes many clients onto one session, so the
+session must tolerate concurrent ``register_*`` calls, concurrent SQL,
+and interleaved streaming without corrupting registries, counters, or
+results.  These tests hammer the session directly (no server in the
+loop) so failures point at :mod:`repro.session` itself.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import InspectConfig, Session
+from repro.hypotheses.library import sql_keyword_hypotheses
+from repro.util.testing import CountingForwardModel
+
+MAX_RECORDS = 60
+
+INSPECT_SQL = """
+    SELECT S.uid, S.hid, S.unit_score
+    INSPECT U.uid AND H.h USING corr OVER D.seq AS S
+    FROM models M, units U, hypotheses H, inputs D
+    WHERE M.mid = U.mid
+    ORDER BY S.unit_score DESC
+"""
+
+
+@pytest.fixture
+def session(trained_sql_model, sql_workload):
+    session = Session(config=InspectConfig(
+        max_records=MAX_RECORDS, block_size=16,
+        early_stop=False))
+    session.register_model("m0", trained_sql_model)
+    session.register_dataset("d0", sql_workload.dataset)
+    session.register_hypotheses(sql_keyword_hypotheses(("SELECT", "FROM")),
+                                name="keywords")
+    with session:
+        yield session
+
+
+def run_threads(targets, timeout=120):
+    threads = [threading.Thread(target=t) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    assert not any(t.is_alive() for t in threads)
+
+
+class TestConcurrentHammer:
+    def test_concurrent_identical_sql_all_agree(self, session):
+        baseline = session.sql(INSPECT_SQL)
+        n = 6
+        results: list = [None] * n
+        errors: list = []
+
+        def go(i):
+            try:
+                results[i] = session.sql(INSPECT_SQL)
+            except Exception as exc:   # repro: allow[REP005]
+                errors.append(exc)
+
+        run_threads([lambda i=i: go(i) for i in range(n)])
+        assert not errors
+        for frame in results:
+            assert frame == baseline
+
+    def test_registration_races_with_queries(self, trained_sql_model,
+                                             sql_workload):
+        session = Session(config=InspectConfig(
+            max_records=MAX_RECORDS))
+        session.register_model("m0", trained_sql_model)
+        session.register_dataset("d0", sql_workload.dataset)
+        session.register_hypotheses(
+            sql_keyword_hypotheses(("SELECT",)), name="kw0")
+        errors: list = []
+        start = threading.Barrier(8)
+
+        def register(i):
+            start.wait(30)
+            try:
+                session.register_hypotheses(
+                    sql_keyword_hypotheses(("FROM",)), name=f"kw{i}")
+                session.register_dataset(f"d{i}", sql_workload.dataset)
+            except Exception as exc:   # repro: allow[REP005]
+                errors.append(exc)
+
+        def query():
+            start.wait(30)
+            try:
+                frame = session.sql("SELECT mid FROM models")
+                assert frame["mid"] == ["m0"]
+            except Exception as exc:   # repro: allow[REP005]
+                errors.append(exc)
+
+        with session:
+            run_threads([lambda i=i: register(i) for i in range(1, 5)]
+                        + [query] * 4)
+            assert not errors
+            # every registration landed exactly once
+            dids = session.sql("SELECT did FROM inputs")["did"]
+            assert sorted(dids) == ["d0", "d1", "d2", "d3", "d4"]
+
+    def test_query_counters_are_consistent_under_load(self, session):
+        n_ok, n_bad = 4, 3
+        before = session.stats()["queries"]
+
+        def ok():
+            session.sql("SELECT mid FROM models")
+
+        def bad():
+            try:
+                session.sql("SELECT nope FROM nowhere")
+            except Exception:   # repro: allow[REP005]
+                pass
+
+        run_threads([ok] * n_ok + [bad] * n_bad)
+        after = session.stats()["queries"]
+        assert after["started"] - before["started"] == n_ok + n_bad
+        assert after["completed"] - before["completed"] == n_ok
+        assert after["failed"] - before["failed"] == n_bad
+        assert after["cancelled"] == before["cancelled"]
+
+
+class TestStreamTracking:
+    def test_completed_stream_counts_once(self, session):
+        before = session.stats()["queries"]
+        frames = list(session.stream_sql(INSPECT_SQL))
+        assert len(frames) > 1
+        after = session.stats()["queries"]
+        assert after["started"] - before["started"] == 1
+        assert after["completed"] - before["completed"] == 1
+        assert after["streams_abandoned"] == before["streams_abandoned"]
+
+    def test_abandoned_stream_counts_cancelled(self, session):
+        before = session.stats()["queries"]
+        stream = session.stream_sql(INSPECT_SQL)
+        next(stream)
+        stream.close()      # abandon mid-flight, as a disconnect would
+        after = session.stats()["queries"]
+        assert after["cancelled"] - before["cancelled"] == 1
+        assert after["streams_abandoned"] - before["streams_abandoned"] == 1
+        assert after["completed"] == before["completed"]
+
+    def test_abandoned_stream_stops_extraction(self, trained_sql_model,
+                                               sql_workload):
+        counting = CountingForwardModel(trained_sql_model)
+        session = Session(config=InspectConfig(
+            max_records=MAX_RECORDS, block_size=16,
+            early_stop=False, scheduler="threads"))
+        session.register_model("m0", counting)
+        session.register_dataset("d0", sql_workload.dataset)
+        session.register_hypotheses(
+            sql_keyword_hypotheses(("SELECT", "FROM")), name="keywords")
+        with session:
+            stream = session.stream_sql(INSPECT_SQL)
+            next(stream)
+            stream.close()
+            time.sleep(0.2)    # drain any in-flight prefetched block
+            calls_at_abandon = counting.forward_calls
+            time.sleep(0.2)    # no further extraction happens
+            assert counting.forward_calls == calls_at_abandon
+            # only part of the sweep ran, not all of it
+            full = CountingForwardModel(trained_sql_model)
+        session2 = Session(config=InspectConfig(
+            max_records=MAX_RECORDS, block_size=16,
+            early_stop=False, scheduler="threads"))
+        session2.register_model("m0", full)
+        session2.register_dataset("d0", sql_workload.dataset)
+        session2.register_hypotheses(
+            sql_keyword_hypotheses(("SELECT", "FROM")), name="keywords")
+        with session2:
+            session2.sql(INSPECT_SQL)
+        assert calls_at_abandon < full.forward_calls
+
+    def test_streams_from_two_threads_interleave(self, session):
+        baseline = session.sql(INSPECT_SQL)
+        finals: list = [None, None]
+        errors: list = []
+
+        def consume(i):
+            try:
+                frames = list(session.stream_sql(INSPECT_SQL))
+                finals[i] = frames[-1]
+            except Exception as exc:   # repro: allow[REP005]
+                errors.append(exc)
+
+        run_threads([lambda i=i: consume(i) for i in range(2)])
+        assert not errors
+        assert finals[0] == baseline
+        assert finals[1] == baseline
